@@ -1,0 +1,1 @@
+bin/bistgen.ml: Arg Bist_baselines Bist_bench Bist_circuit Bist_core Bist_fault Bist_harness Bist_hw Bist_logic Bist_sim Bist_tgen Bist_util Cmd Cmdliner Format Fun List Printf Sys Term

@@ -1,0 +1,1 @@
+bin/report.ml: Array Bist_bench Bist_harness Filename Fun List Option Printf Sys

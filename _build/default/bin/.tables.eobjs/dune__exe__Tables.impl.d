@@ -1,0 +1,1 @@
+bin/tables.ml: Array Bist_harness Printf Sys

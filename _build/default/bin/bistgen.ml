@@ -1,0 +1,330 @@
+(* bistgen: command-line front end to the subsequence-expansion BIST
+   library. Circuits are named registry entries (s27, x298, ...) or paths
+   to .bench files; sequences are text files, one vector per line. *)
+
+open Cmdliner
+
+let teaching = function
+  | "counter3" -> Some (Bist_bench.Teaching.counter3 ())
+  | "shift4" -> Some (Bist_bench.Teaching.shift4 ())
+  | "parity_fsm" -> Some (Bist_bench.Teaching.parity_fsm ())
+  | _ -> None
+
+let resolve_circuit spec =
+  if Sys.file_exists spec then Bist_circuit.Bench_parser.parse_file spec
+  else
+    match Bist_bench.Registry.find spec with
+    | Some entry -> entry.circuit ()
+    | None ->
+      (match teaching spec with
+       | Some circuit -> circuit
+       | None ->
+         Printf.eprintf
+           "error: %S is neither a file nor a known circuit (try s27, x298, \
+            counter3, ...)\n"
+           spec;
+         exit 2)
+
+let circuit_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"CIRCUIT" ~doc:"Registry name (s27, x298, ...) or .bench file.")
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let n_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "n" ] ~docv:"N" ~doc:"Repetition count of the expansion (Sexp = 8nL).")
+
+let universe_of circuit = Bist_fault.Universe.collapsed circuit
+
+(* stats *)
+
+let stats_cmd =
+  let run spec =
+    let circuit = resolve_circuit spec in
+    Format.printf "%a@." Bist_circuit.Stats.pp (Bist_circuit.Stats.of_netlist circuit);
+    let full = Bist_fault.Universe.full circuit in
+    let collapsed = universe_of circuit in
+    Format.printf "faults: %d uncollapsed, %d collapsed@."
+      (Bist_fault.Universe.size full)
+      (Bist_fault.Universe.size collapsed)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Circuit and fault-list statistics")
+    Term.(const run $ circuit_arg)
+
+(* lint *)
+
+let lint_cmd =
+  let run spec =
+    let circuit = resolve_circuit spec in
+    let report = Bist_circuit.Validate.check circuit in
+    Format.printf "%a" (Bist_circuit.Validate.pp circuit) report;
+    if not (Bist_circuit.Validate.is_clean report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Structural diagnostics: dangling and unobservable nodes, \
+          uncontrollable and possibly uninitializable flip-flops")
+    Term.(const run $ circuit_arg)
+
+(* faultsim *)
+
+let seq_arg name doc =
+  Arg.(required & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+
+let faultsim_cmd =
+  let run spec seq_file table =
+    let circuit = resolve_circuit spec in
+    let universe = universe_of circuit in
+    let seq = Bist_harness.Seq_io.load seq_file in
+    let tbl = Bist_fault.Fault_table.compute universe seq in
+    Format.printf "detected %d / %d faults (coverage %.2f%%)@."
+      (Bist_fault.Fault_table.num_detected tbl)
+      (Bist_fault.Universe.size universe)
+      (100.0 *. Bist_fault.Fault_table.coverage tbl);
+    if table then print_string (Bist_fault.Fault_table.render tbl)
+  in
+  let table_flag =
+    Arg.(value & flag & info [ "table" ] ~doc:"Print the per-time-unit detection table.")
+  in
+  Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate a sequence")
+    Term.(const run $ circuit_arg $ seq_arg "seq" "Sequence file." $ table_flag)
+
+(* tgen *)
+
+let tgen_cmd =
+  let run spec seed out trials directed =
+    let circuit = resolve_circuit spec in
+    let universe = universe_of circuit in
+    let rng = Bist_util.Rng.create seed in
+    let config =
+      { (Bist_tgen.Engine.default_config circuit) with
+        Bist_tgen.Engine.directed_budget = directed }
+    in
+    let t0, stats = Bist_tgen.Engine.generate ~config ~rng universe in
+    let t0, cstats = Bist_tgen.Compaction.compact ~max_trials:trials universe t0 in
+    Format.printf
+      "T0: %d vectors (raw %d), detects %d / %d faults (%.2f%%)@."
+      (Bist_logic.Tseq.length t0) cstats.Bist_tgen.Compaction.initial_length
+      stats.Bist_tgen.Engine.detected stats.total_faults
+      (100.0 *. float_of_int stats.detected /. float_of_int stats.total_faults);
+    match out with
+    | Some path ->
+      Bist_harness.Seq_io.save t0 path;
+      Format.printf "wrote %s@." path
+    | None -> print_string (Bist_harness.Seq_io.to_string t0)
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 150 & info [ "compact-trials" ] ~doc:"Static-compaction trial budget.")
+  in
+  let directed_arg =
+    Arg.(value & opt int 0
+         & info [ "directed" ] ~docv:"K"
+             ~doc:"Attack up to K surviving faults with the genetic directed search.")
+  in
+  Cmd.v (Cmd.info "tgen" ~doc:"Generate and compact a deterministic sequence T0")
+    Term.(const run $ circuit_arg $ seed_arg $ out_arg $ trials_arg $ directed_arg)
+
+(* expand *)
+
+let expand_cmd =
+  let run seq_file n =
+    let seq = Bist_harness.Seq_io.load seq_file in
+    print_string (Bist_harness.Seq_io.to_string (Bist_core.Ops.expand ~n seq))
+  in
+  Cmd.v (Cmd.info "expand" ~doc:"Print the expanded sequence Sexp (length 8nL)")
+    Term.(const run $ seq_arg "seq" "Stored sequence file." $ n_arg)
+
+(* select *)
+
+let select_cmd =
+  let run spec t0_file n seed fast out =
+    let circuit = resolve_circuit spec in
+    let universe = universe_of circuit in
+    let t0 = Bist_harness.Seq_io.load t0_file in
+    let strategy =
+      if fast then Bist_core.Procedure2.fast_strategy
+      else Bist_core.Procedure2.paper_strategy
+    in
+    let run_result =
+      match n with
+      | Some n -> Bist_core.Scheme.execute ~strategy ~seed ~n ~t0 universe
+      | None -> Bist_core.Scheme.best_n ~strategy ~seed ~t0 universe
+    in
+    let b = run_result in
+    Format.printf
+      "n=%d: before |S|=%d tot=%d max=%d; after |S|=%d tot=%d max=%d; coverage %s@."
+      b.Bist_core.Scheme.n b.before.count b.before.total_length
+      b.before.max_length b.after.count b.after.total_length b.after.max_length
+      (if b.coverage_verified then "preserved" else "NOT PRESERVED");
+    match out with
+    | Some path ->
+      Bist_harness.Seq_io.save_set b.sequences path;
+      Format.printf "wrote %s@." path
+    | None -> List.iter (fun s -> print_string (Bist_harness.Seq_io.to_string s ^ "--\n")) b.sequences
+  in
+  let n_opt =
+    Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N"
+           ~doc:"Repetition count; omit to sweep {2,4,8,16} and keep the best.")
+  in
+  let fast_flag =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Use the fast Procedure-2 strategy.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output set file.")
+  in
+  Cmd.v (Cmd.info "select" ~doc:"Run Procedure 1 + static compaction on T0")
+    Term.(const run $ circuit_arg $ seq_arg "t0" "Deterministic sequence T0."
+          $ n_opt $ seed_arg $ fast_flag $ out_arg)
+
+(* session *)
+
+let session_cmd =
+  let run spec set_file n =
+    let circuit = resolve_circuit spec in
+    let set = Bist_harness.Seq_io.load_set set_file in
+    let report = Bist_hw.Session.run ~n circuit set in
+    Format.printf "%a@." Bist_hw.Session.pp_report report
+  in
+  Cmd.v (Cmd.info "session" ~doc:"Simulate the on-chip BIST session (memory, controller, MISR)")
+    Term.(const run $ circuit_arg $ seq_arg "set" "Stored-sequence set file." $ n_arg)
+
+(* baseline *)
+
+let baseline_cmd =
+  let run spec t0_file block =
+    let circuit = resolve_circuit spec in
+    let universe = universe_of circuit in
+    let t0 = Bist_harness.Seq_io.load t0_file in
+    let fl = Bist_baselines.Full_load.evaluate universe ~t0 in
+    Format.printf "full-load: memory %d words, load %d cycles, coverage %.2f%%@."
+      fl.Bist_baselines.Full_load.memory_words fl.load_cycles (100.0 *. fl.coverage);
+    let pt = Bist_baselines.Partition.evaluate universe ~t0 ~block in
+    Format.printf
+      "partition(block=%d): %d blocks, total loaded %d, max block %d, coverage %s@."
+      block pt.Bist_baselines.Partition.num_blocks pt.total_loaded
+      pt.max_block_length
+      (if pt.coverage_preserved then "preserved" else "LOST");
+    let cycles = 8 * 4 * Bist_logic.Tseq.length t0 in
+    List.iter
+      (fun hold ->
+        let r = Bist_baselines.Lfsr_bist.evaluate universe ~cycles ~hold in
+        Format.printf "lfsr(hold=%d, %d cycles): coverage %.2f%%@." hold cycles
+          (100.0 *. r.Bist_baselines.Lfsr_bist.coverage))
+      [ 1; 4 ]
+  in
+  let block_arg =
+    Arg.(value & opt int 32 & info [ "block" ] ~docv:"B" ~doc:"Partition block size.")
+  in
+  Cmd.v (Cmd.info "baseline" ~doc:"Evaluate the Section-1 baselines on T0")
+    Term.(const run $ circuit_arg $ seq_arg "t0" "Deterministic sequence T0." $ block_arg)
+
+(* optimize *)
+
+let optimize_cmd =
+  let run spec out =
+    let circuit = resolve_circuit spec in
+    let optimized = Bist_circuit.Opt.cleanup circuit in
+    Format.eprintf "%d gates -> %d gates@."
+      (Bist_circuit.Netlist.num_gates circuit)
+      (Bist_circuit.Netlist.num_gates optimized);
+    let text = Bist_circuit.Bench_writer.to_string optimized in
+    match out with
+    | Some path ->
+      Bist_circuit.Bench_writer.to_file optimized path;
+      Format.printf "wrote %s@." path
+    | None -> print_string text
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .bench file.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Constant propagation + unobservable-logic sweep (behaviour-preserving)")
+    Term.(const run $ circuit_arg $ out_arg)
+
+(* vcd *)
+
+let vcd_cmd =
+  let run spec seq_file out =
+    let circuit = resolve_circuit spec in
+    let seq = Bist_harness.Seq_io.load seq_file in
+    Bist_sim.Vcd.dump_file circuit seq out;
+    Format.printf "wrote %s (%d timesteps)@." out (Bist_logic.Tseq.length seq)
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.vcd" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .vcd file.")
+  in
+  Cmd.v (Cmd.info "vcd" ~doc:"Dump a fault-free simulation trace as a VCD waveform")
+    Term.(const run $ circuit_arg $ seq_arg "seq" "Sequence to simulate." $ out_arg)
+
+(* verilog *)
+
+let verilog_cmd =
+  let run width depth n out =
+    let text =
+      Bist_hw.Verilog.emit
+        { Bist_hw.Verilog.module_name = "bist_expander"; width; depth; n }
+    in
+    match out with
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text);
+      Format.printf "wrote %s@." path
+    | None -> print_string text
+  in
+  let width_arg =
+    Arg.(required & opt (some int) None & info [ "width" ] ~docv:"M" ~doc:"Circuit primary inputs.")
+  in
+  let depth_arg =
+    Arg.(required & opt (some int) None & info [ "depth" ] ~docv:"D" ~doc:"Memory words (longest stored sequence).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .v file.")
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Emit synthesizable RTL for the on-chip expansion hardware")
+    Term.(const run $ width_arg $ depth_arg $ n_arg $ out_arg)
+
+(* figure1 *)
+
+let figure1_cmd =
+  let run spec t0_file n seed =
+    let circuit = resolve_circuit spec in
+    let universe = universe_of circuit in
+    let t0 =
+      match t0_file with
+      | Some f -> Bist_harness.Seq_io.load f
+      | None when Bist_circuit.Netlist.circuit_name circuit = "s27" ->
+        Bist_bench.S27.t0 ()
+      | None ->
+        Printf.eprintf "error: --t0 is required for circuits other than s27\n";
+        exit 2
+    in
+    print_string (Bist_harness.Figure1.render ~seed ~n ~t0 universe)
+  in
+  let t0_opt =
+    Arg.(value & opt (some string) None & info [ "t0" ] ~docv:"FILE" ~doc:"T0 file (defaults to the paper's for s27).")
+  in
+  Cmd.v (Cmd.info "figure1" ~doc:"Render Figure 1 (subsequence windows over T0)")
+    Term.(const run $ circuit_arg $ t0_opt $ n_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "bistgen" ~version:"1.0.0"
+      ~doc:"Built-in test sequence generation by loading and expansion of test subsequences"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; lint_cmd; optimize_cmd; faultsim_cmd; tgen_cmd;
+            expand_cmd; select_cmd; session_cmd; baseline_cmd; vcd_cmd;
+            verilog_cmd; figure1_cmd ]))

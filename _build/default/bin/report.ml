@@ -1,0 +1,38 @@
+(* Regenerate EXPERIMENTS.md from a full suite run.
+   Usage: report [OUTPUT.md] [circuit ...] *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let output, circuits =
+    match args with
+    | [] -> ("EXPERIMENTS.md", None)
+    | out :: rest when Filename.check_suffix out ".md" ->
+      (out, if rest = [] then None else Some rest)
+    | names -> ("EXPERIMENTS.md", Some names)
+  in
+  let results =
+    Bist_harness.Experiment.run_suite ?circuits
+      ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
+      ()
+  in
+  let robustness =
+    match circuits with
+    | Some _ -> "" (* partial runs skip the appendix *)
+    | None ->
+      Printf.eprintf "[robustness] re-running x298/x344/x382 under 3 seeds...\n%!";
+      let rows =
+        List.map
+          (fun name ->
+            Bist_harness.Experiment.robustness
+              (Option.get (Bist_bench.Registry.find name)))
+          [ "x298"; "x344"; "x382" ]
+      in
+      "\n" ^ Bist_harness.Markdown.robustness_md rows
+  in
+  let oc = open_out_bin output in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Bist_harness.Markdown.experiments_md results);
+      output_string oc robustness);
+  Printf.printf "wrote %s\n" output

@@ -1,0 +1,24 @@
+(* Regenerate the paper's tables and Figure 1 over the evaluation suite.
+   Usage: tables [circuit ...] — with no arguments, the full suite. *)
+
+let () =
+  let circuits =
+    match Array.to_list Sys.argv with
+    | _ :: [] -> None
+    | _ :: names -> Some names
+    | [] -> None
+  in
+  let results =
+    Bist_harness.Experiment.run_suite ?circuits
+      ~progress:(fun line -> Printf.eprintf "%s\n%!" line)
+      ()
+  in
+  print_string (Bist_harness.Tables.table3 results);
+  print_newline ();
+  print_string (Bist_harness.Tables.table4 results);
+  print_newline ();
+  print_string (Bist_harness.Tables.table5 results);
+  print_newline ();
+  print_string (Bist_harness.Tables.comparison results);
+  print_newline ();
+  print_string (Bist_harness.Figure1.render_s27 ())

@@ -1,0 +1,1 @@
+examples/atspeed_session.ml: Bist_bench Bist_circuit Bist_core Bist_fault Bist_hw Bist_logic Bist_util Format List String

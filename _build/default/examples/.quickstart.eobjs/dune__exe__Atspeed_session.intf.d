@@ -1,0 +1,1 @@
+examples/atspeed_session.mli:

@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: Bist_baselines Bist_bench Bist_core Bist_fault Bist_logic Bist_tgen Bist_util Format List Option Printf

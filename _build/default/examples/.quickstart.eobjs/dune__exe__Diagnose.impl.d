@@ -1,0 +1,1 @@
+examples/diagnose.ml: Bist_circuit Bist_fault Bist_hw Bist_logic Bist_util Format String

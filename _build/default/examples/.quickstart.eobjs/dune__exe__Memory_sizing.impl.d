@@ -1,0 +1,1 @@
+examples/memory_sizing.ml: Bist_bench Bist_circuit Bist_core Bist_fault Bist_hw Bist_logic Bist_tgen Bist_util Format List Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bist_bench Bist_circuit Bist_core Bist_fault Bist_logic Format List String

@@ -1,0 +1,1 @@
+examples/s27_walkthrough.ml: Bist_bench Bist_core Bist_fault Bist_harness Bist_logic Bist_util Format List Option String

@@ -1,0 +1,59 @@
+(* Scenario: sizing the on-chip test memory.
+
+   A designer adding BIST to a part has a deterministic sequence T0 and
+   must decide between (a) storing all of T0 on-chip and (b) the paper's
+   scheme — store only short subsequences and expand them on-chip. This
+   example generates T0 for a mid-size circuit, runs the scheme for each
+   n in {2,4,8,16}, and prints memory and load-time costs side by side,
+   including the (circuit-independent) expansion hardware. *)
+
+let () =
+  let entry = Option.get (Bist_bench.Registry.find "x344") in
+  let circuit = entry.circuit ()
+  and name = entry.name in
+  let universe = Bist_fault.Universe.collapsed circuit in
+  let num_inputs = Bist_circuit.Netlist.num_inputs circuit in
+
+  let rng = Bist_util.Rng.create 99 in
+  let t0_raw, _ = Bist_tgen.Engine.generate ~rng universe in
+  let t0, _ = Bist_tgen.Compaction.compact ~max_trials:200 universe t0_raw in
+  let t0_len = Bist_logic.Tseq.length t0 in
+  Format.printf "%s: |T0| = %d vectors, %d primary inputs@.@." name t0_len num_inputs;
+
+  let full_bits = Bist_hw.Area.storage_for_full_t0 ~num_inputs ~t0_len in
+  Format.printf "baseline (store all of T0): %d memory bits, %d load cycles@.@."
+    full_bits t0_len;
+
+  let table =
+    Bist_util.Ascii_table.create
+      ~headers:
+        [ ("n", Bist_util.Ascii_table.Right);
+          ("|S|", Bist_util.Ascii_table.Right);
+          ("max len", Bist_util.Ascii_table.Right);
+          ("memory bits", Bist_util.Ascii_table.Right);
+          ("vs full", Bist_util.Ascii_table.Right);
+          ("load cycles", Bist_util.Ascii_table.Right);
+          ("at-speed len", Bist_util.Ascii_table.Right);
+          ("hw gate eq.", Bist_util.Ascii_table.Right) ]
+  in
+  List.iter
+    (fun n ->
+      let run = Bist_core.Scheme.execute ~seed:5 ~n ~t0 universe in
+      let max_len = max 1 run.Bist_core.Scheme.after.max_length in
+      let area = Bist_hw.Area.estimate ~num_inputs ~max_seq_len:max_len ~n in
+      Bist_util.Ascii_table.add_row table
+        [ string_of_int n;
+          string_of_int run.after.count;
+          string_of_int run.after.max_length;
+          string_of_int area.Bist_hw.Area.memory_bits;
+          Printf.sprintf "%.1f%%"
+            (100.0 *. float_of_int area.memory_bits /. float_of_int full_bits);
+          string_of_int run.after.total_length;
+          string_of_int run.expanded_total_length;
+          string_of_int area.gate_equivalents ])
+    [ 2; 4; 8; 16 ];
+  print_string (Bist_util.Ascii_table.render table);
+  Format.printf
+    "@.The memory need only hold the longest stored sequence; the tester@.\
+     loads 'load cycles' vectors in total, while the circuit receives@.\
+     'at-speed len' vectors at functional speed.@."

@@ -1,0 +1,51 @@
+(* Quickstart: the whole scheme on one page.
+
+   Parse a circuit, take a deterministic test sequence T0, derive the
+   stored-sequence set S, and check that the expanded sequences preserve
+   T0's fault coverage. Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A circuit: s27, the ISCAS-89 benchmark the paper uses as its
+     worked example (4 inputs, 3 flip-flops, 1 output). *)
+  let circuit = Bist_bench.S27.circuit () in
+  Format.printf "circuit: %a@." Bist_circuit.Stats.pp
+    (Bist_circuit.Stats.of_netlist circuit);
+
+  (* 2. The fault universe: collapsed single stuck-at faults. *)
+  let universe = Bist_fault.Universe.collapsed circuit in
+  Format.printf "fault universe: %d collapsed faults@."
+    (Bist_fault.Universe.size universe);
+
+  (* 3. A deterministic test sequence T0 — here the paper's own. *)
+  let t0 = Bist_bench.S27.t0 () in
+  let table = Bist_fault.Fault_table.compute universe t0 in
+  Format.printf "T0: %d vectors, detects %d faults@."
+    (Bist_logic.Tseq.length t0)
+    (Bist_fault.Fault_table.num_detected table);
+
+  (* 4. Sequence expansion (Table 1 of the paper): a stored sequence S of
+     length L expands on-chip into Sexp of length 8nL. *)
+  let s = Bist_bench.S27.table1_s () in
+  let sexp = Bist_core.Ops.expand ~n:2 s in
+  Format.printf "@.Table 1 example: S = (%s), n = 2:@."
+    (String.concat ", " (Bist_logic.Tseq.to_strings s));
+  Format.printf "Sexp (%d vectors) = %s@."
+    (Bist_logic.Tseq.length sexp)
+    (String.concat " " (Bist_logic.Tseq.to_strings sexp));
+
+  (* 5. The full scheme: Procedure 1 + static compaction, sweeping n. *)
+  let run = Bist_core.Scheme.best_n ~seed:7 ~t0 universe in
+  Format.printf
+    "@.best n = %d: %d stored sequences, total %d vectors (%.0f%% of T0), \
+     longest %d (%.0f%% of T0)@."
+    run.Bist_core.Scheme.n run.after.count run.after.total_length
+    (100.0 *. Bist_core.Scheme.ratio_total run)
+    run.after.max_length
+    (100.0 *. Bist_core.Scheme.ratio_max run);
+  Format.printf "at-speed test length: %d vectors; coverage preserved: %b@."
+    run.expanded_total_length run.coverage_verified;
+  List.iteri
+    (fun i s ->
+      Format.printf "  S%d = (%s)@." (i + 1)
+        (String.concat ", " (Bist_logic.Tseq.to_strings s)))
+    run.sequences

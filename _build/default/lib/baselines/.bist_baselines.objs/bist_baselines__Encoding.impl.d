@@ -1,0 +1,1 @@
+lib/baselines/encoding.ml: Array Bist_logic Bist_util List

@@ -1,0 +1,1 @@
+lib/baselines/encoding.mli: Bist_logic

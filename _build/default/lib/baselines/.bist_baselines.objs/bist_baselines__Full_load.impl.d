@@ -1,0 +1,1 @@
+lib/baselines/full_load.ml: Bist_fault Bist_logic Bist_util

@@ -1,0 +1,1 @@
+lib/baselines/full_load.mli: Bist_fault Bist_logic

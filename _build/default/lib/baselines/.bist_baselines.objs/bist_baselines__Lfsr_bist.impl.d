@@ -1,0 +1,1 @@
+lib/baselines/lfsr_bist.ml: Array Bist_circuit Bist_fault Bist_hw Bist_logic Bist_util Int List

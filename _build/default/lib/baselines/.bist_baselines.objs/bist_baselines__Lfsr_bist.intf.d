@@ -1,0 +1,1 @@
+lib/baselines/lfsr_bist.mli: Bist_fault

@@ -1,0 +1,1 @@
+lib/baselines/partition.ml: Bist_fault Bist_logic Bist_util List

@@ -1,0 +1,1 @@
+lib/baselines/partition.mli: Bist_fault Bist_logic

@@ -1,0 +1,71 @@
+module Tseq = Bist_logic.Tseq
+module Vector = Bist_logic.Vector
+module T = Bist_logic.Ternary
+
+type encoded = {
+  width : int;
+  first : bool array;
+  deltas : int list array; (* changed positions vs previous vector *)
+}
+
+type report = {
+  raw_bits : int;
+  encoded_bits : int;
+  compression_ratio : float;
+  decode_cycles_per_vector : float;
+}
+
+let to_bools vec =
+  Array.init (Vector.width vec) (fun i ->
+      match Vector.get vec i with
+      | T.One -> true
+      | T.Zero -> false
+      | T.X -> invalid_arg "Encoding.encode: X in stored sequence")
+
+let encode seq =
+  let len = Tseq.length seq in
+  if len = 0 then invalid_arg "Encoding.encode: empty sequence";
+  let width = Tseq.width seq in
+  let rows = Array.init len (fun u -> to_bools (Tseq.get seq u)) in
+  let deltas =
+    Array.init (len - 1) (fun u ->
+        let changed = ref [] in
+        for i = width - 1 downto 0 do
+          if rows.(u).(i) <> rows.(u + 1).(i) then changed := i :: !changed
+        done;
+        !changed)
+  in
+  (* Cost model: per delta, a count field of ceil(log2 (width+1)) bits
+     plus one position index of ceil(log2 width) bits per changed bit. *)
+  let count_bits = Bist_util.Bits.width_for (width + 1) in
+  let pos_bits = Bist_util.Bits.width_for width in
+  let encoded_bits =
+    width
+    + Array.fold_left
+        (fun acc changed -> acc + count_bits + (pos_bits * List.length changed))
+        0 deltas
+  in
+  let raw_bits = len * width in
+  (* The decoder reconstructs each vector by applying its changed
+     positions serially: one cycle per position plus one to emit. *)
+  let decode_cycles =
+    Array.fold_left (fun acc d -> acc +. float_of_int (1 + List.length d)) 1.0 deltas
+  in
+  ( { width; first = rows.(0); deltas },
+    {
+      raw_bits;
+      encoded_bits;
+      compression_ratio = float_of_int encoded_bits /. float_of_int raw_bits;
+      decode_cycles_per_vector = decode_cycles /. float_of_int len;
+    } )
+
+let decode { width; first; deltas } =
+  let current = Array.copy first in
+  let vec_of row = Vector.init width (fun i -> T.of_bool row.(i)) in
+  let out = Array.make (Array.length deltas + 1) (vec_of current) in
+  Array.iteri
+    (fun u changed ->
+      List.iter (fun i -> current.(i) <- not current.(i)) changed;
+      out.(u + 1) <- vec_of current)
+    deltas;
+  Tseq.of_vectors out

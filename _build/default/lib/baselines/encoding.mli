@@ -1,0 +1,31 @@
+(** Baseline: store [T0] compressed (the approach of Iyengar et al. [5]).
+
+    Section 1 notes that encoding an off-chip sequence shrinks the test
+    memory but the on-chip decoder typically cannot sustain one vector
+    per functional clock, so at-speed application is lost. This module
+    implements a representative encoder — first vector raw, every later
+    vector as an XOR-delta over its predecessor, sparse deltas encoded as
+    position lists — and reports the memory it would need, for comparison
+    with the scheme's memory in the examples and benches.
+
+    The decoder ({!decode}) restores the sequence exactly; the
+    [decode_cycles_per_vector] field models the serial position-by-
+    position reconstruction that breaks at-speed operation. *)
+
+type encoded
+
+type report = {
+  raw_bits : int;  (** [|T0| * m]. *)
+  encoded_bits : int;
+  compression_ratio : float;  (** encoded / raw, lower is better. *)
+  decode_cycles_per_vector : float;
+      (** Average decoder cycles needed per reconstructed vector; > 1
+          means the decoder cannot feed the circuit at-speed. *)
+}
+
+val encode : Bist_logic.Tseq.t -> encoded * report
+(** Raises [Invalid_argument] on sequences with X values (a stored
+    sequence is always fully specified). *)
+
+val decode : encoded -> Bist_logic.Tseq.t
+(** Exact inverse of {!encode}. *)

@@ -1,0 +1,16 @@
+(** Baseline: store all of [T0] on-chip and apply it once at-speed.
+
+    This is the "guaranteed coverage" comparator of Section 1: it detects
+    exactly what [T0] detects, but the memory must hold [|T0|] words and
+    the tester spends [|T0|] load cycles. *)
+
+type report = {
+  memory_words : int;
+  memory_bits : int;
+  load_cycles : int;
+  at_speed_cycles : int;
+  detected : int;
+  coverage : float;
+}
+
+val evaluate : Bist_fault.Universe.t -> t0:Bist_logic.Tseq.t -> report

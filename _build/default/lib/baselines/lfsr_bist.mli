@@ -1,0 +1,28 @@
+(** Baselines: pure LFSR BIST, and LFSR BIST with the hold option of
+    Nachman et al. [3].
+
+    These are the "no guarantee" comparators of Section 1: no memory, no
+    loading, but fault coverage saturates below what a deterministic
+    sequence achieves. The hold variant repeats each pseudo-random vector
+    for [hold] cycles, which was shown in [3] to help sequential circuits
+    walk deeper into their state space. *)
+
+type report = {
+  applied_cycles : int;
+  detected : int;
+  coverage : float;
+}
+
+val evaluate :
+  ?seed:int -> Bist_fault.Universe.t -> cycles:int -> hold:int -> report
+(** [hold = 1] is plain LFSR BIST. [cycles] counts applied vectors
+    (after holding). *)
+
+val coverage_curve :
+  ?seed:int ->
+  Bist_fault.Universe.t ->
+  checkpoints:int list ->
+  hold:int ->
+  (int * int) list
+(** Detected-fault count after each checkpoint cycle count (one
+    continuous run, monotone in cycles). *)

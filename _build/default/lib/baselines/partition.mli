@@ -1,0 +1,25 @@
+(** Baseline: partition [T0] into separately-loaded subsequences.
+
+    Section 1 discusses this alternative: split [T0] into contiguous
+    blocks of at most [block] vectors, load and apply each independently
+    from the unknown state. Because a block loses the warm-up its prefix
+    provided, faults can escape; this implementation then extends blocks
+    backwards (re-including preceding vectors of [T0]) until the union of
+    the blocks' detections again covers everything [T0] detects — which
+    in the worst case makes a block the whole prefix of [T0].
+
+    The paper's two criticisms are exactly what the report exposes:
+    the total loaded length is at least [|T0|] (every vector is loaded at
+    least once, often more after extension), and the maximum block length
+    can grow well past the nominal [block]. *)
+
+type report = {
+  block : int;  (** Requested nominal block size. *)
+  num_blocks : int;
+  total_loaded : int;  (** Sum of final block lengths, >= |T0|. *)
+  max_block_length : int;  (** After extension, >= block is possible. *)
+  detected : int;
+  coverage_preserved : bool;
+}
+
+val evaluate : Bist_fault.Universe.t -> t0:Bist_logic.Tseq.t -> block:int -> report

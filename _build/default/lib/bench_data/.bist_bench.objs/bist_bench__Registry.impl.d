@@ -1,0 +1,1 @@
+lib/bench_data/registry.ml: Bist_circuit List S27 Synth

@@ -1,0 +1,1 @@
+lib/bench_data/registry.mli: Bist_circuit

@@ -1,0 +1,1 @@
+lib/bench_data/s27.mli: Bist_circuit Bist_logic

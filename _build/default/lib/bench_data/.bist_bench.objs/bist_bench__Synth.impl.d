@@ -1,0 +1,1 @@
+lib/bench_data/synth.ml: Array Bist_circuit Bist_util Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/bench_data/synth.mli: Bist_circuit

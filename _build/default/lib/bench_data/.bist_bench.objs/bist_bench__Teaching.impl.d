@@ -1,0 +1,1 @@
+lib/bench_data/teaching.ml: Bist_circuit

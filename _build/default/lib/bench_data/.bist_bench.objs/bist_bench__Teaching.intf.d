@@ -1,0 +1,1 @@
+lib/bench_data/teaching.mli: Bist_circuit

@@ -1,0 +1,59 @@
+type entry = {
+  name : string;
+  paper_name : string;
+  circuit : unit -> Bist_circuit.Netlist.t;
+  scaled : bool;
+}
+
+let s27 =
+  { name = "s27"; paper_name = "s27"; circuit = S27.circuit; scaled = false }
+
+(* Structural profiles of the ISCAS-89 circuits used in the paper
+   (PIs / POs / FFs / gates). Seeds are arbitrary but frozen. *)
+let profiles =
+  [
+    ("x298", "s298", 3, 6, 14, 119, false, 2981);
+    ("x344", "s344", 9, 11, 15, 160, false, 3441);
+    ("x382", "s382", 3, 6, 21, 158, false, 3821);
+    ("x400", "s400", 3, 6, 21, 164, false, 4001);
+    ("x526", "s526", 3, 6, 21, 193, false, 5261);
+    ("x641", "s641", 35, 24, 19, 379, false, 6411);
+    ("x820", "s820", 18, 19, 5, 289, false, 8201);
+    ("x1196", "s1196", 14, 14, 18, 529, false, 11961);
+    ("x1423", "s1423", 17, 5, 74, 657, false, 14231);
+    ("x1488", "s1488", 8, 19, 6, 653, false, 14881);
+    ("x5378", "s5378", 35, 49, 179, 2779, false, 53781);
+    (* Real s35932: 35 PIs, 320 POs, 1728 FFs, ~16k gates; scaled ~4x. *)
+    ("x35932", "s35932", 35, 80, 430, 4000, true, 359321);
+  ]
+
+let entry_of_profile (name, paper_name, pis, pos, ffs, gates, scaled, seed) =
+  let profile =
+    {
+      Synth.name;
+      num_inputs = pis;
+      num_outputs = pos;
+      num_ffs = ffs;
+      num_gates = gates;
+      sync_fraction = Synth.default_sync_fraction;
+      seed;
+    }
+  in
+  (* Memoize: generation is deterministic but not free for the big ones. *)
+  let cache = ref None in
+  let circuit () =
+    match !cache with
+    | Some c -> c
+    | None ->
+      let c = Synth.generate profile in
+      cache := Some c;
+      c
+  in
+  { name; paper_name; circuit; scaled }
+
+let evaluation_suite () = List.map entry_of_profile profiles
+
+let all () = s27 :: evaluation_suite ()
+
+let find key =
+  List.find_opt (fun e -> e.name = key || e.paper_name = key) (all ())

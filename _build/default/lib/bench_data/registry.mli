@@ -1,0 +1,27 @@
+(** The evaluation circuit suite.
+
+    One entry per circuit of the paper's Tables 3-5. [s27] is the real
+    ISCAS-89 circuit (it appears in the paper itself); the twelve
+    evaluated circuits are synthetic stand-ins generated to the published
+    ISCAS-89 structural profiles and named [x298 .. x35932] to make the
+    substitution explicit. [x35932]'s profile is scaled down (about a
+    quarter of the real gate count) to keep the full experiment suite
+    runnable in CI; the scaling is recorded here and in EXPERIMENTS.md. *)
+
+type entry = {
+  name : string;  (** Our circuit name, e.g. ["x298"]. *)
+  paper_name : string;  (** The ISCAS-89 circuit it stands in for. *)
+  circuit : unit -> Bist_circuit.Netlist.t;  (** Deterministic. *)
+  scaled : bool;  (** True when the profile was reduced for runtime. *)
+}
+
+val s27 : entry
+
+val evaluation_suite : unit -> entry list
+(** The twelve Table-3 stand-ins, smallest first. *)
+
+val all : unit -> entry list
+(** [s27] followed by the evaluation suite. *)
+
+val find : string -> entry option
+(** Look up by [name] or [paper_name]. *)

@@ -1,0 +1,21 @@
+(** The ISCAS-89 benchmark circuit s27 and the paper's worked example.
+
+    s27 is small enough that the paper prints it in full: Table 2 gives a
+    10-vector test sequence [T0] together with the time unit at which each
+    fault is first detected, and Section 3.1 walks Procedure 2 through
+    fault [f10]. This module reproduces the circuit and that sequence
+    exactly. *)
+
+val bench_text : string
+(** The [.bench] source of s27 (4 PIs G0..G3, 1 PO G17, 3 DFFs). *)
+
+val circuit : unit -> Bist_circuit.Netlist.t
+
+val t0 : unit -> Bist_logic.Tseq.t
+(** The paper's Table 2 sequence:
+    0111 1001 0111 1001 0100 1011 1001 0000 0000 1011,
+    with input order G0 G1 G2 G3. *)
+
+val table1_s : unit -> Bist_logic.Tseq.t
+(** The sequence [S = (000, 110)] of the paper's Table 1 (a 3-input
+    example unrelated to s27, used to illustrate expansion). *)

@@ -1,0 +1,218 @@
+module Rng = Bist_util.Rng
+module Gate = Bist_circuit.Gate
+module Builder = Bist_circuit.Builder
+
+type profile = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  num_ffs : int;
+  num_gates : int;
+  sync_fraction : float;
+  seed : int;
+}
+
+let default_sync_fraction = 0.85
+
+type state = {
+  rng : Rng.t;
+  builder : Builder.t;
+  mutable signals : string array; (* every defined signal, definition order *)
+  mutable n_signals : int;
+  used : (string, unit) Hashtbl.t; (* signals with at least one consumer *)
+  mutable gate_counter : int;
+  pi_not : (string, string) Hashtbl.t; (* cached NOT(pi) gates *)
+}
+
+let push st name =
+  if st.n_signals = Array.length st.signals then begin
+    let bigger = Array.make (max 16 (2 * st.n_signals)) "" in
+    Array.blit st.signals 0 bigger 0 st.n_signals;
+    st.signals <- bigger
+  end;
+  st.signals.(st.n_signals) <- name;
+  st.n_signals <- st.n_signals + 1
+
+let mark_used st name = Hashtbl.replace st.used name ()
+
+(* Recency-biased pick: squaring the uniform draw favours signals defined
+   recently, which stretches cones into multiple levels instead of letting
+   every gate hang off the primary inputs. *)
+let pick_signal st =
+  let u = Rng.float st.rng in
+  let idx = int_of_float (float_of_int st.n_signals *. (1.0 -. (u *. u))) in
+  st.signals.(min idx (st.n_signals - 1))
+
+let pick_distinct st n =
+  let rec pick acc tries =
+    if List.length acc >= n then acc
+    else
+      let s = pick_signal st in
+      if List.mem s acc && tries < 8 then pick acc (tries + 1)
+      else pick (s :: acc) 0
+  in
+  pick [] 0
+
+let fresh_gate st = begin
+  let name = Printf.sprintf "N%d" st.gate_counter in
+  st.gate_counter <- st.gate_counter + 1;
+  name
+end
+
+let add_gate st kind fanins =
+  let name = fresh_gate st in
+  Builder.add_gate st.builder ~output:name kind fanins;
+  List.iter (mark_used st) fanins;
+  push st name;
+  name
+
+let gate_kinds =
+  [| (Gate.And, 24); (Gate.Nand, 18); (Gate.Or, 20); (Gate.Nor, 18);
+     (Gate.Not, 12); (Gate.Xor, 4); (Gate.Xnor, 2); (Gate.Buf, 2) |]
+
+let total_weight = Array.fold_left (fun acc (_, w) -> acc + w) 0 gate_kinds
+
+let sample_kind rng =
+  let r = Rng.int rng total_weight in
+  let rec go i acc =
+    let kind, w = gate_kinds.(i) in
+    if r < acc + w then kind else go (i + 1) (acc + w)
+  in
+  go 0 0
+
+let sample_arity rng kind =
+  match kind with
+  | Gate.Not | Gate.Buf -> 1
+  | _ ->
+    let r = Rng.int rng 10 in
+    if r < 7 then 2 else if r < 9 then 3 else 4
+
+let add_random_gate st =
+  let kind = sample_kind st.rng in
+  let arity = sample_arity st.rng kind in
+  ignore (add_gate st kind (pick_distinct st arity) : string)
+
+let pi_inverter st pi =
+  match Hashtbl.find_opt st.pi_not pi with
+  | Some g -> g
+  | None ->
+    let g = add_gate st Gate.Not [ pi ] in
+    Hashtbl.add st.pi_not pi g;
+    g
+
+(* Prefer primary inputs for load-mux data: directly controllable values
+   are what lets test generation steer the state. *)
+let pick_data st pis =
+  if Rng.bool st.rng then Rng.choose st.rng pis else pick_signal st
+
+(* D = load·data + ¬load·feedback, with [load] a primary input: one cycle
+   with the load line asserted copies a controllable value into the
+   flip-flop, which is how real register files become initializable. *)
+let add_load_mux st ~pis =
+  let load = Rng.choose st.rng pis in
+  let nload = pi_inverter st load in
+  let data = pick_data st pis in
+  let fb = pick_signal st in
+  let a1 = add_gate st Gate.And [ load; data ] in
+  let a2 = add_gate st Gate.And [ nload; fb ] in
+  add_gate st Gate.Or [ a1; a2 ]
+
+(* D gate with a PI on a controlling side: forces one known value. *)
+let add_sync_gate st ~pis =
+  let kind =
+    match Rng.int st.rng 4 with
+    | 0 -> Gate.And
+    | 1 -> Gate.Or
+    | 2 -> Gate.Nand
+    | _ -> Gate.Nor
+  in
+  add_gate st kind [ Rng.choose st.rng pis; pick_signal st ]
+
+let generate p =
+  if p.num_inputs < 1 || p.num_outputs < 1 then
+    invalid_arg "Synth.generate: need at least one input and one output";
+  let rng = Rng.create p.seed in
+  let builder = Builder.create ~name:p.name in
+  let st =
+    { rng; builder; signals = Array.make 64 ""; n_signals = 0;
+      used = Hashtbl.create 256; gate_counter = 0; pi_not = Hashtbl.create 8 }
+  in
+  let pis = Array.init p.num_inputs (fun i -> Printf.sprintf "I%d" i) in
+  Array.iter
+    (fun pi ->
+      Builder.add_input builder pi;
+      push st pi)
+    pis;
+  let ffs = Array.init p.num_ffs (fun i -> Printf.sprintf "F%d" i) in
+  Array.iter (push st) ffs;
+  (* Reserve budget for the D-input structures created below: load-mux
+     FFs take ~4 gates, sync FFs one. *)
+  let n_mux = int_of_float (float_of_int p.num_ffs *. p.sync_fraction *. 0.6) in
+  let n_sync =
+    min (p.num_ffs - n_mux)
+      (int_of_float (ceil (float_of_int p.num_ffs *. p.sync_fraction)) - n_mux)
+  in
+  let reserved = (4 * n_mux) + n_sync in
+  let main_gates = max 1 (p.num_gates - reserved) in
+  for _ = 1 to main_gates do
+    add_random_gate st
+  done;
+  Array.iteri
+    (fun i ff ->
+      let d =
+        if i < n_mux then add_load_mux st ~pis
+        else if i < n_mux + n_sync then add_sync_gate st ~pis
+        else begin
+          let s = pick_signal st in
+          mark_used st s;
+          s
+        end
+      in
+      Builder.add_gate builder ~output:ff Gate.Dff [ d ])
+    ffs;
+  (* Primary outputs: every dangling signal must be observable, so the
+     dangling set is partitioned across the POs and each partition is
+     folded into a small collector tree. XOR dominates the collectors
+     because it propagates any single fault effect regardless of the
+     other tree inputs; a pure OR collector would mask almost
+     everything. *)
+  let dangling =
+    Array.to_list (Array.sub st.signals 0 st.n_signals)
+    |> List.filter (fun s ->
+           (not (Hashtbl.mem st.used s)) && not (Array.exists (String.equal s) pis))
+  in
+  let collector_kind () =
+    let r = Rng.int rng 10 in
+    if r < 6 then Gate.Xor else if r < 8 then Gate.Or else Gate.And
+  in
+  let rec fold_tree = function
+    | [] -> assert false
+    | [ s ] -> s
+    | signals ->
+      let rec pair acc = function
+        | a :: b :: rest -> pair (add_gate st (collector_kind ()) [ a; b ] :: acc) rest
+        | [ a ] -> a :: acc
+        | [] -> acc
+      in
+      fold_tree (List.rev (pair [] signals))
+  in
+  let outputs =
+    if List.length dangling >= p.num_outputs then begin
+      let arr = Array.of_list dangling in
+      Rng.shuffle_in_place rng arr;
+      let groups = Array.make p.num_outputs [] in
+      Array.iteri (fun i s -> groups.(i mod p.num_outputs) <- s :: groups.(i mod p.num_outputs)) arr;
+      Array.to_list (Array.map fold_tree groups)
+    end
+    else begin
+      let extra = ref [] in
+      while List.length dangling + List.length !extra < p.num_outputs do
+        let s = pick_signal st in
+        if (not (List.mem s dangling)) && not (List.mem s !extra) then
+          extra := s :: !extra
+      done;
+      dangling @ !extra
+    end
+  in
+  List.iter (fun s -> Builder.add_output builder s) outputs;
+  Builder.finalize builder

@@ -1,0 +1,37 @@
+(** Synthetic synchronous sequential benchmark circuits.
+
+    The paper evaluates on ISCAS-89 netlists, which are not available
+    here; this generator produces random gate-level circuits matched to a
+    published profile (PI / PO / flip-flop / gate counts). Circuits are
+    deterministic in the seed.
+
+    Structure, chosen so the circuits behave like the real benchmarks
+    under three-valued sequential test generation:
+
+    - gates draw fanins with a recency bias, giving multi-level cones;
+    - a configurable fraction of flip-flops get a {e synchronizing} D
+      input — a gate with a controlling side driven directly by a primary
+      input — so the state can be progressively initialized from the
+      all-X state, as in the real benchmarks;
+    - every gate output is observable: leftover unconsumed signals become
+      primary outputs or are folded into an OR collector tree feeding the
+      last output. *)
+
+type profile = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  num_ffs : int;
+  num_gates : int;  (** Target combinational gate count (approximate). *)
+  sync_fraction : float;
+      (** Fraction of flip-flops given a synchronizing D gate. *)
+  seed : int;
+}
+
+val default_sync_fraction : float
+(** 0.7 — calibrated so random circuits reach coverages comparable to the
+    ISCAS-89 circuits under random/deterministic test generation. *)
+
+val generate : profile -> Bist_circuit.Netlist.t
+(** Raises [Invalid_argument] on nonsensical profiles (no inputs or no
+    outputs). *)

@@ -1,0 +1,94 @@
+let parse name text = Bist_circuit.Bench_parser.parse_string ~name text
+
+let counter3 () =
+  parse "counter3"
+    "# 3-bit synchronous counter with synchronous reset\n\
+     INPUT(rst)\n\
+     INPUT(en)\n\
+     OUTPUT(q0)\n\
+     OUTPUT(q1)\n\
+     OUTPUT(q2)\n\
+     q0 = DFF(d0)\n\
+     q1 = DFF(d1)\n\
+     q2 = DFF(d2)\n\
+     nrst = NOT(rst)\n\
+     t0 = XOR(q0, en)\n\
+     c0 = AND(en, q0)\n\
+     t1 = XOR(q1, c0)\n\
+     c1 = AND(c0, q1)\n\
+     t2 = XOR(q2, c1)\n\
+     d0 = AND(t0, nrst)\n\
+     d1 = AND(t1, nrst)\n\
+     d2 = AND(t2, nrst)\n"
+
+let shift4 () =
+  parse "shift4"
+    "# 4-stage shift register\n\
+     INPUT(sin)\n\
+     OUTPUT(q0)\n\
+     OUTPUT(q1)\n\
+     OUTPUT(q2)\n\
+     OUTPUT(q3)\n\
+     q0 = DFF(b0)\n\
+     q1 = DFF(b1)\n\
+     q2 = DFF(b2)\n\
+     q3 = DFF(b3)\n\
+     b0 = BUF(sin)\n\
+     b1 = BUF(q0)\n\
+     b2 = BUF(q1)\n\
+     b3 = BUF(q2)\n"
+
+let gray3 () =
+  parse "gray3"
+    "# 3-bit Gray-code counter: binary core, Gray output stage\n\
+     INPUT(rst)\n\
+     INPUT(en)\n\
+     OUTPUT(g0)\n\
+     OUTPUT(g1)\n\
+     OUTPUT(g2)\n\
+     b0 = DFF(d0)\n\
+     b1 = DFF(d1)\n\
+     b2 = DFF(d2)\n\
+     nrst = NOT(rst)\n\
+     t0 = XOR(b0, en)\n\
+     c0 = AND(en, b0)\n\
+     t1 = XOR(b1, c0)\n\
+     c1 = AND(c0, b1)\n\
+     t2 = XOR(b2, c1)\n\
+     d0 = AND(t0, nrst)\n\
+     d1 = AND(t1, nrst)\n\
+     d2 = AND(t2, nrst)\n\
+     g0 = XOR(b0, b1)\n\
+     g1 = XOR(b1, b2)\n\
+     g2 = BUF(b2)\n"
+
+let johnson4 () =
+  parse "johnson4"
+    "# 4-stage Johnson counter (twisted ring)\n\
+     INPUT(rst)\n\
+     OUTPUT(j0)\n\
+     OUTPUT(j1)\n\
+     OUTPUT(j2)\n\
+     OUTPUT(j3)\n\
+     j0 = DFF(d0)\n\
+     j1 = DFF(d1)\n\
+     j2 = DFF(d2)\n\
+     j3 = DFF(d3)\n\
+     nrst = NOT(rst)\n\
+     nj3 = NOT(j3)\n\
+     d0 = AND(nj3, nrst)\n\
+     d1 = AND(j0, nrst)\n\
+     d2 = AND(j1, nrst)\n\
+     d3 = AND(j2, nrst)\n"
+
+let parity_fsm () =
+  parse "parity_fsm"
+    "# running parity with synchronous reset\n\
+     INPUT(rst)\n\
+     INPUT(d)\n\
+     OUTPUT(p)\n\
+     s = DFF(ns)\n\
+     nrst = NOT(rst)\n\
+     x = XOR(s, d)\n\
+     ns = AND(x, nrst)\n\
+     p = BUF(s)\n"

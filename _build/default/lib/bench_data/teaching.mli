@@ -1,0 +1,28 @@
+(** Small hand-written sequential circuits for examples and tests.
+
+    Unlike the synthetic benchmarks these have documented behaviour, which
+    makes them useful for testing the simulator's sequential semantics
+    (synchronization from the all-X state in particular). *)
+
+val counter3 : unit -> Bist_circuit.Netlist.t
+(** 3-bit synchronous up-counter. Inputs [rst] (synchronous reset, active
+    high) and [en] (count enable); outputs the counter bits [q0..q2]
+    (q0 is the least significant). Holding [rst = 1] for one cycle drives
+    the state to 000 from any (even unknown) state. *)
+
+val shift4 : unit -> Bist_circuit.Netlist.t
+(** 4-stage shift register. Input [sin]; outputs all four taps
+    [q0..q3]. Four cycles of known input fully synchronize it. *)
+
+val parity_fsm : unit -> Bist_circuit.Netlist.t
+(** Serial parity accumulator. Inputs [rst] and [d]; output [p] is the
+    running XOR of [d] since the last reset. *)
+
+val gray3 : unit -> Bist_circuit.Netlist.t
+(** 3-bit Gray-code counter: exactly one output bit changes per enabled
+    cycle. Inputs [rst] and [en]; outputs [g0..g2]. Internally a binary
+    counter with a Gray output stage, so it also exercises XOR cones. *)
+
+val johnson4 : unit -> Bist_circuit.Netlist.t
+(** 4-stage Johnson (twisted-ring) counter with synchronous reset.
+    Inputs [rst]; outputs [j0..j3]; cycles through 8 states. *)

@@ -1,0 +1,1 @@
+lib/bist_hw/area.ml: Bist_util Format

@@ -1,0 +1,1 @@
+lib/bist_hw/area.mli: Format

@@ -1,0 +1,1 @@
+lib/bist_hw/controller.ml: Array Bist_logic Memory

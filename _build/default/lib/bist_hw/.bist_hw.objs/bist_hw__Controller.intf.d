@@ -1,0 +1,1 @@
+lib/bist_hw/controller.mli: Bist_logic Memory

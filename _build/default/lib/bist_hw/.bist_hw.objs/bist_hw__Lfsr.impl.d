@@ -1,0 +1,1 @@
+lib/bist_hw/lfsr.ml: Array Bist_logic List

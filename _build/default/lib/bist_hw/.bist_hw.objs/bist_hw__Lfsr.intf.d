@@ -1,0 +1,1 @@
+lib/bist_hw/lfsr.mli: Bist_logic

@@ -1,0 +1,1 @@
+lib/bist_hw/memory.ml: Array Bist_logic

@@ -1,0 +1,1 @@
+lib/bist_hw/misr.ml: Bist_logic Lfsr List

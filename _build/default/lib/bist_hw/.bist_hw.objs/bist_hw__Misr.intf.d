@@ -1,0 +1,1 @@
+lib/bist_hw/misr.mli: Bist_logic

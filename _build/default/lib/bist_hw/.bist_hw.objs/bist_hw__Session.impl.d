@@ -1,0 +1,1 @@
+lib/bist_hw/session.ml: Area Bist_circuit Bist_logic Bist_sim Controller Format List Memory Misr

@@ -1,0 +1,1 @@
+lib/bist_hw/session.mli: Area Bist_circuit Bist_logic Format

@@ -1,0 +1,1 @@
+lib/bist_hw/sync.ml: Array Bist_circuit Bist_logic Bist_sim Bist_util

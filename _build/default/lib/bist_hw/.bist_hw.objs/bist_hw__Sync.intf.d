@@ -1,0 +1,1 @@
+lib/bist_hw/sync.mli: Bist_circuit Bist_logic Bist_util

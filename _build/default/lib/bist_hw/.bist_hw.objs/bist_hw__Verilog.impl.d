@@ -1,0 +1,1 @@
+lib/bist_hw/verilog.ml: Bist_util Buffer Fun Printf

@@ -1,0 +1,41 @@
+type t = {
+  memory_bits : int;
+  address_counter_bits : int;
+  sweep_counter_bits : int;
+  mux_count : int;
+  inverter_count : int;
+  control_gate_estimate : int;
+  gate_equivalents : int;
+}
+
+let estimate ~num_inputs ~max_seq_len ~n =
+  if num_inputs < 1 || max_seq_len < 1 || n < 1 then invalid_arg "Area.estimate";
+  let address_counter_bits = Bist_util.Bits.width_for max_seq_len in
+  let sweep_counter_bits = Bist_util.Bits.width_for (8 * n) in
+  let mux_count = 2 * num_inputs in
+  let inverter_count = num_inputs in
+  (* Decode of the sweep quarter plus the terminal-count comparators. *)
+  let control_gate_estimate = 12 + (2 * address_counter_bits) + (2 * sweep_counter_bits) in
+  let ff_cost = 6 (* 2-input-gate equivalents per flip-flop *) in
+  let mux_cost = 3 in
+  let gate_equivalents =
+    ((address_counter_bits + sweep_counter_bits) * ff_cost)
+    + (mux_count * mux_cost) + inverter_count + control_gate_estimate
+  in
+  {
+    memory_bits = max_seq_len * num_inputs;
+    address_counter_bits;
+    sweep_counter_bits;
+    mux_count;
+    inverter_count;
+    control_gate_estimate;
+    gate_equivalents;
+  }
+
+let storage_for_full_t0 ~num_inputs ~t0_len = num_inputs * t0_len
+
+let pp fmt t =
+  Format.fprintf fmt
+    "memory %d bits; addr ctr %d b; sweep ctr %d b; %d muxes; %d inverters; ~%d gate eq."
+    t.memory_bits t.address_counter_bits t.sweep_counter_bits t.mux_count
+    t.inverter_count t.gate_equivalents

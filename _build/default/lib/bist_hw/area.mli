@@ -1,0 +1,27 @@
+(** First-order area model of the on-chip test hardware.
+
+    The paper argues the scheme's hardware is small and independent of
+    the circuit under test: a memory sized to the longest stored
+    sequence, an up/down address counter, a sweep counter, and per-input
+    complement/shift multiplexers. This model counts memory bits and
+    equivalent 2-input-gate cost so the examples can compare
+    configurations; the constants are conventional textbook figures, not
+    a technology library. *)
+
+type t = {
+  memory_bits : int;  (** [max_seq_len * num_inputs]. *)
+  address_counter_bits : int;
+  sweep_counter_bits : int;
+  mux_count : int;  (** One complement mux + one shift mux per input. *)
+  inverter_count : int;
+  control_gate_estimate : int;  (** FSM decode logic, gate equivalents. *)
+  gate_equivalents : int;  (** Everything except the memory, in 2-input
+                               gate equivalents (flip-flop = 6). *)
+}
+
+val estimate : num_inputs:int -> max_seq_len:int -> n:int -> t
+
+val storage_for_full_t0 : num_inputs:int -> t0_len:int -> int
+(** Memory bits needed by the load-everything baseline, for comparison. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+module Vector = Bist_logic.Vector
+
+type t = {
+  memory : Memory.t;
+  n : int;
+  length : int;
+  mutable sweep : int; (* 0 .. 8n-1 *)
+  mutable offset : int; (* 0 .. length-1, position within the sweep *)
+}
+
+let start memory ~n =
+  if n < 1 then invalid_arg "Controller.start: n must be >= 1";
+  let length = Memory.used_words memory in
+  if length = 0 then invalid_arg "Controller.start: memory is empty";
+  { memory; n; length; sweep = 0; offset = 0 }
+
+let total_cycles t = 8 * t.n * t.length
+
+let finished t = t.sweep >= 8 * t.n
+
+(* Decode the sweep index into direction / complement / shift controls. *)
+let controls t =
+  let quarter = t.sweep / t.n in
+  match quarter with
+  | 0 -> (`Up, false, false)
+  | 1 -> (`Up, true, false)
+  | 2 -> (`Up, false, true)
+  | 3 -> (`Up, true, true)
+  | 4 -> (`Down, true, true)
+  | 5 -> (`Down, false, true)
+  | 6 -> (`Down, true, false)
+  | 7 -> (`Down, false, false)
+  | _ -> invalid_arg "Controller.step: already finished"
+
+let step t =
+  let dir, comp, shift = controls t in
+  let addr = match dir with `Up -> t.offset | `Down -> t.length - 1 - t.offset in
+  let word = Memory.read t.memory addr in
+  let word = if shift then Vector.shift_left_circular word else word in
+  let word = if comp then Vector.complement word else word in
+  t.offset <- t.offset + 1;
+  if t.offset = t.length then begin
+    t.offset <- 0;
+    t.sweep <- t.sweep + 1
+  end;
+  word
+
+let emit_all t =
+  let remaining =
+    ((8 * t.n) - t.sweep) * t.length - t.offset
+  in
+  if remaining = 0 then Bist_logic.Tseq.empty (Memory.word_bits t.memory)
+  else
+    Bist_logic.Tseq.of_vectors (Array.init remaining (fun _ -> step t))

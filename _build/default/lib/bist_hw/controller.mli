@@ -1,0 +1,39 @@
+(** The on-chip expansion controller.
+
+    A small FSM drives the memory address counter and the two output
+    multiplexers to emit the expanded sequence [Sexp] cycle by cycle.
+    With [S] of length [L] stored, the controller performs [8·n] memory
+    sweeps of [L] cycles each:
+
+    {v
+    sweeps 0..n-1     : up,   plain            (S^n)
+    sweeps n..2n-1    : up,   complemented     (~S^n)
+    sweeps 2n..3n-1   : up,   shifted          (S^n << 1)
+    sweeps 3n..4n-1   : up,   shifted+compl.   (~S^n << 1)
+    sweeps 4n..5n-1   : down, shifted+compl.
+    sweeps 5n..6n-1   : down, shifted
+    sweeps 6n..7n-1   : down, complemented
+    sweeps 7n..8n-1   : down, plain
+    v}
+
+    which is exactly [Ops.expand ~n] (tested as an equivalence property).
+    The hardware needed — an up/down address counter, a sweep counter,
+    one inverter + mux per memory output and a rotate-by-one mux — is
+    independent of the circuit under test, as the paper observes. *)
+
+type t
+
+val start : Memory.t -> n:int -> t
+(** Begin a session over the sequence currently loaded in the memory. *)
+
+val total_cycles : t -> int
+(** [8 · n · used_words]. *)
+
+val finished : t -> bool
+
+val step : t -> Bist_logic.Vector.t
+(** Emit the next vector of [Sexp] and advance. Raises [Invalid_argument]
+    when {!finished}. *)
+
+val emit_all : t -> Bist_logic.Tseq.t
+(** Run the controller to completion from its current position. *)

@@ -1,0 +1,51 @@
+type t = { width : int; poly_mask : int; mutable state : int }
+
+(* Primitive polynomial taps for x^w + ... + 1, widths 2..32 (classic
+   table; the listed positions are the exponents besides w and 0). *)
+let taps_table =
+  [
+    (2, [ 1 ]); (3, [ 2 ]); (4, [ 3 ]); (5, [ 3 ]); (6, [ 5 ]); (7, [ 6 ]);
+    (8, [ 6; 5; 4 ]); (9, [ 5 ]); (10, [ 7 ]); (11, [ 9 ]);
+    (12, [ 11; 10; 4 ]); (13, [ 12; 11; 8 ]); (14, [ 13; 12; 2 ]);
+    (15, [ 14 ]); (16, [ 15; 13; 4 ]); (17, [ 14 ]); (18, [ 11 ]);
+    (19, [ 18; 17; 14 ]); (20, [ 17 ]); (21, [ 19 ]); (22, [ 21 ]);
+    (23, [ 18 ]); (24, [ 23; 22; 17 ]); (25, [ 22 ]); (26, [ 25; 24; 20 ]);
+    (27, [ 26; 25; 22 ]); (28, [ 25 ]); (29, [ 27 ]); (30, [ 29; 28; 7 ]);
+    (31, [ 28 ]); (32, [ 31; 30; 10 ]);
+  ]
+
+let taps_for width =
+  match List.assoc_opt width taps_table with
+  | Some taps -> taps
+  | None -> invalid_arg "Lfsr.taps_for: width must be in 2..32"
+
+(* Galois form: the mask has a bit at position e-1 for every exponent e
+   of the polynomial except the constant term, including x^w itself. *)
+let mask_of_taps ~width taps =
+  List.fold_left
+    (fun acc tap ->
+      if tap < 1 || tap > width then invalid_arg "Lfsr.create: tap out of range";
+      acc lor (1 lsl (tap - 1)))
+    (1 lsl (width - 1))
+    taps
+
+let create ?taps ~width ~seed () =
+  if width < 2 || width > 32 then invalid_arg "Lfsr.create: width must be in 2..32";
+  let taps = match taps with Some t -> t | None -> taps_for width in
+  let poly_mask = mask_of_taps ~width taps in
+  let state = seed land ((1 lsl width) - 1) in
+  { width; poly_mask; state = (if state = 0 then 1 else state) }
+
+let width t = t.width
+
+let next_bit t =
+  let out = t.state land 1 in
+  t.state <- t.state lsr 1;
+  if out = 1 then t.state <- t.state lxor t.poly_mask;
+  out = 1
+
+let next_vector t m =
+  Bist_logic.Vector.init m (fun _ -> Bist_logic.Ternary.of_bool (next_bit t))
+
+let sequence t ~vectors ~width:m =
+  Bist_logic.Tseq.of_vectors (Array.init vectors (fun _ -> next_vector t m))

@@ -1,0 +1,30 @@
+(** Linear-feedback shift registers.
+
+    Used two ways: as the pseudo-random pattern source of the baseline
+    BIST schemes ([3] and plain LFSR BIST), and in tests as a reference
+    bit stream. Fibonacci form with primitive feedback polynomials for
+    common widths. *)
+
+type t
+
+val taps_for : int -> int list
+(** Tap positions (1-based, as in the usual x^k conventions) of a
+    primitive polynomial for widths 2..32. Raises [Invalid_argument]
+    outside that range. *)
+
+val create : ?taps:int list -> width:int -> seed:int -> unit -> t
+(** [seed] must be non-zero within [width] bits (an all-zero LFSR is
+    stuck); it is masked to [width] bits, and if the mask is zero the
+    seed 1 is used. *)
+
+val width : t -> int
+
+val next_bit : t -> bool
+(** Shift once, returning the bit shifted out. *)
+
+val next_vector : t -> int -> Bist_logic.Vector.t
+(** [next_vector t m] collects [m] successive bits into a fully-specified
+    input vector. *)
+
+val sequence : t -> vectors:int -> width:int -> Bist_logic.Tseq.t
+(** Convenience: the next [vectors] vectors of the given width. *)

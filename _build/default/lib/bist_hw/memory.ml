@@ -1,0 +1,39 @@
+type t = {
+  word_bits : int;
+  depth : int;
+  mutable words : Bist_logic.Vector.t array;
+  mutable used : int;
+  mutable load_cycles : int;
+}
+
+let create ~word_bits ~depth =
+  if word_bits < 1 || depth < 1 then invalid_arg "Memory.create";
+  {
+    word_bits;
+    depth;
+    words = Array.make depth (Bist_logic.Vector.create word_bits Bist_logic.Ternary.X);
+    used = 0;
+    load_cycles = 0;
+  }
+
+let depth t = t.depth
+let word_bits t = t.word_bits
+
+let load_sequence t seq =
+  let len = Bist_logic.Tseq.length seq in
+  if len > t.depth then invalid_arg "Memory.load_sequence: sequence longer than memory";
+  if Bist_logic.Tseq.width seq <> t.word_bits then
+    invalid_arg "Memory.load_sequence: word width mismatch";
+  for i = 0 to len - 1 do
+    t.words.(i) <- Bist_logic.Tseq.get seq i
+  done;
+  t.used <- len;
+  t.load_cycles <- t.load_cycles + len
+
+let used_words t = t.used
+
+let read t addr =
+  if addr < 0 || addr >= t.used then invalid_arg "Memory.read: address out of range";
+  t.words.(addr)
+
+let total_load_cycles t = t.load_cycles

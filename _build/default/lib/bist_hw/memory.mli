@@ -1,0 +1,27 @@
+(** The on-chip test memory.
+
+    A word array of [word_bits] (one bit per circuit primary input) by
+    [depth] words. Sequences are loaded at tester speed through
+    {!load_sequence}, which also accounts the load cycles — the quantity
+    the paper's "tot len" column measures. *)
+
+type t
+
+val create : word_bits:int -> depth:int -> t
+
+val depth : t -> int
+val word_bits : t -> int
+
+val load_sequence : t -> Bist_logic.Tseq.t -> unit
+(** Load a sequence into addresses [0 .. length-1]. Raises
+    [Invalid_argument] if it does not fit or widths differ. Increments
+    the load-cycle counter by the sequence length. *)
+
+val used_words : t -> int
+(** Number of words occupied by the currently loaded sequence. *)
+
+val read : t -> int -> Bist_logic.Vector.t
+(** Word at an address, [0 <= addr < used_words]. *)
+
+val total_load_cycles : t -> int
+(** Tester cycles spent loading since {!create}. *)

@@ -1,0 +1,44 @@
+type t = {
+  po_width : int;
+  reg_width : int;
+  poly_mask : int;
+  mutable state : int;
+  mutable contaminated : bool;
+}
+
+let create ~width =
+  if width < 1 then invalid_arg "Misr.create";
+  let reg_width = min 32 (max 2 width) in
+  {
+    po_width = width;
+    reg_width;
+    poly_mask =
+      List.fold_left
+        (fun acc tap -> acc lor (1 lsl (tap - 1)))
+        (1 lsl (reg_width - 1))
+        (Lfsr.taps_for reg_width);
+    state = 0;
+    contaminated = false;
+  }
+
+let compact t vec =
+  if Bist_logic.Vector.width vec <> t.po_width then
+    invalid_arg "Misr.compact: response width mismatch";
+  let inject = ref 0 in
+  for i = 0 to t.po_width - 1 do
+    match Bist_logic.Vector.get vec i with
+    | Bist_logic.Ternary.One -> inject := !inject lxor (1 lsl (i mod t.reg_width))
+    | Bist_logic.Ternary.Zero -> ()
+    | Bist_logic.Ternary.X -> t.contaminated <- true
+  done;
+  let out = t.state land 1 in
+  let shifted = t.state lsr 1 in
+  let fed = if out = 1 then shifted lxor t.poly_mask else shifted in
+  t.state <- fed lxor !inject
+
+let signature t = t.state
+let contaminated t = t.contaminated
+
+let reset t =
+  t.state <- 0;
+  t.contaminated <- false

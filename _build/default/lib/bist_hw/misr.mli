@@ -1,0 +1,26 @@
+(** Multiple-input signature register for output-response compaction.
+
+    The paper applies each expanded sequence from the unknown state, so
+    early output responses may be X; compacting an X would make the whole
+    signature unknown. The register therefore tracks contamination: the
+    signature is only {e valid} if no X was ever compacted, and the
+    session layer reports validity alongside the value. A fault-free
+    signature computed with the same discipline is the comparison
+    reference. *)
+
+type t
+
+val create : width:int -> t
+(** [width] = number of circuit primary outputs; the register uses
+    [max 2 width] stages internally. *)
+
+val compact : t -> Bist_logic.Vector.t -> unit
+(** Fold one PO response into the signature. An X response marks the
+    signature contaminated. *)
+
+val signature : t -> int
+(** Current register value. *)
+
+val contaminated : t -> bool
+
+val reset : t -> unit

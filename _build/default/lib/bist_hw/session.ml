@@ -1,0 +1,87 @@
+module Tseq = Bist_logic.Tseq
+
+type sequence_report = {
+  stored_length : int;
+  applied_length : int;
+  signature : int;
+  signature_valid : bool;
+}
+
+type report = {
+  circuit_name : string;
+  n : int;
+  memory_words : int;
+  memory_bits : int;
+  total_load_cycles : int;
+  total_at_speed_cycles : int;
+  sync_cycles_per_sequence : int;
+  per_sequence : sequence_report list;
+  area : Area.t;
+}
+
+let run ?sync ~n circuit sequences =
+  if sequences = [] then invalid_arg "Session.run: no sequences";
+  let num_inputs = Bist_circuit.Netlist.num_inputs circuit in
+  let depth =
+    List.fold_left (fun acc s -> max acc (Tseq.length s)) 0 sequences
+  in
+  if depth = 0 then invalid_arg "Session.run: empty sequence";
+  let memory = Memory.create ~word_bits:num_inputs ~depth in
+  let misr = Misr.create ~width:(Bist_circuit.Netlist.num_outputs circuit) in
+  let at_speed = ref 0 in
+  let sync_cycles =
+    match sync with None -> 0 | Some s -> Bist_logic.Tseq.length s
+  in
+  let apply_one seq =
+    Memory.load_sequence memory seq;
+    let controller = Controller.start memory ~n in
+    let sim = Bist_sim.Seq_sim.create circuit in
+    (* Synchronizing prefix: applied at speed, signature window closed. *)
+    (match sync with
+     | None -> ()
+     | Some s ->
+       Bist_logic.Tseq.iter
+         (fun v ->
+           ignore (Bist_sim.Seq_sim.step sim v : Bist_logic.Vector.t);
+           incr at_speed)
+         s);
+    Misr.reset misr;
+    while not (Controller.finished controller) do
+      let vec = Controller.step controller in
+      let response = Bist_sim.Seq_sim.step sim vec in
+      Misr.compact misr response;
+      incr at_speed
+    done;
+    {
+      stored_length = Tseq.length seq;
+      applied_length = Controller.total_cycles controller;
+      signature = Misr.signature misr;
+      signature_valid = not (Misr.contaminated misr);
+    }
+  in
+  let per_sequence = List.map apply_one sequences in
+  {
+    circuit_name = Bist_circuit.Netlist.circuit_name circuit;
+    n;
+    memory_words = depth;
+    memory_bits = depth * num_inputs;
+    total_load_cycles = Memory.total_load_cycles memory;
+    total_at_speed_cycles = !at_speed;
+    sync_cycles_per_sequence = sync_cycles;
+    per_sequence;
+    area = Area.estimate ~num_inputs ~max_seq_len:depth ~n;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>%s (n=%d): memory %d words (%d bits), load %d cycles, at-speed %d cycles@,%a@,%d sequences:@,"
+    r.circuit_name r.n r.memory_words r.memory_bits r.total_load_cycles
+    r.total_at_speed_cycles Area.pp r.area
+    (List.length r.per_sequence);
+  List.iteri
+    (fun i s ->
+      Format.fprintf fmt "  #%d: stored %d, applied %d, signature %08x%s@," i
+        s.stored_length s.applied_length s.signature
+        (if s.signature_valid then "" else " (X-contaminated)"))
+    r.per_sequence;
+  Format.fprintf fmt "@]"

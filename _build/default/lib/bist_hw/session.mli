@@ -1,0 +1,43 @@
+(** A complete on-chip test session.
+
+    For each stored sequence: load it into the memory at tester speed,
+    run the expansion controller at functional speed, apply the emitted
+    vectors to the circuit under test, and compact the responses in a
+    MISR. The fault-free signatures computed here are what a tester
+    would compare against; the coverage achieved is by construction that
+    of the software expansion (verified by an equivalence test between
+    {!Controller} and [Ops.expand]). *)
+
+type sequence_report = {
+  stored_length : int;
+  applied_length : int;  (** [8 n · stored_length] at-speed cycles. *)
+  signature : int;
+  signature_valid : bool;  (** False if an X reached the MISR. *)
+}
+
+type report = {
+  circuit_name : string;
+  n : int;
+  memory_words : int;  (** Memory depth required = longest stored sequence. *)
+  memory_bits : int;
+  total_load_cycles : int;  (** Tester cycles (the "tot len" cost). *)
+  total_at_speed_cycles : int;  (** Applied test length ("test len"),
+                                    including synchronization cycles. *)
+  sync_cycles_per_sequence : int;  (** 0 when no synchronizing prefix. *)
+  per_sequence : sequence_report list;
+  area : Area.t;
+}
+
+val run :
+  ?sync:Bist_logic.Tseq.t ->
+  n:int ->
+  Bist_circuit.Netlist.t ->
+  Bist_logic.Tseq.t list ->
+  report
+(** [run ~n circuit sequences] — sequences are applied independently,
+    each from the unknown circuit state. With [sync] (see {!Sync}), the
+    synchronizing prefix runs before each sequence with the MISR held in
+    reset, which is the paper's recipe for X-free signatures. Raises
+    [Invalid_argument] on an empty sequence list or width mismatches. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,49 @@
+module Tseq = Bist_logic.Tseq
+module T = Bist_logic.Ternary
+module Seq_sim = Bist_sim.Seq_sim
+
+let synchronized circuit seq =
+  let sim = Seq_sim.create circuit in
+  Tseq.iter (fun v -> ignore (Seq_sim.step sim v : Bist_logic.Vector.t)) seq;
+  Array.for_all T.is_binary (Seq_sim.ff_state sim)
+
+let candidate rng ~width ~length =
+  let p_one =
+    match Bist_util.Rng.int rng 3 with 0 -> 0.2 | 1 -> 0.5 | _ -> 0.8
+  in
+  Tseq.of_vectors
+    (Array.init length (fun _ ->
+         Bist_logic.Vector.random_weighted rng width ~p_one))
+
+(* Trim from the front: the tail of a synchronizing sequence usually
+   synchronizes on its own once the early vectors did the hard part. *)
+let rec trim circuit seq =
+  let len = Tseq.length seq in
+  if len <= 1 then seq
+  else begin
+    let shorter = Tseq.sub seq ~lo:1 ~hi:(len - 1) in
+    if synchronized circuit shorter then trim circuit shorter else seq
+  end
+
+let find_sequence ?(attempts = 64) ?(max_length = 128) ~rng circuit =
+  let width = Bist_circuit.Netlist.num_inputs circuit in
+  if Bist_circuit.Netlist.num_dffs circuit = 0 then Some (Tseq.empty width)
+  else begin
+    let rec search length =
+      if length > max_length then None
+      else begin
+        let rec try_attempt k =
+          if k = 0 then None
+          else begin
+            let seq = candidate rng ~width ~length in
+            if synchronized circuit seq then Some (trim circuit seq)
+            else try_attempt (k - 1)
+          end
+        in
+        match try_attempt attempts with
+        | Some seq -> Some seq
+        | None -> search (2 * length)
+      end
+    in
+    search 4
+  end

@@ -1,0 +1,32 @@
+(** Synchronizing sequences.
+
+    The paper notes that before computing a signature "care must be taken
+    to synchronize the circuit ... to avoid unknown values". This module
+    searches for a short input sequence that drives every flip-flop to a
+    binary value starting from the all-X state; {!Session.run} can apply
+    it (outside the signature window) before each expanded sequence, which
+    removes the X-contamination of the MISR.
+
+    By ternary monotonicity, prepending a synchronizing sequence can only
+    {e add} fault detections, so the scheme's coverage guarantee is
+    unaffected.
+
+    The search is randomized (weighted-random candidates of growing
+    length); circuits with structurally uninitializable flip-flops (see
+    {!Bist_circuit.Validate}) have no synchronizing sequence and the
+    search returns [None]. *)
+
+val synchronized : Bist_circuit.Netlist.t -> Bist_logic.Tseq.t -> bool
+(** Whether applying the sequence from the all-X state leaves every
+    flip-flop binary. *)
+
+val find_sequence :
+  ?attempts:int ->
+  ?max_length:int ->
+  rng:Bist_util.Rng.t ->
+  Bist_circuit.Netlist.t ->
+  Bist_logic.Tseq.t option
+(** [find_sequence ~rng circuit] tries [attempts] (default 64) random
+    candidates per length, doubling the length from 4 up to [max_length]
+    (default 128), and greedily trims a successful candidate from the
+    front. *)

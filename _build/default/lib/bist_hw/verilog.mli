@@ -1,0 +1,26 @@
+(** Synthesizable Verilog for the on-chip expansion hardware.
+
+    The paper's point is that the test hardware is simple and independent
+    of the circuit under test; this module makes that concrete by
+    emitting RTL for it: the test memory with its tester-side load port,
+    the up/down address counter, the sweep counter with its
+    quarter-decode into direction/complement/shift controls, and the
+    per-bit complement and rotate muxes. The emitted module's cycle
+    behaviour mirrors {!Controller} exactly (same sweep order), which the
+    OCaml model's tests pin down against [Ops.expand].
+
+    The generator only fixes three parameters: the input width [m], the
+    memory depth, and the repetition count [n]. *)
+
+type config = {
+  module_name : string;
+  width : int;  (** Circuit primary inputs = memory word bits. *)
+  depth : int;  (** Memory words = longest stored sequence. *)
+  n : int;  (** Repetition count; the sweep counter runs to 8n-1. *)
+}
+
+val emit : config -> string
+(** The Verilog-2001 source text. Raises [Invalid_argument] on
+    non-positive parameters. *)
+
+val emit_file : config -> string -> unit

@@ -1,0 +1,1 @@
+lib/circuit/bench_parser.ml: Builder Filename Fun Gate List Printf String

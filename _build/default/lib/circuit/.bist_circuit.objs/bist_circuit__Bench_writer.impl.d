@@ -1,0 +1,1 @@
+lib/circuit/bench_writer.ml: Array Buffer Fun Gate List Netlist Printf String

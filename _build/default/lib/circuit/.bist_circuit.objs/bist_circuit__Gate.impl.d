@@ -1,0 +1,1 @@
+lib/circuit/gate.ml: Array Bist_logic Printf String

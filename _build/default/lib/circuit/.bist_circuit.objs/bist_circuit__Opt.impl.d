@@ -1,0 +1,1 @@
+lib/circuit/opt.ml: Array Bist_logic Builder Gate Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/validate.ml: Array Format Gate List Netlist String

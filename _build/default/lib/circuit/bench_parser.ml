@@ -1,0 +1,89 @@
+exception Parse_error of { line : int; message : string }
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let is_name_char c =
+  match c with
+  | ' ' | '\t' | '\r' | '\n' | '(' | ')' | ',' | '=' | '#' -> false
+  | _ -> true
+
+(* A tiny hand-rolled scanner per line: the format is simple enough that a
+   lexer generator would be heavier than the grammar itself. *)
+type token = Name of string | Lparen | Rparen | Comma | Equals
+
+let tokenize lineno s =
+  let tokens = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < n do
+    match s.[!i] with
+    | '#' -> stop := true
+    | ' ' | '\t' | '\r' -> incr i
+    | '(' -> tokens := Lparen :: !tokens; incr i
+    | ')' -> tokens := Rparen :: !tokens; incr i
+    | ',' -> tokens := Comma :: !tokens; incr i
+    | '=' -> tokens := Equals :: !tokens; incr i
+    | c when is_name_char c ->
+      let start = !i in
+      while !i < n && is_name_char s.[!i] do incr i done;
+      tokens := Name (String.sub s start (!i - start)) :: !tokens
+    | c -> error lineno "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+let parse_args lineno tokens =
+  (* tokens are what follows a KIND name: ( a , b , ... ) *)
+  match tokens with
+  | Lparen :: rest ->
+    let rec args acc = function
+      | Name a :: Comma :: rest -> args (a :: acc) rest
+      | Name a :: Rparen :: [] -> List.rev (a :: acc)
+      | Rparen :: [] when acc = [] -> []
+      | _ -> error lineno "malformed argument list"
+    in
+    args [] rest
+  | _ -> error lineno "expected '('"
+
+let parse_line builder lineno line =
+  match tokenize lineno line with
+  | [] -> ()
+  | Name kw :: rest when String.uppercase_ascii kw = "INPUT" ->
+    (match parse_args lineno rest with
+     | [ name ] -> Builder.add_input builder name
+     | _ -> error lineno "INPUT takes exactly one signal")
+  | Name kw :: rest when String.uppercase_ascii kw = "OUTPUT" ->
+    (match parse_args lineno rest with
+     | [ name ] -> Builder.add_output builder name
+     | _ -> error lineno "OUTPUT takes exactly one signal")
+  | Name out :: Equals :: Name kindname :: rest ->
+    (match Gate.kind_of_name kindname with
+     | None -> error lineno "unknown gate kind %S" kindname
+     | Some Gate.Input -> error lineno "INPUT cannot appear on the right-hand side"
+     | Some kind ->
+       let args =
+         match kind with
+         | Gate.Const0 | Gate.Const1 when rest = [] -> []
+         | _ -> parse_args lineno rest
+       in
+       if not (Gate.arity_ok kind (List.length args)) then
+         error lineno "%s takes a different number of arguments" (Gate.kind_name kind);
+       Builder.add_gate builder ~output:out kind args)
+  | _ -> error lineno "malformed statement"
+
+let parse_string ~name text =
+  let builder = Builder.create ~name in
+  let lines = String.split_on_char '\n' text in
+  List.iteri (fun i line -> parse_line builder (i + 1) line) lines;
+  Builder.finalize builder
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text

@@ -1,0 +1,23 @@
+(** Parser for the ISCAS-89 [.bench] netlist format.
+
+    The accepted grammar, one statement per line:
+    {v
+    # comment
+    INPUT(name)
+    OUTPUT(name)
+    name = KIND(arg1, arg2, ...)
+    v}
+    Keywords are case-insensitive; whitespace is free; signal names may
+    contain any characters except whitespace, parentheses, commas and
+    ['=']. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : name:string -> string -> Netlist.t
+(** [parse_string ~name text] parses a whole file's contents. The
+    [name] labels the circuit in reports.
+    Raises {!Parse_error} on a syntax error and [Failure] on a
+    structurally invalid circuit. *)
+
+val parse_file : string -> Netlist.t
+(** Reads the file; the circuit name is the basename without extension. *)

@@ -1,0 +1,32 @@
+let to_string c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.circuit_name c));
+  Buffer.add_string buf
+    (Printf.sprintf "# %d inputs, %d outputs, %d flip-flops, %d gates\n"
+       (Netlist.num_inputs c) (Netlist.num_outputs c) (Netlist.num_dffs c)
+       (Netlist.num_gates c));
+  Array.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.name c n)))
+    (Netlist.inputs c);
+  Array.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Netlist.name c n)))
+    (Netlist.outputs c);
+  for n = 0 to Netlist.size c - 1 do
+    let kind = Netlist.kind c n in
+    if kind <> Gate.Input then begin
+      let args =
+        Netlist.fanins c n |> Array.to_list
+        |> List.map (Netlist.name c)
+        |> String.concat ", "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" (Netlist.name c n) (Gate.kind_name kind) args)
+    end
+  done;
+  Buffer.contents buf
+
+let to_file c path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string c))

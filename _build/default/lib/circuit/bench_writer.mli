@@ -1,0 +1,8 @@
+(** Serialization back to the ISCAS-89 [.bench] format.
+
+    [parse_string (to_string c)] reproduces a netlist structurally equal
+    to [c] (same names, kinds, fanins and port order). *)
+
+val to_string : Netlist.t -> string
+
+val to_file : Netlist.t -> string -> unit

@@ -1,0 +1,54 @@
+type def = { kind : Gate.kind; fanin_names : string list }
+
+type t = {
+  name : string;
+  mutable inputs_rev : string list;
+  mutable outputs_rev : string list;
+  defs : (string, def) Hashtbl.t;
+  mutable order_rev : string list; (* definition order, for stable numbering *)
+}
+
+let create ~name =
+  { name; inputs_rev = []; outputs_rev = []; defs = Hashtbl.create 64; order_rev = [] }
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let define t signal def =
+  if Hashtbl.mem t.defs signal then fail "Builder: signal %S defined twice" signal;
+  Hashtbl.add t.defs signal def;
+  t.order_rev <- signal :: t.order_rev
+
+let add_input t signal =
+  define t signal { kind = Gate.Input; fanin_names = [] };
+  t.inputs_rev <- signal :: t.inputs_rev
+
+let add_output t signal = t.outputs_rev <- signal :: t.outputs_rev
+
+let add_gate t ~output kind fanin_names =
+  if kind = Gate.Input then fail "Builder: use add_input for primary inputs";
+  define t output { kind; fanin_names }
+
+let finalize t =
+  let order = Array.of_list (List.rev t.order_rev) in
+  let n = Array.length order in
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i s -> Hashtbl.add index s i) order;
+  let resolve context s =
+    match Hashtbl.find_opt index s with
+    | Some i -> i
+    | None -> fail "Builder: %s references undefined signal %S" context s
+  in
+  let kinds = Array.make n Gate.Input in
+  let fanins = Array.make n [||] in
+  Array.iteri
+    (fun i signal ->
+      let def = Hashtbl.find t.defs signal in
+      kinds.(i) <- def.kind;
+      fanins.(i) <- Array.of_list (List.map (resolve signal) def.fanin_names))
+    order;
+  let inputs = Array.of_list (List.rev_map (resolve "PI list") t.inputs_rev) in
+  let outputs =
+    Array.of_list (List.rev t.outputs_rev |> List.map (resolve "PO list"))
+  in
+  Netlist.unsafe_make ~circuit_name:t.name ~names:order ~kinds ~fanins ~inputs
+    ~outputs

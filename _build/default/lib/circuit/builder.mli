@@ -1,0 +1,25 @@
+(** Programmatic netlist construction.
+
+    Names may be used before they are defined (forward references are
+    resolved at {!finalize}), matching the free ordering of [.bench]
+    files. *)
+
+type t
+
+val create : name:string -> t
+(** Start an empty netlist labelled [name]. *)
+
+val add_input : t -> string -> unit
+(** Declare a primary input. *)
+
+val add_output : t -> string -> unit
+(** Declare a primary output (the named signal must be defined somewhere
+    before {!finalize}). *)
+
+val add_gate : t -> output:string -> Gate.kind -> string list -> unit
+(** [add_gate t ~output kind fanins] defines signal [output] as a gate.
+    Raises [Failure] on redefinition or if [kind] is [Input]. *)
+
+val finalize : t -> Netlist.t
+(** Resolve references, validate, and levelize.
+    Raises [Failure] with a diagnostic on an invalid circuit. *)

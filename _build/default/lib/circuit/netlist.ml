@@ -1,0 +1,145 @@
+type node = int
+
+type t = {
+  circuit_name : string;
+  names : string array;
+  kinds : Gate.kind array;
+  fanins : node array array;
+  fanouts : node array array;
+  pin_fanout_counts : int array;
+  inputs : node array;
+  outputs : node array;
+  dffs : node array;
+  topo : node array;
+  index : (string, node) Hashtbl.t;
+}
+
+let size t = Array.length t.names
+let name t n = t.names.(n)
+let kind t n = t.kinds.(n)
+let fanins t n = t.fanins.(n)
+let fanouts t n = t.fanouts.(n)
+let fanout_count t n = t.pin_fanout_counts.(n)
+let inputs t = t.inputs
+let outputs t = t.outputs
+let dffs t = t.dffs
+let topo_order t = t.topo
+let num_inputs t = Array.length t.inputs
+let num_outputs t = Array.length t.outputs
+let num_dffs t = Array.length t.dffs
+let num_gates t = Array.length t.topo
+let circuit_name t = t.circuit_name
+
+let find t name = Hashtbl.find_opt t.index name
+
+let find_exn t name =
+  match find t name with Some n -> n | None -> raise Not_found
+
+let is_output t n = Array.exists (fun o -> o = n) t.outputs
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Kahn's algorithm restricted to combinational nodes: PIs and DFFs are
+   sources, so an edge from a DFF output breaks the sequential loop. *)
+let levelize ~kinds ~(fanins : node array array) ~fanouts =
+  let n = Array.length kinds in
+  let pending = Array.make n 0 in
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if Gate.is_combinational kinds.(v) then begin
+      let comb_fanins = ref 0 in
+      Array.iter
+        (fun u -> if Gate.is_combinational kinds.(u) then incr comb_fanins)
+        fanins.(v);
+      pending.(v) <- !comb_fanins;
+      if !comb_fanins = 0 then Queue.add v queue
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!count) <- v;
+    incr count;
+    Array.iter
+      (fun w ->
+        if Gate.is_combinational kinds.(w) then begin
+          (* A consumer may use v on several pins; decrement once per pin. *)
+          Array.iter
+            (fun u ->
+              if u = v then begin
+                pending.(w) <- pending.(w) - 1;
+                if pending.(w) = 0 then Queue.add w queue
+              end)
+            fanins.(w)
+        end)
+      fanouts.(v)
+  done;
+  let total_comb =
+    Array.fold_left (fun acc k -> if Gate.is_combinational k then acc + 1 else acc) 0 kinds
+  in
+  if !count <> total_comb then fail "Netlist: combinational loop detected";
+  Array.sub order 0 !count
+
+let unsafe_make ~circuit_name ~names ~kinds ~fanins ~inputs ~outputs =
+  let n = Array.length names in
+  if Array.length kinds <> n || Array.length fanins <> n then
+    fail "Netlist: array length mismatch";
+  let index = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem index name then fail "Netlist: duplicate node name %S" name;
+      Hashtbl.add index name i)
+    names;
+  Array.iteri
+    (fun i fi ->
+      if not (Gate.arity_ok kinds.(i) (Array.length fi)) then
+        fail "Netlist: node %S (%s) has %d fanins" names.(i)
+          (Gate.kind_name kinds.(i)) (Array.length fi);
+      Array.iter
+        (fun u ->
+          if u < 0 || u >= n then fail "Netlist: node %S has dangling fanin" names.(i))
+        fi)
+    fanins;
+  Array.iter
+    (fun o -> if o < 0 || o >= n then fail "Netlist: dangling primary output")
+    outputs;
+  Array.iter
+    (fun i ->
+      if kinds.(i) <> Gate.Input then fail "Netlist: PI list contains non-INPUT node")
+    inputs;
+  let dffs =
+    Array.of_list
+      (List.filter (fun i -> kinds.(i) = Gate.Dff) (List.init n (fun i -> i)))
+  in
+  (* Fanouts: distinct consumers, plus pin-accurate counts for fault
+     collapsing decisions. *)
+  let consumer_lists = Array.make n [] in
+  let pin_counts = Array.make n 0 in
+  for v = n - 1 downto 0 do
+    let seen = Hashtbl.create 4 in
+    Array.iter
+      (fun u ->
+        pin_counts.(u) <- pin_counts.(u) + 1;
+        if not (Hashtbl.mem seen u) then begin
+          Hashtbl.add seen u ();
+          consumer_lists.(u) <- v :: consumer_lists.(u)
+        end)
+      fanins.(v)
+  done;
+  Array.iter (fun o -> pin_counts.(o) <- pin_counts.(o) + 1) outputs;
+  let fanouts = Array.map Array.of_list consumer_lists in
+  let topo = levelize ~kinds ~fanins ~fanouts in
+  {
+    circuit_name;
+    names;
+    kinds;
+    fanins;
+    fanouts;
+    pin_fanout_counts = pin_counts;
+    inputs;
+    outputs;
+    dffs;
+    topo;
+    index;
+  }

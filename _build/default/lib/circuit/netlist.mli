@@ -1,0 +1,70 @@
+(** Flattened gate-level netlists.
+
+    Nodes are densely numbered; each node is a named gate with an ordered
+    fanin list. A netlist is immutable once built (use {!Builder} or the
+    {!Bench_parser}); construction computes fanouts and a topological
+    order of the combinational nodes, and rejects structurally invalid
+    circuits (see {!Validate}). *)
+
+type node = int
+(** Dense node identifier, [0 <= node < size]. *)
+
+type t
+
+val size : t -> int
+(** Total node count, including primary inputs and flip-flops. *)
+
+val name : t -> node -> string
+val kind : t -> node -> Gate.kind
+val fanins : t -> node -> node array
+(** Ordered fanins. Do not mutate. *)
+
+val fanouts : t -> node -> node array
+(** Nodes that list this node among their fanins (each consumer appears
+    once per distinct consumer). Do not mutate. *)
+
+val fanout_count : t -> node -> int
+(** Number of fanin {e pins} this node drives (a consumer using the node
+    twice counts twice), plus one if the node is a primary output. *)
+
+val inputs : t -> node array
+(** Primary inputs, in declaration order. Do not mutate. *)
+
+val outputs : t -> node array
+(** Primary outputs, in declaration order. Do not mutate. *)
+
+val dffs : t -> node array
+(** Flip-flops, in declaration order. Do not mutate. *)
+
+val topo_order : t -> node array
+(** All combinational nodes, ordered so every node appears after its
+    combinational fanins (PIs and DFF outputs are sources and are not
+    listed). Do not mutate. *)
+
+val num_inputs : t -> int
+val num_outputs : t -> int
+val num_dffs : t -> int
+val num_gates : t -> int
+(** Combinational gates only. *)
+
+val find : t -> string -> node option
+val find_exn : t -> string -> node
+(** Raises [Not_found]. *)
+
+val is_output : t -> node -> bool
+
+val circuit_name : t -> string
+(** A label for reports ("s27", "x1423", ...). *)
+
+(**/**)
+
+val unsafe_make :
+  circuit_name:string ->
+  names:string array ->
+  kinds:Gate.kind array ->
+  fanins:node array array ->
+  inputs:node array ->
+  outputs:node array ->
+  t
+(** Internal constructor used by {!Builder}; validates and levelizes.
+    Raises [Failure] with a diagnostic on an invalid netlist. *)

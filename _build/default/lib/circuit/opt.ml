@@ -1,0 +1,146 @@
+module T = Bist_logic.Ternary
+
+(* Per-node resolution after constant propagation. *)
+type resolution =
+  | Const of T.t (* Zero or One *)
+  | Alias of Netlist.node (* behaves exactly like that node *)
+  | Gate_def of Gate.kind * Netlist.node list
+
+(* Resolve aliases down to a representative (a kept node or a constant). *)
+let rec chase resolutions node =
+  match resolutions.(node) with
+  | Alias target -> chase resolutions target
+  | Const _ | Gate_def _ -> node
+
+let constant_propagate c =
+  let n = Netlist.size c in
+  let resolutions =
+    Array.init n (fun node ->
+        Gate_def (Netlist.kind c node, Array.to_list (Netlist.fanins c node)))
+  in
+  let const_of node =
+    match resolutions.(chase resolutions node) with
+    | Const v -> Some v
+    | Alias _ | Gate_def _ -> None
+  in
+  (* One pass in topological order suffices: fanins are resolved before
+     their consumers. PIs and DFFs stay as they are. *)
+  let resolve node =
+    let kind = Netlist.kind c node in
+    let fanins = Array.to_list (Netlist.fanins c node) in
+    let inverted = Gate.inversion kind in
+    let finish_variadic ~zero_dominates kept =
+      (* [kept] are the non-constant fanins of an AND/OR-family gate whose
+         dominating constant was absent and whose identity constants were
+         dropped. An empty fold yields the identity (1 for AND, 0 for OR),
+         then the gate's inversion applies. *)
+      match kept with
+      | [] -> Const (T.of_bool (if zero_dominates then inverted else not inverted))
+      | [ single ] -> if inverted then Gate_def (Gate.Not, [ single ]) else Alias single
+      | several -> Gate_def (kind, several)
+    in
+    match kind with
+    | Gate.Input | Gate.Dff -> resolutions.(node)
+    | Gate.Const0 -> Const T.Zero
+    | Gate.Const1 -> Const T.One
+    | Gate.Buf ->
+      (match const_of (List.nth fanins 0) with
+       | Some v -> Const v
+       | None -> Alias (chase resolutions (List.nth fanins 0)))
+    | Gate.Not ->
+      (match const_of (List.nth fanins 0) with
+       | Some v -> Const (T.not_ v)
+       | None -> Gate_def (Gate.Not, [ chase resolutions (List.nth fanins 0) ]))
+    | Gate.And | Gate.Nand ->
+      let consts, vars = List.partition (fun d -> const_of d <> None) fanins in
+      if List.exists (fun d -> const_of d = Some T.Zero) consts then
+        Const (if inverted then T.One else T.Zero)
+      else finish_variadic ~zero_dominates:false (List.map (chase resolutions) vars)
+    | Gate.Or | Gate.Nor ->
+      let consts, vars = List.partition (fun d -> const_of d <> None) fanins in
+      if List.exists (fun d -> const_of d = Some T.One) consts then
+        Const (if inverted then T.Zero else T.One)
+      else finish_variadic ~zero_dominates:true (List.map (chase resolutions) vars)
+    | Gate.Xor | Gate.Xnor ->
+      (* Fold the constant inputs into the output inversion. *)
+      let parity = ref (kind = Gate.Xnor) in
+      let vars =
+        List.filter_map
+          (fun d ->
+            match const_of d with
+            | Some T.One -> parity := not !parity; None
+            | Some T.Zero -> None
+            | Some T.X -> assert false
+            | None -> Some (chase resolutions d))
+          fanins
+      in
+      (match vars with
+       | [] -> Const (T.of_bool !parity)
+       | [ single ] ->
+         if !parity then Gate_def (Gate.Not, [ single ]) else Alias single
+       | several -> Gate_def ((if !parity then Gate.Xnor else Gate.Xor), several))
+  in
+  Array.iter (fun node -> resolutions.(node) <- resolve node) (Netlist.topo_order c);
+  (* Rebuild. Kept nodes: PIs, DFFs, and gates still defined as gates.
+     Constants materialize as CONST gates on demand; aliases vanish. *)
+  let builder = Builder.create ~name:(Netlist.circuit_name c) in
+  let const_names = Hashtbl.create 2 in
+  let const_name v =
+    match Hashtbl.find_opt const_names v with
+    | Some name -> name
+    | None ->
+      let name = if T.equal v T.Zero then "_const0" else "_const1" in
+      Builder.add_gate builder ~output:name
+        (if T.equal v T.Zero then Gate.Const0 else Gate.Const1)
+        [];
+      Hashtbl.add const_names v name;
+      name
+  in
+  let ref_name node =
+    let node = chase resolutions node in
+    match resolutions.(node) with
+    | Const v -> const_name v
+    | Alias _ -> assert false
+    | Gate_def _ -> Netlist.name c node
+  in
+  Array.iter (fun pi -> Builder.add_input builder (Netlist.name c pi)) (Netlist.inputs c);
+  for node = 0 to n - 1 do
+    match Netlist.kind c node with
+    | Gate.Input -> ()
+    | Gate.Dff ->
+      Builder.add_gate builder ~output:(Netlist.name c node) Gate.Dff
+        [ ref_name (Netlist.fanins c node).(0) ]
+    | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+    | Gate.Xor | Gate.Xnor | Gate.Const0 | Gate.Const1 ->
+      (match resolutions.(node) with
+       | Const _ | Alias _ -> () (* vanished; consumers reference through ref_name *)
+       | Gate_def (kind, fanins) ->
+         Builder.add_gate builder ~output:(Netlist.name c node) kind
+           (List.map ref_name fanins))
+  done;
+  Array.iter
+    (fun po -> Builder.add_output builder (ref_name po))
+    (Netlist.outputs c);
+  Builder.finalize builder
+
+let sweep_unobservable c =
+  let keep = Array.make (Netlist.size c) false in
+  let rec visit node =
+    if not keep.(node) then begin
+      keep.(node) <- true;
+      Array.iter visit (Netlist.fanins c node)
+    end
+  in
+  Array.iter visit (Netlist.outputs c);
+  Array.iter (fun pi -> keep.(pi) <- true) (Netlist.inputs c);
+  let builder = Builder.create ~name:(Netlist.circuit_name c) in
+  Array.iter (fun pi -> Builder.add_input builder (Netlist.name c pi)) (Netlist.inputs c);
+  for node = 0 to Netlist.size c - 1 do
+    if keep.(node) && Netlist.kind c node <> Gate.Input then
+      Builder.add_gate builder ~output:(Netlist.name c node) (Netlist.kind c node)
+        (Array.to_list (Array.map (Netlist.name c) (Netlist.fanins c node)))
+  done;
+  Array.iter (fun po -> Builder.add_output builder (Netlist.name c po)) (Netlist.outputs c);
+  Builder.finalize builder
+
+let cleanup c = sweep_unobservable (constant_propagate c)

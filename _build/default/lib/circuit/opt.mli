@@ -1,0 +1,27 @@
+(** Netlist cleanup passes.
+
+    Real netlists (and our synthetic ones) contain logic that only wastes
+    test-generation effort: constants feeding gates, buffer chains, logic
+    observable from no output. These classic passes remove it while
+    preserving the circuit's three-valued sequential behaviour exactly —
+    the test suite checks optimized and original circuits cycle-for-cycle
+    on random sequences.
+
+    Flip-flop outputs are never treated as constants (their first-cycle
+    value is X even when their D input is constant), so the passes are
+    sound for test generation. *)
+
+val constant_propagate : Netlist.t -> Netlist.t
+(** Propagate [Const0]/[Const1] gates: gates with a controlling constant
+    input become constants; non-controlling constant inputs are dropped
+    (an XOR input of 1 toggles the gate's inversion); single-input
+    leftovers become BUF/NOT; buffers are bypassed. Primary outputs and
+    flip-flops are preserved (a constant PO becomes a constant gate). *)
+
+val sweep_unobservable : Netlist.t -> Netlist.t
+(** Remove every node with no path to a primary output (crossing
+    flip-flops). Primary inputs are kept even when useless, so the
+    interface is unchanged. *)
+
+val cleanup : Netlist.t -> Netlist.t
+(** {!constant_propagate} followed by {!sweep_unobservable}. *)

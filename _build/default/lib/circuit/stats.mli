@@ -1,0 +1,21 @@
+(** Structural circuit statistics for reports and the synthetic-benchmark
+    calibration. *)
+
+type t = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  num_dffs : int;
+  num_gates : int;
+  max_level : int;  (** Longest combinational path, in gates. *)
+  max_fanin : int;
+  max_fanout : int;
+}
+
+val of_netlist : Netlist.t -> t
+
+val levels : Netlist.t -> int array
+(** Per-node combinational depth: 0 for PIs/DFF outputs, otherwise
+    [1 + max (levels of fanins)]. *)
+
+val pp : Format.formatter -> t -> unit

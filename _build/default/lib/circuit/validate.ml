@@ -1,0 +1,143 @@
+type report = {
+  dangling : Netlist.node list;
+  unobservable : Netlist.node list;
+  uncontrollable_ffs : Netlist.node list;
+  maybe_uninitializable_ffs : Netlist.node list;
+}
+
+let dangling c =
+  let out = ref [] in
+  for n = Netlist.size c - 1 downto 0 do
+    if Netlist.fanout_count c n = 0 then out := n :: !out
+  done;
+  !out
+
+(* Backward reachability from the primary outputs over fanin edges
+   (crossing flip-flops: a node observed only through state is still
+   observable, one or more clocks later). *)
+let unobservable c =
+  let reachable = Array.make (Netlist.size c) false in
+  let rec visit n =
+    if not reachable.(n) then begin
+      reachable.(n) <- true;
+      Array.iter visit (Netlist.fanins c n)
+    end
+  in
+  Array.iter visit (Netlist.outputs c);
+  let out = ref [] in
+  for n = Netlist.size c - 1 downto 0 do
+    if not reachable.(n) then out := n :: !out
+  done;
+  !out
+
+(* Forward reachability from the primary inputs. A flip-flop outside it
+   can never be influenced from outside the chip. *)
+let uncontrollable_ffs c =
+  let reached = Array.make (Netlist.size c) false in
+  let rec visit n =
+    if not reached.(n) then begin
+      reached.(n) <- true;
+      Array.iter visit (Netlist.fanouts c n)
+    end
+  in
+  Array.iter visit (Netlist.inputs c);
+  Array.to_list (Netlist.dffs c)
+  |> List.filter (fun ff -> not reached.(ff))
+
+(* Achievable-value fixpoint. For every node, compute the set of binary
+   values (a 2-bit mask: bit 0 = "0 achievable", bit 1 = "1 achievable")
+   that some primary-input assignment can drive onto it, treating
+   flip-flops as sources whose achievable set comes from their D input in
+   the previous iteration (i.e. one more clock of preparation). The
+   propagation is optimistic — it ignores that reconvergent paths may
+   need contradictory PI values — so an empty final set is a reliable
+   "this flip-flop can never leave X" signal, while a non-empty set is
+   only a hint. *)
+let maybe_uninitializable_ffs c =
+  let n = Netlist.size c in
+  let can = Array.make n 0 in
+  Array.iter (fun pi -> can.(pi) <- 0b11) (Netlist.inputs c);
+  let has0 m = m land 0b01 <> 0 and has1 m = m land 0b10 <> 0 in
+  let swap m = ((m land 1) lsl 1) lor (m lsr 1) in
+  let eval node =
+    let fanins = Netlist.fanins c node in
+    let fold_all f = Array.for_all (fun d -> f can.(d)) fanins in
+    let fold_any f = Array.exists (fun d -> f can.(d)) fanins in
+    match Netlist.kind c node with
+    | Gate.Input | Gate.Dff -> can.(node)
+    | Gate.Const0 -> 0b01
+    | Gate.Const1 -> 0b10
+    | Gate.Buf -> can.(fanins.(0))
+    | Gate.Not -> swap can.(fanins.(0))
+    | Gate.And ->
+      (if fold_any has0 then 0b01 else 0) lor (if fold_all has1 then 0b10 else 0)
+    | Gate.Nand ->
+      swap ((if fold_any has0 then 0b01 else 0) lor (if fold_all has1 then 0b10 else 0))
+    | Gate.Or ->
+      (if fold_any has1 then 0b10 else 0) lor (if fold_all has0 then 0b01 else 0)
+    | Gate.Nor ->
+      swap ((if fold_any has1 then 0b10 else 0) lor (if fold_all has0 then 0b01 else 0))
+    | Gate.Xor | Gate.Xnor ->
+      (* Parity: achievable results of folding the fanin sets. *)
+      let acc = ref 0b01 (* empty fold = 0 *) in
+      Array.iter
+        (fun d ->
+          let m = can.(d) in
+          let next = ref 0 in
+          if has0 !acc && has0 m then next := !next lor 0b01;
+          if has1 !acc && has1 m then next := !next lor 0b01;
+          if has0 !acc && has1 m then next := !next lor 0b10;
+          if has1 !acc && has0 m then next := !next lor 0b10;
+          acc := !next)
+        fanins;
+      if Netlist.kind c node = Gate.Xnor then swap !acc else !acc
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun node ->
+        let v = eval node in
+        if v <> can.(node) then begin
+          can.(node) <- v;
+          changed := true
+        end)
+      (Netlist.topo_order c);
+    Array.iter
+      (fun ff ->
+        let v = can.(ff) lor can.((Netlist.fanins c ff).(0)) in
+        if v <> can.(ff) then begin
+          can.(ff) <- v;
+          changed := true
+        end)
+      (Netlist.dffs c)
+  done;
+  Array.to_list (Netlist.dffs c) |> List.filter (fun ff -> can.(ff) = 0)
+
+let check c =
+  {
+    dangling = dangling c;
+    unobservable = unobservable c;
+    uncontrollable_ffs = uncontrollable_ffs c;
+    maybe_uninitializable_ffs = maybe_uninitializable_ffs c;
+  }
+
+let is_clean r =
+  r.dangling = [] && r.unobservable = [] && r.uncontrollable_ffs = []
+  && r.maybe_uninitializable_ffs = []
+
+let pp c fmt r =
+  let section title nodes =
+    match nodes with
+    | [] -> ()
+    | _ ->
+      Format.fprintf fmt "%s (%d): %s@." title (List.length nodes)
+        (String.concat " " (List.map (Netlist.name c) nodes))
+  in
+  if is_clean r then Format.fprintf fmt "no structural findings@."
+  else begin
+    section "dangling nodes" r.dangling;
+    section "unobservable nodes" r.unobservable;
+    section "uncontrollable flip-flops" r.uncontrollable_ffs;
+    section "possibly uninitializable flip-flops" r.maybe_uninitializable_ffs
+  end

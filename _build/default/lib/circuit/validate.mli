@@ -1,0 +1,37 @@
+(** Structural diagnostics beyond the hard errors of netlist
+    construction.
+
+    Construction ({!Netlist.unsafe_make} via {!Builder} or the parser)
+    already rejects broken circuits — duplicate names, dangling
+    references, arity violations, combinational loops. This module
+    reports the {e soft} problems that make a circuit a poor test-
+    generation subject:
+
+    - dangling nodes (no fanout and not a primary output) — faults on
+      them are trivially undetectable;
+    - unobservable nodes — no path to any primary output;
+    - uncontrollable flip-flops — flip-flops whose D cone reaches no
+      primary input, so their value can never be set from outside;
+    - potentially uninitializable flip-flops — computed by an
+      achievable-value fixpoint: for every node, the set of binary values
+      some primary-input assignment can drive onto it, with flip-flops
+      acting as sources fed by their D set from the previous iteration.
+      The propagation is optimistic (it ignores that reconvergent paths
+      may need contradictory PI values), so an {e empty} final set is a
+      reliable "this flip-flop can never leave X under three-valued
+      simulation" verdict, while a non-empty set is only a hint. *)
+
+type report = {
+  dangling : Netlist.node list;
+  unobservable : Netlist.node list;
+  uncontrollable_ffs : Netlist.node list;
+  maybe_uninitializable_ffs : Netlist.node list;
+}
+
+val check : Netlist.t -> report
+
+val is_clean : report -> bool
+(** No findings in any category. *)
+
+val pp : Netlist.t -> Format.formatter -> report -> unit
+(** Human-readable summary with node names. *)

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Bist_logic List

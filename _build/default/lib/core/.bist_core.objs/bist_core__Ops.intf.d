@@ -1,0 +1,1 @@
+lib/core/ops.mli: Bist_logic

@@ -1,0 +1,1 @@
+lib/core/postprocess.ml: Bist_fault Bist_logic Bist_util Int List Ops

@@ -1,0 +1,1 @@
+lib/core/postprocess.mli: Bist_fault Bist_logic Bist_util Ops

@@ -1,0 +1,1 @@
+lib/core/procedure1.ml: Array Bist_fault Bist_logic Bist_util List Ops Option Procedure2

@@ -1,0 +1,1 @@
+lib/core/procedure1.mli: Bist_fault Bist_logic Bist_util Ops Procedure2

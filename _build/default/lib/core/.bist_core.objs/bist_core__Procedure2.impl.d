@@ -1,0 +1,1 @@
+lib/core/procedure2.ml: Array Bist_fault Bist_logic Bist_util Ops

@@ -1,0 +1,1 @@
+lib/core/procedure2.mli: Bist_circuit Bist_fault Bist_logic Bist_util Ops

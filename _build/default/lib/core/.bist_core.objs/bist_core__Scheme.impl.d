@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Bist_circuit Bist_fault Bist_logic Bist_util List Ops Postprocess Procedure1 Procedure2 Sys

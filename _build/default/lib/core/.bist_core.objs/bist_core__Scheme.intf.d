@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Bist_fault Bist_logic Ops Postprocess Procedure2

@@ -1,0 +1,36 @@
+(** Static compaction of the stored-sequence set (Section 3.2).
+
+    Sequences are re-simulated in several orders; in each pass the
+    simulation starts from the full target fault set, every sequence
+    drops the faults its expansion detects, and a sequence that detects
+    nothing new at its turn is removed. The paper's four passes:
+
+    + by increasing stored length,
+    + by decreasing stored length,
+    + in reverse generation order,
+    + by decreasing number of faults detected in the previous pass. *)
+
+type pass =
+  | Increasing_length
+  | Decreasing_length
+  | Reverse_generation
+  | Decreasing_prev_detections
+
+val default_passes : pass list
+
+type outcome = {
+  kept : Bist_logic.Tseq.t list;  (** Survivors, in generation order. *)
+  dropped : int;
+  simulated_time_units : int;
+}
+
+val run :
+  ?passes:pass list ->
+  ?operators:Ops.operator list ->
+  n:int ->
+  targets:Bist_util.Bitset.t ->
+  Bist_fault.Universe.t ->
+  Bist_logic.Tseq.t list ->
+  outcome
+(** [run ~n ~targets universe seqs] compacts [seqs] (given in generation
+    order) while preserving coverage of [targets]. *)

@@ -1,0 +1,39 @@
+(** Procedure 1: select the set of stored sequences S.
+
+    Starting from the faults [F] detected by [T0] (with their first
+    detection times), repeatedly pick the yet-uncovered fault with the
+    highest [udet], derive a stored sequence for it with {!Procedure2},
+    and drop from the target set every fault detected by the new
+    sequence's expansion. Terminates because each iteration covers at
+    least its own target fault. *)
+
+type selected = {
+  seq : Bist_logic.Tseq.t;
+  target_fault : int;  (** Universe id of the fault that seeded it. *)
+  newly_detected : Bist_util.Bitset.t;
+      (** Targets dropped when this sequence was added. *)
+  proc2 : Procedure2.outcome;
+}
+
+type result = {
+  selected : selected list;  (** In generation order. *)
+  t0_detected : Bist_util.Bitset.t;  (** [F]: the coverage to reproduce. *)
+  total_simulated_time_units : int;
+}
+
+val run :
+  ?strategy:Procedure2.strategy ->
+  ?operators:Ops.operator list ->
+  ?fault_order:[ `Max_udet | `Min_udet | `Random ] ->
+  rng:Bist_util.Rng.t ->
+  n:int ->
+  t0:Bist_logic.Tseq.t ->
+  Bist_fault.Universe.t ->
+  result
+(** [fault_order] (default [`Max_udet], the paper's rule) exists for the
+    ablation study. *)
+
+val sequences : result -> Bist_logic.Tseq.t list
+
+val total_length : Bist_logic.Tseq.t list -> int
+val max_length : Bist_logic.Tseq.t list -> int

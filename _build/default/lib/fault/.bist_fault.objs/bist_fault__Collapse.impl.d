@@ -1,0 +1,1 @@
+lib/fault/collapse.ml: Array Bist_circuit Bist_logic Fault Hashtbl List Option

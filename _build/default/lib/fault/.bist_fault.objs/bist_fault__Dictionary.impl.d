@@ -1,0 +1,1 @@
+lib/fault/dictionary.ml: Array Bist_util Fsim Hashtbl List Option Universe

@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Bist_circuit Bist_logic Format Hashtbl Printf Stdlib

@@ -1,0 +1,1 @@
+lib/fault/fault.mli: Bist_circuit Bist_logic Format

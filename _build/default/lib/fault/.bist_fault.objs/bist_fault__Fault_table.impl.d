@@ -1,0 +1,1 @@
+lib/fault/fault_table.ml: Array Bist_logic Bist_util Fault Fsim List String Universe

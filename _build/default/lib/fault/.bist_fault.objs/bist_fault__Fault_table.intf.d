@@ -1,0 +1,1 @@
+lib/fault/fault_table.mli: Bist_logic Bist_util Universe

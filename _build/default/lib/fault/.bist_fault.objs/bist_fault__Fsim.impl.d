@@ -1,0 +1,1 @@
+lib/fault/fsim.ml: Array Bist_logic Bist_sim Bist_util Fault Option Universe

@@ -1,0 +1,1 @@
+lib/fault/fsim.mli: Bist_circuit Bist_logic Bist_util Fault Universe

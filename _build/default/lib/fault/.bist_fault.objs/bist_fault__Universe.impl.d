@@ -1,0 +1,1 @@
+lib/fault/universe.ml: Array Bist_circuit Collapse Fault Hashtbl List

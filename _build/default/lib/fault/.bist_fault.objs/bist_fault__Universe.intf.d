@@ -1,0 +1,1 @@
+lib/fault/universe.mli: Bist_circuit Fault

@@ -1,0 +1,91 @@
+module Netlist = Bist_circuit.Netlist
+module Gate = Bist_circuit.Gate
+module T = Bist_logic.Ternary
+
+(* Classic union-find with path compression; class representative is the
+   member with the smallest full-universe id. *)
+module Uf = struct
+  let create n = Array.init n (fun i -> i)
+
+  let rec find t i = if t.(i) = i then i else begin
+    t.(i) <- find t t.(i);
+    t.(i)
+  end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then
+      if ra < rb then t.(rb) <- ra else t.(ra) <- rb
+end
+
+let build_index faults =
+  let index = Hashtbl.create 256 in
+  List.iteri (fun i f -> if not (Hashtbl.mem index f) then Hashtbl.add index f i) faults;
+  index
+
+(* The fault id representing the line feeding pin [pin] of gate [g]: the
+   branch fault if the line branches, otherwise the driver's stem fault. *)
+let line_fault c index g pin stuck =
+  let driver = (Netlist.fanins c g).(pin) in
+  let fault =
+    if Netlist.fanout_count c driver > 1 then Fault.pin_stuck ~gate:g ~pin stuck
+    else Fault.output_stuck driver stuck
+  in
+  Hashtbl.find index fault
+
+let out_fault index n stuck = Hashtbl.find index (Fault.output_stuck n stuck)
+
+let partition c =
+  let faults = Fault.full_list c in
+  let index = build_index faults in
+  let n_faults = Hashtbl.length index in
+  let uf = Uf.create n_faults in
+  for g = 0 to Netlist.size c - 1 do
+    let fanins = Netlist.fanins c g in
+    let arity = Array.length fanins in
+    let unite_all_pins in_v out_v =
+      for pin = 0 to arity - 1 do
+        Uf.union uf (line_fault c index g pin in_v) (out_fault index g out_v)
+      done
+    in
+    match Netlist.kind c g with
+    | Gate.Buf ->
+      Uf.union uf (line_fault c index g 0 T.Zero) (out_fault index g T.Zero);
+      Uf.union uf (line_fault c index g 0 T.One) (out_fault index g T.One)
+    | Gate.Not ->
+      Uf.union uf (line_fault c index g 0 T.Zero) (out_fault index g T.One);
+      Uf.union uf (line_fault c index g 0 T.One) (out_fault index g T.Zero)
+    | Gate.And -> unite_all_pins T.Zero T.Zero
+    | Gate.Nand -> unite_all_pins T.Zero T.One
+    | Gate.Or -> unite_all_pins T.One T.One
+    | Gate.Nor -> unite_all_pins T.One T.Zero
+    (* DFF input/output faults are only *dominated*, not equivalent, under
+       pessimistic 3-valued simulation (the output fault forces the state at
+       time 0, the input fault cannot), so DFFs are left uncollapsed. *)
+    | Gate.Input | Gate.Dff | Gate.Xor | Gate.Xnor | Gate.Const0 | Gate.Const1 -> ()
+  done;
+  let fault_arr = Array.of_list faults in
+  (fault_arr, Array.init n_faults (fun i -> Uf.find uf i))
+
+let representatives c =
+  let faults, root = partition c in
+  let keep = ref [] in
+  Array.iteri (fun i f -> if root.(i) = i then keep := f :: !keep) faults;
+  List.rev !keep
+
+let classes c =
+  let faults, root = partition c in
+  let members = Hashtbl.create 64 in
+  Array.iteri
+    (fun i f ->
+      let r = root.(i) in
+      Hashtbl.replace members r (f :: Option.value ~default:[] (Hashtbl.find_opt members r)))
+    faults;
+  let out = ref [] in
+  Array.iteri
+    (fun i _ ->
+      match Hashtbl.find_opt members i with
+      | Some ms -> out := List.rev ms :: !out
+      | None -> ())
+    faults;
+  List.rev !out

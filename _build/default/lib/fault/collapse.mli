@@ -1,0 +1,27 @@
+(** Structural equivalence collapsing of stuck-at faults.
+
+    Two faults are structurally equivalent when every test for one is a
+    test for the other. The rules applied, per gate:
+
+    - BUF: input s-a-v ≡ output s-a-v;
+    - NOT: input s-a-v ≡ output s-a-(not v);
+    - AND: any input s-a-0 ≡ output s-a-0 (dually NAND → output s-a-1,
+      OR → output s-a-1, NOR → output s-a-0);
+    - a pin on a non-branching line is the same line as its driver's
+      output.
+
+    DFF input and output faults are deliberately {e not} merged: under
+    pessimistic three-valued simulation the output fault (which also
+    forces the unknown initial state) dominates the input fault, and
+    collapsing dominated faults would change coverage accounting.
+
+    Collapsing is computed by union-find over the full universe; the
+    representative of a class is its first fault in {!Universe.full}
+    order. *)
+
+val representatives : Bist_circuit.Netlist.t -> Fault.t list
+(** One fault per equivalence class, in full-universe order. *)
+
+val classes : Bist_circuit.Netlist.t -> Fault.t list list
+(** The full partition, for inspection and tests. Classes appear in
+    representative order; members in full-universe order. *)

@@ -1,0 +1,37 @@
+(** Pass/fail fault dictionaries for diagnosis.
+
+    In the BIST session each stored sequence yields one signature, so the
+    tester observes a pass/fail bit per sequence. A fault dictionary maps
+    every modeled fault to its expected pass/fail syndrome over the
+    expanded sequences; comparing an observed syndrome against it yields
+    the candidate faults — the classic dictionary-based diagnosis that
+    complements a signature-only BIST scheme.
+
+    Syndromes are computed by fault simulation of each expanded sequence
+    from the all-unknown state, exactly like the coverage runs. *)
+
+type t
+
+val build : Universe.t -> Bist_logic.Tseq.t list -> t
+(** [build universe expanded_sequences] simulates every fault under every
+    sequence. The sequences are the {e expanded} ones (apply
+    [Bist_core.Ops.expand] before calling if you hold stored seeds). *)
+
+val num_sequences : t -> int
+
+val syndrome : t -> int -> bool list
+(** [syndrome t fault_id] — element [k] is [true] when sequence [k]
+    detects the fault (its signature would fail). *)
+
+val candidates : t -> observed:bool list -> int list
+(** Fault ids whose syndrome equals the observed pass/fail pattern,
+    ascending. Raises [Invalid_argument] on a length mismatch. *)
+
+val distinguishable_classes : t -> int list list
+(** Partition of the detected faults into groups sharing a syndrome —
+    the diagnosis resolution of the sequence set. Undetected faults
+    (all-pass syndrome) are excluded. *)
+
+val resolution : t -> float
+(** Number of syndrome classes / number of detected faults; 1.0 means
+    full diagnosability down to syndrome equivalence. *)

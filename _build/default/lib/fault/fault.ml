@@ -1,0 +1,52 @@
+module T = Bist_logic.Ternary
+
+type site =
+  | Output of Bist_circuit.Netlist.node
+  | Pin of { gate : Bist_circuit.Netlist.node; pin : int }
+
+type t = { site : site; stuck : T.t }
+
+let stuck_at site stuck =
+  if not (T.is_binary stuck) then invalid_arg "Fault.stuck_at: stuck value must be binary";
+  { site; stuck }
+
+let output_stuck node v = stuck_at (Output node) v
+let pin_stuck ~gate ~pin v = stuck_at (Pin { gate; pin }) v
+
+let full_list c =
+  let module Netlist = Bist_circuit.Netlist in
+  let faults = ref [] in
+  let push f = faults := f :: !faults in
+  for n = Netlist.size c - 1 downto 0 do
+    Array.iteri
+      (fun pin driver ->
+        if Netlist.fanout_count c driver > 1 then begin
+          push (pin_stuck ~gate:n ~pin T.One);
+          push (pin_stuck ~gate:n ~pin T.Zero)
+        end)
+      (Netlist.fanins c n);
+    push (output_stuck n T.One);
+    push (output_stuck n T.Zero)
+  done;
+  !faults
+
+let site_key = function
+  | Output n -> (n, -1)
+  | Pin { gate; pin } -> (gate, pin)
+
+let equal a b = site_key a.site = site_key b.site && T.equal a.stuck b.stuck
+
+let compare a b =
+  let c = Stdlib.compare (site_key a.site) (site_key b.site) in
+  if c <> 0 then c else T.compare a.stuck b.stuck
+
+let hash t = Hashtbl.hash (site_key t.site, T.to_char t.stuck)
+
+let name c t =
+  let v = match t.stuck with T.Zero -> '0' | T.One -> '1' | T.X -> 'x' in
+  match t.site with
+  | Output n -> Printf.sprintf "%s/%c" (Bist_circuit.Netlist.name c n) v
+  | Pin { gate; pin } ->
+    Printf.sprintf "%s.in%d/%c" (Bist_circuit.Netlist.name c gate) pin v
+
+let pp c fmt t = Format.pp_print_string fmt (name c t)

@@ -1,0 +1,32 @@
+(** Single stuck-at faults.
+
+    A fault pins one circuit line to a constant. Lines are either a node's
+    output (the {e stem}, seen by all consumers) or one fanin pin of one
+    gate (a {e fanout branch}, seen by that consumer only). *)
+
+type site =
+  | Output of Bist_circuit.Netlist.node
+  | Pin of { gate : Bist_circuit.Netlist.node; pin : int }
+
+type t = private { site : site; stuck : Bist_logic.Ternary.t }
+
+val stuck_at : site -> Bist_logic.Ternary.t -> t
+(** Raises [Invalid_argument] if the stuck value is [X]. *)
+
+val output_stuck : Bist_circuit.Netlist.node -> Bist_logic.Ternary.t -> t
+val pin_stuck : gate:Bist_circuit.Netlist.node -> pin:int -> Bist_logic.Ternary.t -> t
+
+val full_list : Bist_circuit.Netlist.t -> t list
+(** Two faults per line of the circuit: every node output, plus every
+    gate input pin whose driver branches. This is the shared source for
+    {!Universe.full} and {!Collapse}. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val name : Bist_circuit.Netlist.t -> t -> string
+(** Human-readable, e.g. ["G10/0"] for a stem fault or ["G8.in1/1"] for a
+    branch fault. *)
+
+val pp : Bist_circuit.Netlist.t -> Format.formatter -> t -> unit

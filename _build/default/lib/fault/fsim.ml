@@ -1,0 +1,90 @@
+module Tseq = Bist_logic.Tseq
+module Bitset = Bist_util.Bitset
+module Packed_sim = Bist_sim.Packed_sim
+
+type outcome = {
+  universe : Universe.t;
+  det_time : int array;
+  detected : Bitset.t;
+}
+
+let faults_per_pass = 62 (* 63 lanes minus the fault-free lane 0 *)
+
+let install sim fault ~lane =
+  let mask = 1 lsl lane in
+  match (fault : Fault.t) with
+  | { site = Fault.Output n; stuck } -> Packed_sim.add_output_force sim n ~mask stuck
+  | { site = Fault.Pin { gate; pin }; stuck } ->
+    Packed_sim.add_pin_force sim ~gate ~pin ~mask stuck
+
+let run ?targets ?(stop_when_all_detected = false) universe seq =
+  let circuit = Universe.circuit universe in
+  let n_faults = Universe.size universe in
+  let det_time = Array.make n_faults (-1) in
+  let detected = Bitset.create n_faults in
+  let target_ids =
+    match targets with
+    | None -> Array.init n_faults (fun i -> i)
+    | Some set -> Array.of_list (Bitset.elements set)
+  in
+  let sim = Packed_sim.create circuit in
+  let group = Array.make faults_per_pass (-1) in
+  let n_groups = (Array.length target_ids + faults_per_pass - 1) / faults_per_pass in
+  for g = 0 to n_groups - 1 do
+    let base = g * faults_per_pass in
+    let group_size = min faults_per_pass (Array.length target_ids - base) in
+    Packed_sim.clear_forces sim;
+    Packed_sim.reset sim;
+    for j = 0 to group_size - 1 do
+      let id = target_ids.(base + j) in
+      group.(j) <- id;
+      install sim (Universe.get universe id) ~lane:(j + 1)
+    done;
+    (* [live] = lanes of not-yet-detected faults in this group. *)
+    let live = ref (((1 lsl group_size) - 1) lsl 1) in
+    let u = ref 0 in
+    let len = Tseq.length seq in
+    while !u < len && (not stop_when_all_detected || !live <> 0) do
+      Packed_sim.step sim (Tseq.get seq !u);
+      let newly = Packed_sim.po_diff_lanes sim land !live in
+      if newly <> 0 then begin
+        for j = 0 to group_size - 1 do
+          if newly land (1 lsl (j + 1)) <> 0 then begin
+            let id = group.(j) in
+            det_time.(id) <- !u;
+            Bitset.add detected id
+          end
+        done;
+        live := !live land lnot newly
+      end;
+      incr u
+    done
+  done;
+  { universe; det_time; detected }
+
+let coverage outcome =
+  float_of_int (Bitset.cardinal outcome.detected)
+  /. float_of_int (Universe.size outcome.universe)
+
+type single = { sim : Packed_sim.t }
+
+let single circuit fault =
+  let sim = Packed_sim.create circuit in
+  install sim fault ~lane:1;
+  { sim }
+
+let single_detection_time s seq =
+  Packed_sim.reset s.sim;
+  let len = Tseq.length seq in
+  let rec go u =
+    if u >= len then None
+    else begin
+      Packed_sim.step s.sim (Tseq.get seq u);
+      if Packed_sim.po_diff_lanes s.sim <> 0 then Some u else go (u + 1)
+    end
+  in
+  go 0
+
+let single_detects s seq = Option.is_some (single_detection_time s seq)
+
+let detects circuit fault seq = single_detects (single circuit fault) seq

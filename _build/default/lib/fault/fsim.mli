@@ -1,0 +1,50 @@
+(** Stuck-at fault simulation for synchronous sequential circuits.
+
+    Semantics, matching the paper: both the fault-free and every faulty
+    machine start each sequence in the all-unspecified state; a fault is
+    detected at time unit [u] when some primary output carries a binary
+    value in the fault-free machine and the opposite binary value in the
+    faulty machine at time [u].
+
+    The engine packs the fault-free machine into lane 0 of a
+    {!Bist_sim.Packed_sim} word and up to 63 faulty machines into the
+    remaining lanes, so one pass over the sequence simulates 63 faults. *)
+
+type outcome = {
+  universe : Universe.t;
+  det_time : int array;
+      (** [det_time.(i)] is the first detection time of fault [i], or [-1]
+          when undetected (or not a target). *)
+  detected : Bist_util.Bitset.t;  (** Fault ids detected at least once. *)
+}
+
+val run :
+  ?targets:Bist_util.Bitset.t ->
+  ?stop_when_all_detected:bool ->
+  Universe.t ->
+  Bist_logic.Tseq.t ->
+  outcome
+(** Simulate every target fault (default: all faults of the universe)
+    under the sequence. With [stop_when_all_detected] (default [false]) a
+    63-fault group stops early once all its targets are detected — use it
+    when only the detected {e set} matters, not detection times. *)
+
+val coverage : outcome -> float
+(** Detected targets / universe size. *)
+
+(** {2 Single-fault fast path}
+
+    Procedure 2 simulates one fault under many candidate sequences; this
+    path reuses the compiled simulator across calls. *)
+
+type single
+
+val single : Bist_circuit.Netlist.t -> Fault.t -> single
+
+val single_detects : single -> Bist_logic.Tseq.t -> bool
+(** Early-exits at the first detection. *)
+
+val single_detection_time : single -> Bist_logic.Tseq.t -> int option
+
+val detects : Bist_circuit.Netlist.t -> Fault.t -> Bist_logic.Tseq.t -> bool
+(** One-shot convenience wrapper around {!single}. *)

@@ -1,0 +1,36 @@
+module Netlist = Bist_circuit.Netlist
+
+type t = {
+  circuit : Netlist.t;
+  faults : Fault.t array;
+  index : (Fault.t, int) Hashtbl.t;
+}
+
+let of_faults circuit faults =
+  let index = Hashtbl.create 256 in
+  let keep =
+    List.filter
+      (fun f ->
+        if Hashtbl.mem index f then false
+        else begin
+          Hashtbl.add index f (Hashtbl.length index);
+          true
+        end)
+      faults
+  in
+  { circuit; faults = Array.of_list keep; index }
+
+let full c = of_faults c (Fault.full_list c)
+
+let collapsed c = of_faults c (Collapse.representatives c)
+
+let circuit t = t.circuit
+let size t = Array.length t.faults
+let get t i = t.faults.(i)
+let id_of t f = Hashtbl.find_opt t.index f
+let iter f t = Array.iteri f t.faults
+let fold f t init =
+  let acc = ref init in
+  Array.iteri (fun i fault -> acc := f i fault !acc) t.faults;
+  !acc
+let to_list t = Array.to_list t.faults

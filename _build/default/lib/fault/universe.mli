@@ -1,0 +1,26 @@
+(** Dense, indexed fault lists.
+
+    The {e full} universe holds two faults per line: every node output,
+    plus every gate input pin whose driving node branches (drives more
+    than one pin). Pins of non-branching drivers are the same line as the
+    driver's output, so they carry no separate fault.
+
+    The {e collapsed} universe keeps one representative per structural
+    equivalence class (see {!Collapse}); it is what the paper's "total
+    faults" column counts. *)
+
+type t
+
+val full : Bist_circuit.Netlist.t -> t
+val collapsed : Bist_circuit.Netlist.t -> t
+
+val of_faults : Bist_circuit.Netlist.t -> Fault.t list -> t
+(** Deduplicates; order of first occurrence. *)
+
+val circuit : t -> Bist_circuit.Netlist.t
+val size : t -> int
+val get : t -> int -> Fault.t
+val id_of : t -> Fault.t -> int option
+val iter : (int -> Fault.t -> unit) -> t -> unit
+val fold : (int -> Fault.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> Fault.t list

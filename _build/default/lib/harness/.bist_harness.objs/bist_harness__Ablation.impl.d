@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Bist_core Bist_fault Bist_util List

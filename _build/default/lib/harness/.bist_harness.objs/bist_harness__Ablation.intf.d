@@ -1,0 +1,1 @@
+lib/harness/ablation.mli: Bist_core Bist_fault Bist_logic

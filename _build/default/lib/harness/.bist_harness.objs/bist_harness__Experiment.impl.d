@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Bist_bench Bist_circuit Bist_core Bist_fault Bist_logic Bist_tgen Bist_util Float List Printf

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Bist_bench Bist_circuit Bist_core Bist_logic Bist_tgen

@@ -1,0 +1,1 @@
+lib/harness/figure1.ml: Bist_bench Bist_core Bist_fault Bist_logic Bist_util Buffer Bytes List Printf

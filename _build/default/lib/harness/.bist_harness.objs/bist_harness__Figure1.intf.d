@@ -1,0 +1,1 @@
+lib/harness/figure1.mli: Bist_fault Bist_logic

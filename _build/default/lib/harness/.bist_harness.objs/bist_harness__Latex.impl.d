@@ -1,0 +1,1 @@
+lib/harness/latex.ml: Bist_core Buffer Experiment List Paper_data Printf String Tables

@@ -1,0 +1,1 @@
+lib/harness/markdown.ml: Bist_circuit Bist_core Bist_tgen Bist_util Buffer Experiment Figure1 List Paper_data Printf String Tables

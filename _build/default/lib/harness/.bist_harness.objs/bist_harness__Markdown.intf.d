@@ -1,0 +1,1 @@
+lib/harness/markdown.mli: Experiment

@@ -1,0 +1,1 @@
+lib/harness/seq_io.ml: Array Bist_logic Fun List Printf String

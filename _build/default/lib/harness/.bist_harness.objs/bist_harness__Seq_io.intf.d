@@ -1,0 +1,1 @@
+lib/harness/seq_io.mli: Bist_logic

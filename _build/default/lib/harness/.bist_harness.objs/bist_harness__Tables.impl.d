@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Bist_core Bist_util Experiment List Paper_data Printf

@@ -1,0 +1,36 @@
+(** The ablation study of DESIGN.md section 5, as data.
+
+    Each variant switches off or replaces one design choice of the scheme
+    — Procedure 1's fault ordering, Procedure 2's omission phase and
+    strategy, the expansion operator set, the postprocessing passes — and
+    reports the resulting stored-set quality. Coverage of [F] must hold
+    for every variant (the operators always keep the stored seed as a
+    prefix of the expansion), so the interesting columns are the sizes. *)
+
+type variant = {
+  label : string;
+  operators : Bist_core.Ops.operator list;
+  strategy : Bist_core.Procedure2.strategy;
+  fault_order : [ `Max_udet | `Min_udet | `Random ];
+  passes : Bist_core.Postprocess.pass list;
+}
+
+val variants : variant list
+(** The paper's configuration first, then one change at a time. *)
+
+type row = {
+  variant : variant;
+  count : int;
+  total_length : int;
+  max_length : int;
+  covers : bool;  (** Whether the compacted set still covers [F]. *)
+}
+
+val run :
+  ?seed:int ->
+  n:int ->
+  t0:Bist_logic.Tseq.t ->
+  Bist_fault.Universe.t ->
+  row list
+
+val render : row list -> string

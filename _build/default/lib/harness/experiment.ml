@@ -1,0 +1,133 @@
+module Tseq = Bist_logic.Tseq
+module Universe = Bist_fault.Universe
+
+type budget = {
+  tgen_max_length : int;
+  compaction_trials : int;
+  ns : int list;
+  strategy : Bist_core.Procedure2.strategy;
+}
+
+let budget_for circuit =
+  let nodes = Bist_circuit.Netlist.size circuit in
+  let compaction_trials =
+    if nodes < 500 then 300
+    else if nodes < 1500 then 150
+    else if nodes < 3000 then 60
+    else 16
+  in
+  let tgen_max_length = if nodes < 1500 then 1200 else 700 in
+  let strategy =
+    if nodes < 1500 then Bist_core.Procedure2.paper_strategy
+    else Bist_core.Procedure2.fast_strategy
+  in
+  { tgen_max_length; compaction_trials; ns = [ 2; 4; 8; 16 ]; strategy }
+
+type circuit_result = {
+  name : string;
+  paper_name : string;
+  scaled : bool;
+  stats : Bist_circuit.Stats.t;
+  t0 : Tseq.t;
+  tgen_stats : Bist_tgen.Engine.stats;
+  compaction_stats : Bist_tgen.Compaction.stats;
+  runs : Bist_core.Scheme.run list;
+  best : Bist_core.Scheme.run;
+}
+
+let run_circuit ?(seed = 2026) ?budget (entry : Bist_bench.Registry.entry) =
+  let circuit = entry.circuit () in
+  let budget = match budget with Some b -> b | None -> budget_for circuit in
+  let universe = Universe.collapsed circuit in
+  let rng = Bist_util.Rng.create seed in
+  let config =
+    { (Bist_tgen.Engine.default_config circuit) with
+      max_length = budget.tgen_max_length;
+      directed_budget =
+        (if Bist_circuit.Netlist.size circuit < 1500 then 16 else 0) }
+  in
+  let t0_raw, tgen_stats = Bist_tgen.Engine.generate ~config ~rng universe in
+  let t0, compaction_stats =
+    Bist_tgen.Compaction.compact ~max_trials:budget.compaction_trials universe
+      t0_raw
+  in
+  let runs =
+    List.map
+      (fun n ->
+        Bist_core.Scheme.execute ~strategy:budget.strategy ~seed:(seed + n) ~n
+          ~t0 universe)
+      budget.ns
+  in
+  let best =
+    match runs with
+    | [] -> invalid_arg "Experiment.run_circuit: empty n sweep"
+    | first :: rest -> List.fold_left Bist_core.Scheme.better first rest
+  in
+  {
+    name = entry.name;
+    paper_name = entry.paper_name;
+    scaled = entry.scaled;
+    stats = Bist_circuit.Stats.of_netlist circuit;
+    t0;
+    tgen_stats;
+    compaction_stats;
+    runs;
+    best;
+  }
+
+type spread = { mean : float; min : float; max : float }
+
+type robustness = {
+  circuit : string;
+  seeds : int list;
+  ratio_total : spread;
+  ratio_max : spread;
+  always_verified : bool;
+}
+
+let spread_of values =
+  let n = float_of_int (List.length values) in
+  {
+    mean = List.fold_left ( +. ) 0.0 values /. n;
+    min = List.fold_left Float.min infinity values;
+    max = List.fold_left Float.max neg_infinity values;
+  }
+
+let robustness ?(seeds = [ 2026; 2027; 2028 ]) entry =
+  if seeds = [] then invalid_arg "Experiment.robustness: no seeds";
+  let results = List.map (fun seed -> run_circuit ~seed entry) seeds in
+  let bests = List.map (fun r -> r.best) results in
+  {
+    circuit = entry.Bist_bench.Registry.name;
+    seeds;
+    ratio_total = spread_of (List.map Bist_core.Scheme.ratio_total bests);
+    ratio_max = spread_of (List.map Bist_core.Scheme.ratio_max bests);
+    always_verified =
+      List.for_all (fun (b : Bist_core.Scheme.run) -> b.coverage_verified) bests;
+  }
+
+let run_suite ?(seed = 2026) ?circuits ?(progress = fun _ -> ()) () =
+  let entries =
+    match circuits with
+    | None -> Bist_bench.Registry.evaluation_suite ()
+    | Some names ->
+      List.map
+        (fun name ->
+          match Bist_bench.Registry.find name with
+          | Some e -> e
+          | None -> invalid_arg (Printf.sprintf "unknown circuit %S" name))
+        names
+  in
+  List.map
+    (fun (entry : Bist_bench.Registry.entry) ->
+      progress (Printf.sprintf "[%s] generating T0 and running the scheme..." entry.name);
+      let result = run_circuit ~seed entry in
+      progress
+        (Printf.sprintf
+           "[%s] T0=%d vectors, detected %d/%d; best n=%d: |S|=%d tot=%d max=%d"
+           entry.name (Tseq.length result.t0) result.tgen_stats.detected
+           result.tgen_stats.total_faults result.best.n
+           result.best.after.count result.best.after.total_length
+           result.best.after.max_length);
+      result)
+    entries

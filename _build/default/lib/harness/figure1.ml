@@ -1,0 +1,31 @@
+module Tseq = Bist_logic.Tseq
+
+let render ?(seed = 11) ?(n = 4) ~t0 universe =
+  let rng = Bist_util.Rng.create seed in
+  let result = Bist_core.Procedure1.run ~rng ~n ~t0 universe in
+  let len = Tseq.length t0 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 1: subsequences selected from T0 (length %d, n = %d)\n" len n);
+  let axis = Bytes.make len '-' in
+  Buffer.add_string buf (Printf.sprintf "T0  |%s|\n" (Bytes.to_string axis));
+  List.iteri
+    (fun i (sel : Bist_core.Procedure1.selected) ->
+      let o = sel.proc2 in
+      let udet = o.Bist_core.Procedure2.ustart + o.window_length - 1 in
+      let line = Bytes.make len ' ' in
+      for u = o.Bist_core.Procedure2.ustart to udet do
+        Bytes.set line u '='
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "S%-3d|%s| window [%d,%d], stored %d vectors\n" (i + 1)
+           (Bytes.to_string line) o.Bist_core.Procedure2.ustart udet
+           (Tseq.length sel.seq)))
+    result.Bist_core.Procedure1.selected;
+  Buffer.contents buf
+
+let render_s27 () =
+  let circuit = Bist_bench.S27.circuit () in
+  let universe = Bist_fault.Universe.collapsed circuit in
+  render ~seed:11 ~n:1 ~t0:(Bist_bench.S27.t0 ()) universe

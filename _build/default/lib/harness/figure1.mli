@@ -1,0 +1,18 @@
+(** ASCII rendering of the paper's Figure 1.
+
+    Figure 1 shows subsequences [S1, S2, S3] drawn from their positions
+    inside [T0]. This module re-runs Procedure 1 on a circuit and draws
+    each selected window [T0\[ustart, udet\]] as a bar over the time axis
+    of [T0], annotated with the stored length that survives vector
+    omission. *)
+
+val render :
+  ?seed:int ->
+  ?n:int ->
+  t0:Bist_logic.Tseq.t ->
+  Bist_fault.Universe.t ->
+  string
+
+val render_s27 : unit -> string
+(** The figure for s27 with the paper's own T0 and n = 1, matching the
+    Section 3.1 walkthrough. *)

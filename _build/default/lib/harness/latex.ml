@@ -1,0 +1,78 @@
+module Scheme = Bist_core.Scheme
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '_' -> "\\_"
+         | '%' -> "\\%"
+         | '&' -> "\\&"
+         | '#' -> "\\#"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let tabular ~caption ~columns ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "\\begin{table}\n\\centering\n";
+  Buffer.add_string buf (Printf.sprintf "\\caption{%s}\n" caption);
+  Buffer.add_string buf (Printf.sprintf "\\begin{tabular}{%s}\n\\hline\n" columns);
+  Buffer.add_string buf (String.concat " & " (List.map escape header) ^ " \\\\\n\\hline\n");
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat " & " (List.map escape row) ^ " \\\\\n"))
+    rows;
+  Buffer.add_string buf "\\hline\n\\end{tabular}\n\\end{table}\n";
+  Buffer.contents buf
+
+let fi = string_of_int
+let ff2 v = Printf.sprintf "%.2f" v
+
+let table3 results =
+  tabular ~caption:"Experimental results (Table 3)" ~columns:"l rrr r rrr rrr"
+    ~header:
+      [ "circuit"; "tot"; "det"; "len"; "n"; "|S|"; "tot len"; "max len";
+        "|S|'"; "tot len'"; "max len'" ]
+    (List.map
+       (fun (r : Experiment.circuit_result) ->
+         let b = r.best in
+         [ r.name; fi b.total_faults; fi b.detected_by_t0; fi b.t0_length;
+           fi b.n; fi b.before.count; fi b.before.total_length;
+           fi b.before.max_length; fi b.after.count; fi b.after.total_length;
+           fi b.after.max_length ])
+       results)
+
+let table5 results =
+  let avg_tot, avg_max = Tables.averages results in
+  tabular ~caption:"Comparison with $T_0$ (Table 5)" ~columns:"l rr rrrr r"
+    ~header:
+      [ "circuit"; "len"; "n"; "tot len"; "/T0"; "max len"; "/T0"; "test len" ]
+    (List.map
+       (fun (r : Experiment.circuit_result) ->
+         let b = r.best in
+         [ r.name; fi b.t0_length; fi b.n; fi b.after.total_length;
+           ff2 (Scheme.ratio_total b); fi b.after.max_length;
+           ff2 (Scheme.ratio_max b); fi b.expanded_total_length ])
+       results
+    @ [ [ "average"; ""; ""; ""; ff2 avg_tot; ""; ff2 avg_max; "" ] ])
+
+let comparison results =
+  let avg_tot, avg_max = Tables.averages results in
+  tabular ~caption:"Measured vs paper (headline ratios)" ~columns:"ll rr rr"
+    ~header:
+      [ "circuit"; "paper"; "tot/T0 paper"; "tot/T0 ours"; "max/T0 paper";
+        "max/T0 ours" ]
+    (List.filter_map
+       (fun (r : Experiment.circuit_result) ->
+         match Paper_data.find r.paper_name with
+         | None -> None
+         | Some p ->
+           Some
+             [ r.name; p.circuit;
+               ff2 (float_of_int p.after_total /. float_of_int p.t0_length);
+               ff2 (Scheme.ratio_total r.best);
+               ff2 (float_of_int p.after_max /. float_of_int p.t0_length);
+               ff2 (Scheme.ratio_max r.best) ])
+       results
+    @ [ [ "average"; ""; ff2 Paper_data.avg_ratio_total; ff2 avg_tot;
+          ff2 Paper_data.avg_ratio_max; ff2 avg_max ] ])

@@ -1,0 +1,11 @@
+(** LaTeX export of the result tables.
+
+    Emits [tabular] environments matching the paper's table layouts, for
+    dropping measured results straight into a writeup. Numbers are
+    rendered exactly as in the ASCII tables. *)
+
+val table3 : Experiment.circuit_result list -> string
+val table5 : Experiment.circuit_result list -> string
+
+val comparison : Experiment.circuit_result list -> string
+(** The measured-vs-paper table. *)

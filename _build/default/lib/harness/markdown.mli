@@ -1,0 +1,13 @@
+(** EXPERIMENTS.md generation.
+
+    Renders the full measured-vs-paper record from one suite run:
+    Tables 3-5, the comparison table, Figure 1, per-circuit pipeline
+    details, and the standing caveats (synthetic circuits, T0 substitute,
+    scaled x35932). [bin/report.exe] writes the file; committing its
+    output keeps the repository's EXPERIMENTS.md reproducible. *)
+
+val experiments_md : Experiment.circuit_result list -> string
+
+val robustness_md : Experiment.robustness list -> string
+(** The seed-robustness appendix; [bin/report.exe] appends it for a few
+    small circuits. *)

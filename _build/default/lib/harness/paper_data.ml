@@ -1,0 +1,78 @@
+type row = {
+  circuit : string;
+  total_faults : int;
+  detected : int;
+  t0_length : int;
+  n : int;
+  before_count : int;
+  before_total : int;
+  before_max : int;
+  after_count : int;
+  after_total : int;
+  after_max : int;
+  proc1_norm_time : float;
+  comp_norm_time : float;
+}
+
+(* Tables 3 and 4 of the paper, verbatim. *)
+let rows =
+  [
+    { circuit = "s298"; total_faults = 308; detected = 265; t0_length = 117;
+      n = 16; before_count = 7; before_total = 42; before_max = 17;
+      after_count = 4; after_total = 27; after_max = 17;
+      proc1_norm_time = 30.62; comp_norm_time = 64.59 };
+    { circuit = "s344"; total_faults = 342; detected = 329; t0_length = 57;
+      n = 8; before_count = 7; before_total = 19; before_max = 6;
+      after_count = 5; after_total = 14; after_max = 6;
+      proc1_norm_time = 10.99; comp_norm_time = 19.16 };
+    { circuit = "s382"; total_faults = 399; detected = 364; t0_length = 516;
+      n = 16; before_count = 9; before_total = 337; before_max = 94;
+      after_count = 5; after_total = 272; after_max = 94;
+      proc1_norm_time = 308.27; comp_norm_time = 137.66 };
+    { circuit = "s400"; total_faults = 421; detected = 380; t0_length = 611;
+      n = 16; before_count = 6; before_total = 261; before_max = 100;
+      after_count = 5; after_total = 259; after_max = 100;
+      proc1_norm_time = 224.93; comp_norm_time = 147.31 };
+    { circuit = "s526"; total_faults = 555; detected = 454; t0_length = 1006;
+      n = 16; before_count = 12; before_total = 717; before_max = 122;
+      after_count = 9; after_total = 637; after_max = 122;
+      proc1_norm_time = 328.57; comp_norm_time = 93.67 };
+    { circuit = "s641"; total_faults = 467; detected = 404; t0_length = 101;
+      n = 16; before_count = 20; before_total = 42; before_max = 8;
+      after_count = 13; after_total = 29; after_max = 8;
+      proc1_norm_time = 43.76; comp_norm_time = 62.44 };
+    { circuit = "s820"; total_faults = 850; detected = 814; t0_length = 491;
+      n = 4; before_count = 54; before_total = 534; before_max = 15;
+      after_count = 45; after_total = 454; after_max = 15;
+      proc1_norm_time = 83.03; comp_norm_time = 71.49 };
+    { circuit = "s1196"; total_faults = 1242; detected = 1239; t0_length = 238;
+      n = 4; before_count = 110; before_total = 152; before_max = 2;
+      after_count = 100; after_total = 137; after_max = 2;
+      proc1_norm_time = 13.27; comp_norm_time = 47.14 };
+    { circuit = "s1423"; total_faults = 1515; detected = 1414; t0_length = 1024;
+      n = 8; before_count = 24; before_total = 464; before_max = 82;
+      after_count = 21; after_total = 422; after_max = 82;
+      proc1_norm_time = 103.10; comp_norm_time = 56.45 };
+    { circuit = "s1488"; total_faults = 1486; detected = 1444; t0_length = 455;
+      n = 8; before_count = 19; before_total = 254; before_max = 44;
+      after_count = 15; after_total = 220; after_max = 44;
+      proc1_norm_time = 41.16; comp_norm_time = 77.17 };
+    { circuit = "s5378"; total_faults = 4603; detected = 3639; t0_length = 646;
+      n = 8; before_count = 43; before_total = 348; before_max = 29;
+      after_count = 38; after_total = 326; after_max = 29;
+      proc1_norm_time = 9.46; comp_norm_time = 20.74 };
+    { circuit = "s35932"; total_faults = 39094; detected = 35100; t0_length = 257;
+      n = 8; before_count = 20; before_total = 406; before_max = 32;
+      after_count = 6; after_total = 77; after_max = 32;
+      proc1_norm_time = 6.71; comp_norm_time = 16.08 };
+  ]
+
+let find name =
+  let name =
+    if String.length name > 0 && name.[0] = 'x' then "s" ^ String.sub name 1 (String.length name - 1)
+    else name
+  in
+  List.find_opt (fun r -> r.circuit = name) rows
+
+let avg_ratio_total = 0.46
+let avg_ratio_max = 0.10

@@ -1,0 +1,30 @@
+(** The numbers published in the paper's Tables 3-5, for side-by-side
+    comparison in EXPERIMENTS.md and the table printers. *)
+
+type row = {
+  circuit : string;
+  total_faults : int;
+  detected : int;
+  t0_length : int;
+  n : int;
+  before_count : int;  (** |S| before static compaction. *)
+  before_total : int;
+  before_max : int;
+  after_count : int;
+  after_total : int;
+  after_max : int;
+  proc1_norm_time : float;  (** Table 4, normalized by simulate-T0 time. *)
+  comp_norm_time : float;
+}
+
+val rows : row list
+(** All twelve circuits of Table 3, in the paper's order. *)
+
+val find : string -> row option
+(** By ISCAS name ("s298") or stand-in name ("x298"). *)
+
+val avg_ratio_total : float
+(** 0.46 — the paper's average of (after total / |T0|). *)
+
+val avg_ratio_max : float
+(** 0.10 — the paper's average of (after max / |T0|). *)

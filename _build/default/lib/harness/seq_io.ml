@@ -1,0 +1,72 @@
+module Tseq = Bist_logic.Tseq
+
+let strip line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.trim line
+
+let parse_lines lines =
+  let vectors =
+    List.filter_map
+      (fun (lineno, line) ->
+        let line = strip line in
+        if line = "" then None
+        else
+          match Bist_logic.Vector.of_string line with
+          | v -> Some v
+          | exception Invalid_argument msg ->
+            failwith (Printf.sprintf "line %d: %s" lineno msg))
+      lines
+  in
+  match vectors with
+  | [] -> failwith "sequence file contains no vectors"
+  | vs -> Tseq.of_vectors (Array.of_list vs)
+
+let numbered text =
+  List.mapi (fun i line -> (i + 1, line)) (String.split_on_char '\n' text)
+
+let parse text = parse_lines (numbered text)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = parse (read_file path)
+
+let to_string seq = String.concat "\n" (Tseq.to_strings seq) ^ "\n"
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc content)
+
+let save seq path = write_file path (to_string seq)
+
+let save_set seqs path =
+  write_file path (String.concat "--\n" (List.map to_string seqs))
+
+let load_set path =
+  let text = read_file path in
+  let chunks = ref [] in
+  let current = ref [] in
+  let lineno = ref 0 in
+  let flush_chunk () =
+    if !current <> [] then begin
+      chunks := parse_lines (List.rev !current) :: !chunks;
+      current := []
+    end
+  in
+  List.iter
+    (fun line ->
+      incr lineno;
+      if strip line = "--" then flush_chunk ()
+      else current := (!lineno, line) :: !current)
+    (String.split_on_char '\n' text);
+  flush_chunk ();
+  List.rev !chunks

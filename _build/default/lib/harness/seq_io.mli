@@ -1,0 +1,20 @@
+(** Plain-text test sequence files.
+
+    One vector per line over the alphabet [0], [1], [x]; [#] starts a
+    comment; blank lines are ignored. This is the interchange format of
+    the [bistgen] command-line tool. *)
+
+val parse : string -> Bist_logic.Tseq.t
+(** Parse file contents. Raises [Failure] with a line diagnostic. *)
+
+val load : string -> Bist_logic.Tseq.t
+(** Read a file. *)
+
+val to_string : Bist_logic.Tseq.t -> string
+
+val save : Bist_logic.Tseq.t -> string -> unit
+
+val save_set : Bist_logic.Tseq.t list -> string -> unit
+(** Write a stored-sequence set: sequences separated by [--] lines. *)
+
+val load_set : string -> Bist_logic.Tseq.t list

@@ -1,0 +1,105 @@
+module At = Bist_util.Ascii_table
+module Scheme = Bist_core.Scheme
+
+let fi = string_of_int
+let ff2 v = Printf.sprintf "%.2f" v
+
+let table3 results =
+  let t =
+    At.create
+      ~headers:
+        [ ("circuit", At.Left); ("tot", At.Right); ("det", At.Right);
+          ("len", At.Right); ("n", At.Right); ("|S|", At.Right);
+          ("tot len", At.Right); ("max len", At.Right); ("|S|'", At.Right);
+          ("tot len'", At.Right); ("max len'", At.Right) ]
+  in
+  List.iter
+    (fun (r : Experiment.circuit_result) ->
+      let b = r.best in
+      At.add_row t
+        [ r.name; fi b.total_faults; fi b.detected_by_t0; fi b.t0_length;
+          fi b.n; fi b.before.count; fi b.before.total_length;
+          fi b.before.max_length; fi b.after.count; fi b.after.total_length;
+          fi b.after.max_length ])
+    results;
+  "Table 3: experimental results (primed columns = after static compaction)\n"
+  ^ At.render t
+
+let table4 results =
+  let t =
+    At.create
+      ~headers:
+        [ ("circuit", At.Left); ("Proc.1", At.Right); ("comp.", At.Right) ]
+  in
+  let norm num den = if den <= 0.0 then "n/a" else ff2 (num /. den) in
+  List.iter
+    (fun (r : Experiment.circuit_result) ->
+      let b = r.best in
+      At.add_row t
+        [ r.name;
+          norm b.proc1_seconds b.simulate_t0_seconds;
+          norm b.compaction_seconds b.simulate_t0_seconds ])
+    results;
+  "Table 4: run times normalized by the time to fault-simulate T0\n"
+  ^ At.render t
+
+let averages results =
+  let n = float_of_int (List.length results) in
+  let tot, mx =
+    List.fold_left
+      (fun (t, m) (r : Experiment.circuit_result) ->
+        (t +. Scheme.ratio_total r.best, m +. Scheme.ratio_max r.best))
+      (0.0, 0.0) results
+  in
+  if n = 0.0 then (0.0, 0.0) else (tot /. n, mx /. n)
+
+let table5 results =
+  let t =
+    At.create
+      ~headers:
+        [ ("circuit", At.Left); ("len", At.Right); ("n", At.Right);
+          ("|S|", At.Right); ("tot len", At.Right); ("/T0", At.Right);
+          ("max len", At.Right); ("/T0", At.Right); ("test len", At.Right) ]
+  in
+  List.iter
+    (fun (r : Experiment.circuit_result) ->
+      let b = r.best in
+      At.add_row t
+        [ r.name; fi b.t0_length; fi b.n; fi b.after.count;
+          fi b.after.total_length; ff2 (Scheme.ratio_total b);
+          fi b.after.max_length; ff2 (Scheme.ratio_max b);
+          fi b.expanded_total_length ])
+    results;
+  At.add_separator t;
+  let avg_tot, avg_max = averages results in
+  At.add_row t
+    [ "average"; ""; ""; ""; ""; ff2 avg_tot; ""; ff2 avg_max; "" ];
+  "Table 5: comparison with T0 (test len = 8 n L applied at-speed)\n"
+  ^ At.render t
+
+let comparison results =
+  let t =
+    At.create
+      ~headers:
+        [ ("circuit", At.Left); ("paper", At.Left);
+          ("tot/T0 (paper)", At.Right); ("tot/T0 (ours)", At.Right);
+          ("max/T0 (paper)", At.Right); ("max/T0 (ours)", At.Right);
+          ("n (paper)", At.Right); ("n (ours)", At.Right) ]
+  in
+  List.iter
+    (fun (r : Experiment.circuit_result) ->
+      match Paper_data.find r.paper_name with
+      | None -> ()
+      | Some p ->
+        let paper_tot = float_of_int p.after_total /. float_of_int p.t0_length in
+        let paper_max = float_of_int p.after_max /. float_of_int p.t0_length in
+        At.add_row t
+          [ r.name; p.circuit; ff2 paper_tot; ff2 (Scheme.ratio_total r.best);
+            ff2 paper_max; ff2 (Scheme.ratio_max r.best); fi p.n; fi r.best.n ])
+    results;
+  At.add_separator t;
+  let avg_tot, avg_max = averages results in
+  At.add_row t
+    [ "average"; ""; ff2 Paper_data.avg_ratio_total; ff2 avg_tot;
+      ff2 Paper_data.avg_ratio_max; ff2 avg_max; ""; "" ];
+  "Measured vs paper (Table 5 headline ratios)\n" ^ At.render t

@@ -1,0 +1,24 @@
+(** Renderers for the paper's result tables over measured data.
+
+    Each function takes the suite results from {!Experiment.run_suite}
+    and prints the corresponding table of the paper; the comparison
+    variants interleave the published numbers so drift is visible at a
+    glance. *)
+
+val table3 : Experiment.circuit_result list -> string
+(** Table 3: faults / detected / |T0| / n / before- and after-compaction
+    |S|, total length, max length. *)
+
+val table4 : Experiment.circuit_result list -> string
+(** Table 4: run times of Procedure 1 and compaction, normalized by the
+    time to fault-simulate T0. *)
+
+val table5 : Experiment.circuit_result list -> string
+(** Table 5: total and maximum stored length as fractions of |T0|, and
+    the applied at-speed test length 8·n·L, with column averages. *)
+
+val comparison : Experiment.circuit_result list -> string
+(** Measured-vs-paper table over the headline Table 5 ratios. *)
+
+val averages : Experiment.circuit_result list -> float * float
+(** (avg total ratio, avg max ratio) — the paper reports 0.46 / 0.10. *)

@@ -1,0 +1,1 @@
+lib/logic/packed.mli: Format Ternary

@@ -1,0 +1,1 @@
+lib/logic/ternary.ml: Format Int Printf

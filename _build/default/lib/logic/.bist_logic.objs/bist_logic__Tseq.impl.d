@@ -1,0 +1,1 @@
+lib/logic/tseq.ml: Array Format List Vector

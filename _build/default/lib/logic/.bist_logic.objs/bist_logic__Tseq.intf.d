@@ -1,0 +1,1 @@
+lib/logic/tseq.mli: Bist_util Format Vector

@@ -1,0 +1,1 @@
+lib/logic/vector.ml: Array Bist_util Format Int String Ternary

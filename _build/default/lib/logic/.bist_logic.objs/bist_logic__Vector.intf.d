@@ -1,0 +1,1 @@
+lib/logic/vector.mli: Bist_util Format Ternary

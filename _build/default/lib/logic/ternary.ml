@@ -1,0 +1,59 @@
+type t = Zero | One | X
+
+let equal a b =
+  match a, b with
+  | Zero, Zero | One, One | X, X -> true
+  | Zero, (One | X) | One, (Zero | X) | X, (Zero | One) -> false
+
+let to_int = function Zero -> 0 | One -> 1 | X -> 2
+
+let compare a b = Int.compare (to_int a) (to_int b)
+
+let is_binary = function Zero | One -> true | X -> false
+
+let not_ = function Zero -> One | One -> Zero | X -> X
+
+let and_ a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | X, (One | X) | One, X -> X
+
+let or_ a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | X, (Zero | X) | Zero, X -> X
+
+let nand a b = not_ (and_ a b)
+let nor a b = not_ (or_ a b)
+
+let xor a b =
+  match a, b with
+  | X, _ | _, X -> X
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+
+let xnor a b = not_ (xor a b)
+
+let of_bool b = if b then One else Zero
+
+let to_bool_exn = function
+  | Zero -> false
+  | One -> true
+  | X -> invalid_arg "Ternary.to_bool_exn: X"
+
+let of_char = function
+  | '0' -> Zero
+  | '1' -> One
+  | 'x' | 'X' -> X
+  | c -> invalid_arg (Printf.sprintf "Ternary.of_char: %C" c)
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'x'
+
+let conflicts a b =
+  match a, b with
+  | Zero, One | One, Zero -> true
+  | Zero, (Zero | X) | One, (One | X) | X, (Zero | One | X) -> false
+
+let pp fmt t = Format.pp_print_char fmt (to_char t)

@@ -1,0 +1,41 @@
+(** Three-valued logic.
+
+    Sequential test generation must model the unknown power-up state of
+    flip-flops, so every signal carries one of three values: logic 0,
+    logic 1, or X (unknown). The operators below implement the standard
+    pessimistic (Kleene) extension of the Boolean connectives: a result is
+    binary only when it is binary for every consistent assignment of the
+    X inputs. *)
+
+type t = Zero | One | X
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_binary : t -> bool
+(** True for [Zero] and [One]; false for [X]. *)
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val nand : t -> t -> t
+val nor : t -> t -> t
+val xor : t -> t -> t
+val xnor : t -> t -> t
+
+val of_bool : bool -> t
+
+val to_bool_exn : t -> bool
+(** Raises [Invalid_argument] on [X]. *)
+
+val of_char : char -> t
+(** ['0'], ['1'], ['x'] or ['X']. Raises [Invalid_argument] otherwise. *)
+
+val to_char : t -> char
+(** ['0'], ['1'] or ['x']. *)
+
+val conflicts : t -> t -> bool
+(** [conflicts a b] is true when [a] and [b] are distinct binary values —
+    the detection condition at a primary output. *)
+
+val pp : Format.formatter -> t -> unit

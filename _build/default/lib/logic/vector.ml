@@ -1,0 +1,52 @@
+type t = Ternary.t array
+
+let create width v =
+  if width < 0 then invalid_arg "Vector.create";
+  Array.make width v
+
+let init width f =
+  if width < 0 then invalid_arg "Vector.init";
+  Array.init width f
+
+let width = Array.length
+
+let get (t : t) i = t.(i)
+
+let set t i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let of_string s = Array.init (String.length s) (fun i -> Ternary.of_char s.[i])
+
+let to_string t = String.init (Array.length t) (fun i -> Ternary.to_char t.(i))
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Ternary.equal a b
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Ternary.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let complement t = Array.map Ternary.not_ t
+
+let shift_left_circular t =
+  let m = Array.length t in
+  if m = 0 then t else Array.init m (fun i -> t.((i + 1) mod m))
+
+let random_binary rng width =
+  Array.init width (fun _ -> Ternary.of_bool (Bist_util.Rng.bool rng))
+
+let random_weighted rng width ~p_one =
+  Array.init width (fun _ -> Ternary.of_bool (Bist_util.Rng.bernoulli rng p_one))
+
+let is_fully_specified t = Array.for_all Ternary.is_binary t
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,45 @@
+(** Input vectors: one three-valued value per circuit primary input.
+
+    Bit 0 is the leftmost character of the textual form and is treated as
+    the most-significant position, matching the paper's convention for the
+    circular shift ("the multiplexer on output [i] is driven from output
+    [i] and output [(i+1) mod m]"). Vectors are immutable. *)
+
+type t
+
+val create : int -> Ternary.t -> t
+(** [create width v] is a vector of [width] copies of [v]. *)
+
+val init : int -> (int -> Ternary.t) -> t
+(** [init width f] sets position [i] to [f i]. *)
+
+val width : t -> int
+
+val get : t -> int -> Ternary.t
+val set : t -> int -> Ternary.t -> t
+
+val of_string : string -> t
+(** Parse ['0'], ['1'], ['x'] characters, leftmost first. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val complement : t -> t
+(** Lane-wise logical complement; X stays X. *)
+
+val shift_left_circular : t -> t
+(** The paper's [S << 1] applied to a single vector: position [i] takes
+    the old value of position [(i+1) mod width]. *)
+
+val random_binary : Bist_util.Rng.t -> int -> t
+(** Uniformly random fully-specified vector. *)
+
+val random_weighted : Bist_util.Rng.t -> int -> p_one:float -> t
+(** Random fully-specified vector where each bit is 1 with probability
+    [p_one]. *)
+
+val is_fully_specified : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/packed_sim.ml: Array Bist_circuit Bist_logic List

@@ -1,0 +1,1 @@
+lib/sim/seq_sim.ml: Array Bist_circuit Bist_logic

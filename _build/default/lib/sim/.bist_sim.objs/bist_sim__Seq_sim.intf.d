@@ -1,0 +1,1 @@
+lib/sim/seq_sim.mli: Bist_circuit Bist_logic

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Bist_circuit Bist_logic Buffer Char Fun Printf Seq_sim

@@ -1,0 +1,1 @@
+lib/sim/vcd.mli: Bist_circuit Bist_logic

@@ -1,0 +1,119 @@
+module T = Bist_logic.Ternary
+module Netlist = Bist_circuit.Netlist
+module Gate = Bist_circuit.Gate
+
+type t = {
+  circuit : Netlist.t;
+  values : T.t array;
+  state : T.t array; (* per-FF present state *)
+  levels : int array; (* combinational depth per node *)
+  buckets : int list array; (* pending gates per level, this cycle *)
+  scheduled : bool array;
+  max_level : int;
+  scratch : T.t array array;
+  mutable full_eval : bool; (* force a complete pass (first step / reset) *)
+  mutable evaluations : int;
+}
+
+let max_fanin c =
+  let m = ref 1 in
+  for n = 0 to Netlist.size c - 1 do
+    m := max !m (Array.length (Netlist.fanins c n))
+  done;
+  !m
+
+let create circuit =
+  let levels = Bist_circuit.Stats.levels circuit in
+  let max_level = Array.fold_left max 0 levels in
+  {
+    circuit;
+    values = Array.make (Netlist.size circuit) T.X;
+    state = Array.make (Netlist.num_dffs circuit) T.X;
+    levels;
+    buckets = Array.make (max_level + 1) [];
+    scheduled = Array.make (Netlist.size circuit) false;
+    max_level;
+    scratch = Array.init (max_fanin circuit + 1) (fun k -> Array.make k T.X);
+    full_eval = true;
+    evaluations = 0;
+  }
+
+let circuit t = t.circuit
+
+let reset t =
+  Array.fill t.state 0 (Array.length t.state) T.X;
+  t.full_eval <- true
+
+let schedule t node =
+  if (not t.scheduled.(node)) && Gate.is_combinational (Netlist.kind t.circuit node)
+  then begin
+    t.scheduled.(node) <- true;
+    let lv = t.levels.(node) in
+    t.buckets.(lv) <- node :: t.buckets.(lv)
+  end
+
+let set_source t node value =
+  if not (T.equal t.values.(node) value) then begin
+    t.values.(node) <- value;
+    Array.iter (schedule t) (Netlist.fanouts t.circuit node)
+  end
+
+let eval_gate t node =
+  let fanins = Netlist.fanins t.circuit node in
+  let k = Array.length fanins in
+  let buf = t.scratch.(k) in
+  for i = 0 to k - 1 do
+    buf.(i) <- t.values.(fanins.(i))
+  done;
+  t.evaluations <- t.evaluations + 1;
+  Gate.eval (Netlist.kind t.circuit node) buf
+
+let step t vec =
+  let c = t.circuit in
+  if Bist_logic.Vector.width vec <> Netlist.num_inputs c then
+    invalid_arg "Event_sim.step: vector width mismatch";
+  if t.full_eval then begin
+    (* Re-evaluate the whole circuit once; afterwards incremental. *)
+    Array.iteri
+      (fun i n -> t.values.(n) <- Bist_logic.Vector.get vec i)
+      (Netlist.inputs c);
+    Array.iteri (fun i n -> t.values.(n) <- t.state.(i)) (Netlist.dffs c);
+    Array.iter
+      (fun n -> t.values.(n) <- eval_gate t n)
+      (Netlist.topo_order c);
+    t.full_eval <- false
+  end
+  else begin
+    Array.iteri
+      (fun i n -> set_source t n (Bist_logic.Vector.get vec i))
+      (Netlist.inputs c);
+    Array.iteri (fun i n -> set_source t n t.state.(i)) (Netlist.dffs c);
+    for lv = 1 to t.max_level do
+      let pending = t.buckets.(lv) in
+      t.buckets.(lv) <- [];
+      List.iter
+        (fun node ->
+          t.scheduled.(node) <- false;
+          let value = eval_gate t node in
+          if not (T.equal t.values.(node) value) then begin
+            t.values.(node) <- value;
+            Array.iter (schedule t) (Netlist.fanouts c node)
+          end)
+        pending
+    done
+  end;
+  let response =
+    Bist_logic.Vector.init (Netlist.num_outputs c) (fun i ->
+        t.values.((Netlist.outputs c).(i)))
+  in
+  Array.iteri
+    (fun i n -> t.state.(i) <- t.values.((Netlist.fanins c n).(0)))
+    (Netlist.dffs c);
+  response
+
+let run circuit seq =
+  let sim = create circuit in
+  Array.init (Bist_logic.Tseq.length seq) (fun u ->
+      step sim (Bist_logic.Tseq.get seq u))
+
+let evaluations t = t.evaluations

@@ -1,0 +1,63 @@
+module T = Bist_logic.Ternary
+module Netlist = Bist_circuit.Netlist
+module Gate = Bist_circuit.Gate
+
+type t = {
+  circuit : Netlist.t;
+  values : T.t array; (* per-node value during the current step *)
+  state : T.t array; (* per-FF present state, dffs order *)
+  scratch : T.t array array; (* per-fanin-arity scratch buffers *)
+}
+
+let max_fanin c =
+  let m = ref 1 in
+  for n = 0 to Netlist.size c - 1 do
+    m := max !m (Array.length (Netlist.fanins c n))
+  done;
+  !m
+
+let create circuit =
+  {
+    circuit;
+    values = Array.make (Netlist.size circuit) T.X;
+    state = Array.make (Netlist.num_dffs circuit) T.X;
+    scratch = Array.init (max_fanin circuit + 1) (fun k -> Array.make k T.X);
+  }
+
+let circuit t = t.circuit
+
+let reset t = Array.fill t.state 0 (Array.length t.state) T.X
+
+let step t vec =
+  let c = t.circuit in
+  if Bist_logic.Vector.width vec <> Netlist.num_inputs c then
+    invalid_arg "Seq_sim.step: vector width mismatch";
+  Array.iteri (fun i n -> t.values.(n) <- Bist_logic.Vector.get vec i) (Netlist.inputs c);
+  Array.iteri (fun i n -> t.values.(n) <- t.state.(i)) (Netlist.dffs c);
+  Array.iter
+    (fun n ->
+      let fanins = Netlist.fanins c n in
+      let k = Array.length fanins in
+      let buf = t.scratch.(k) in
+      for i = 0 to k - 1 do
+        buf.(i) <- t.values.(fanins.(i))
+      done;
+      t.values.(n) <- Gate.eval (Netlist.kind c n) buf)
+    (Netlist.topo_order c);
+  let response =
+    Bist_logic.Vector.init (Netlist.num_outputs c) (fun i ->
+        t.values.((Netlist.outputs c).(i)))
+  in
+  Array.iteri
+    (fun i n -> t.state.(i) <- t.values.((Netlist.fanins c n).(0)))
+    (Netlist.dffs c);
+  response
+
+let node_value t n = t.values.(n)
+
+let ff_state t = Array.copy t.state
+
+let run circuit seq =
+  let sim = create circuit in
+  Array.init (Bist_logic.Tseq.length seq) (fun u ->
+      step sim (Bist_logic.Tseq.get seq u))

@@ -1,0 +1,34 @@
+(** Fault-free three-valued sequential simulation.
+
+    The simulator is levelized: each {!step} applies one input vector,
+    evaluates every combinational gate once in topological order, reads
+    the primary outputs, and then clocks every flip-flop (new state :=
+    the value its fanin had this cycle). A freshly created or {!reset}
+    simulator has every flip-flop at X — the paper's "all-unspecified
+    state". *)
+
+type t
+
+val create : Bist_circuit.Netlist.t -> t
+(** Allocate a simulator in the reset (all-X) state. *)
+
+val circuit : t -> Bist_circuit.Netlist.t
+
+val reset : t -> unit
+(** Return every flip-flop to X. *)
+
+val step : t -> Bist_logic.Vector.t -> Bist_logic.Vector.t
+(** Apply one input vector (width = number of PIs) and return the primary
+    output values of the same cycle. Advances the flip-flop state. *)
+
+val node_value : t -> Bist_circuit.Netlist.node -> Bist_logic.Ternary.t
+(** Value a node had during the most recent {!step}. Flip-flop nodes
+    report their {e present-state} output during that step. *)
+
+val ff_state : t -> Bist_logic.Ternary.t array
+(** Current flip-flop state, in [Netlist.dffs] order (the state that will
+    feed the {e next} step). Fresh array. *)
+
+val run : Bist_circuit.Netlist.t -> Bist_logic.Tseq.t -> Bist_logic.Vector.t array
+(** Simulate a whole sequence from the reset state; element [u] is the PO
+    response at time unit [u]. *)

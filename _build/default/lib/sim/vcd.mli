@@ -1,0 +1,12 @@
+(** Value Change Dump (IEEE 1364) trace writing.
+
+    Records a fault-free sequential simulation of a test sequence as a
+    [.vcd] file that any waveform viewer (GTKWave etc.) can open — one
+    scalar signal per netlist node, X rendered as [x], one timestep per
+    test vector. Handy when debugging why a fault escapes a sequence. *)
+
+val dump_string : Bist_circuit.Netlist.t -> Bist_logic.Tseq.t -> string
+(** Simulate the sequence from the all-X state and render the VCD text. *)
+
+val dump_file : Bist_circuit.Netlist.t -> Bist_logic.Tseq.t -> string -> unit
+(** Same, written to a path. *)

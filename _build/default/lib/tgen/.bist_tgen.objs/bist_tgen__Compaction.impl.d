@@ -1,0 +1,1 @@
+lib/tgen/compaction.ml: Bist_fault Bist_logic Bist_util

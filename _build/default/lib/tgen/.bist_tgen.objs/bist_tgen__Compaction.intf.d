@@ -1,0 +1,1 @@
+lib/tgen/compaction.mli: Bist_fault Bist_logic

@@ -1,0 +1,1 @@
+lib/tgen/directed.ml: Array Bist_circuit Bist_fault Bist_logic Bist_sim Bist_util Int List Option

@@ -1,0 +1,1 @@
+lib/tgen/directed.mli: Bist_circuit Bist_fault Bist_logic Bist_util

@@ -1,0 +1,1 @@
+lib/tgen/engine.ml: Array Bist_circuit Bist_fault Bist_logic Bist_util Directed List Option

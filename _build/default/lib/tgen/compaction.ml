@@ -1,0 +1,77 @@
+module Tseq = Bist_logic.Tseq
+module Bitset = Bist_util.Bitset
+module Fsim = Bist_fault.Fsim
+
+type stats = {
+  trials : int;
+  accepted : int;
+  initial_length : int;
+  final_length : int;
+}
+
+let detected_set ?targets universe seq =
+  (Fsim.run ?targets ~stop_when_all_detected:true universe seq).Fsim.detected
+
+(* Evenly-spaced sample of a fault set; a candidate that loses any
+   sampled fault can be rejected without the full re-simulation. *)
+let sample_of set cap =
+  let total = Bitset.cardinal set in
+  if total <= cap then set
+  else begin
+    let sample = Bitset.create (Bitset.capacity set) in
+    let stride = total / cap in
+    let i = ref 0 in
+    Bitset.iter
+      (fun id ->
+        if !i mod stride = 0 then Bitset.add sample id;
+        incr i)
+      set;
+    sample
+  end
+
+let remove_block seq ~start ~len =
+  let n = Tseq.length seq in
+  let stop = min n (start + len) in
+  if start = 0 then
+    if stop >= n then Tseq.empty (Tseq.width seq) else Tseq.sub seq ~lo:stop ~hi:(n - 1)
+  else if stop >= n then Tseq.sub seq ~lo:0 ~hi:(start - 1)
+  else Tseq.concat (Tseq.sub seq ~lo:0 ~hi:(start - 1)) (Tseq.sub seq ~lo:stop ~hi:(n - 1))
+
+let compact ?initial_block ?(max_trials = max_int) universe seq =
+  let initial_length = Tseq.length seq in
+  let must_detect = detected_set universe seq in
+  let must_sample = sample_of must_detect 800 in
+  let trials = ref 0 in
+  let accepted = ref 0 in
+  let current = ref seq in
+  let block = ref (match initial_block with
+    | Some b -> max 1 b
+    | None -> max 1 (initial_length / 8))
+  in
+  let keeps_coverage candidate =
+    (* Two-stage check: the cheap sampled rejection filter first, the
+       full target set only when the sample survives. *)
+    Bitset.subset must_sample (detected_set ~targets:must_sample universe candidate)
+    && Bitset.subset must_detect (detected_set ~targets:must_detect universe candidate)
+  in
+  while !block >= 1 && !trials < max_trials do
+    (* Back-to-front scan at the current granularity. *)
+    let start = ref (Tseq.length !current - !block) in
+    while !start >= 0 && !trials < max_trials do
+      let candidate = remove_block !current ~start:!start ~len:!block in
+      incr trials;
+      if Tseq.length candidate > 0 && keeps_coverage candidate then begin
+        incr accepted;
+        current := candidate
+      end;
+      start := !start - !block
+    done;
+    block := if !block = 1 then 0 else !block / 2
+  done;
+  ( !current,
+    {
+      trials = !trials;
+      accepted = !accepted;
+      initial_length;
+      final_length = Tseq.length !current;
+    } )

@@ -1,0 +1,29 @@
+(** Static compaction of [T0] by block omission.
+
+    The paper compacts STRATEGATE sequences with vector-restoration-based
+    static compaction [12]; this is the documented substitute. It removes
+    blocks of consecutive vectors, halving the block size from
+    [initial_block] down to 1, re-simulating after each trial and keeping
+    an omission only when every originally-detected fault stays detected.
+    Scanning runs back-to-front because later vectors are more often
+    redundant once earlier vectors have synchronized the circuit.
+
+    The result never detects fewer faults than the input sequence, and
+    its detected set is a superset of the input's. *)
+
+type stats = {
+  trials : int;
+  accepted : int;
+  initial_length : int;
+  final_length : int;
+}
+
+val compact :
+  ?initial_block:int ->
+  ?max_trials:int ->
+  Bist_fault.Universe.t ->
+  Bist_logic.Tseq.t ->
+  Bist_logic.Tseq.t * stats
+(** [initial_block] defaults to 1/8 of the sequence length;
+    [max_trials] (default unlimited) bounds the number of re-simulations
+    for large circuits. *)

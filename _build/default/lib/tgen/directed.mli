@@ -1,0 +1,42 @@
+(** Directed test generation for individual hard faults.
+
+    STRATEGATE [11], the paper's T0 source, steers a genetic search by
+    dynamic state traversal; this module is the corresponding extension
+    of our substitute engine. For one target fault it evolves a
+    population of input segments appended to an already-simulated prefix,
+    guided by a fitness made of
+
+    - detection (dominant term),
+    - the number of time units that {e excite} the fault site (fault-free
+      value opposite to the stuck value), and
+    - the widest state divergence reached between the faulty and
+      fault-free machines (a propagation-progress measure).
+
+    The prefix's machine state is snapshot once and restored per
+    candidate, so each evaluation costs only the segment length. *)
+
+type config = {
+  population : int;
+  generations : int;
+  segment_length : int;
+  mutation_rate : float;  (** Per-bit flip probability when mutating. *)
+}
+
+val default_config : config
+(** 8 individuals, 12 generations, 32-vector segments, 0.05. *)
+
+type outcome = {
+  segment : Bist_logic.Tseq.t option;
+      (** A segment whose concatenation to the prefix detects the fault,
+          if the search succeeded. *)
+  evaluations : int;
+  best_fitness : int;
+}
+
+val search :
+  ?config:config ->
+  rng:Bist_util.Rng.t ->
+  prefix:Bist_logic.Tseq.t ->
+  Bist_circuit.Netlist.t ->
+  Bist_fault.Fault.t ->
+  outcome

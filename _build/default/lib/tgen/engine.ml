@@ -1,0 +1,173 @@
+module Tseq = Bist_logic.Tseq
+module Vector = Bist_logic.Vector
+module Bitset = Bist_util.Bitset
+module Rng = Bist_util.Rng
+module Universe = Bist_fault.Universe
+module Fsim = Bist_fault.Fsim
+
+type config = {
+  segment_length : int;
+  candidates_per_round : int;
+  patience : int;
+  max_length : int;
+  hold_options : int list;
+  weighted_p : float list;
+  sample_cap : int;
+  directed_budget : int;
+}
+
+let default_config circuit =
+  let ffs = Bist_circuit.Netlist.num_dffs circuit in
+  let nodes = Bist_circuit.Netlist.size circuit in
+  let big = nodes >= 2000 in
+  {
+    segment_length = max 24 (min 80 (3 * ffs));
+    candidates_per_round = (if big then 5 else 8);
+    patience = (if big then 6 else 10);
+    max_length = 1200;
+    hold_options = [ 1; 1; 2; 4; 8 ];
+    weighted_p = [ 0.2; 0.35; 0.5; 0.5; 0.65; 0.8 ];
+    sample_cap = 1500;
+    directed_budget = 0;
+  }
+
+type stats = {
+  rounds : int;
+  segments_accepted : int;
+  detected : int;
+  total_faults : int;
+}
+
+let random_segment rng ~width ~length ~p_one ~hold =
+  let distinct = (length + hold - 1) / hold in
+  let vectors = Array.init distinct (fun _ -> Vector.random_weighted rng width ~p_one) in
+  Tseq.of_vectors (Array.init length (fun i -> vectors.(i / hold)))
+
+let candidate config rng ~width =
+  let p_one =
+    List.nth config.weighted_p (Rng.int rng (List.length config.weighted_p))
+  in
+  let hold =
+    List.nth config.hold_options (Rng.int rng (List.length config.hold_options))
+  in
+  random_segment rng ~width ~length:config.segment_length ~p_one ~hold
+
+(* Evenly-spaced fault sample: classic fault sampling keeps candidate
+   scoring cheap when many faults remain. *)
+let sample_targets remaining cap =
+  let total = Bitset.cardinal remaining in
+  if total <= cap then remaining
+  else begin
+    let sample = Bitset.create (Bitset.capacity remaining) in
+    let stride = total / cap in
+    let i = ref 0 in
+    Bitset.iter
+      (fun id ->
+        if !i mod stride = 0 then Bitset.add sample id;
+        incr i)
+      remaining;
+    sample
+  end
+
+let generate ?config ~rng universe =
+  let circuit = Universe.circuit universe in
+  let config = Option.value config ~default:(default_config circuit) in
+  let width = Bist_circuit.Netlist.num_inputs circuit in
+  let remaining = Bitset.create (Universe.size universe) in
+  Bitset.fill remaining;
+  let t0 = ref (Tseq.empty width) in
+  let rounds = ref 0 in
+  let accepted = ref 0 in
+  (* One greedy phase: propose candidates, score them on (a sample of)
+     the remaining faults, keep the best, update the remaining set with a
+     full re-simulation of the accepted segment. [embed] controls whether
+     candidates are scored standalone (cheap) or appended to T0 (catches
+     faults that need more warm-up than one segment; sound either way by
+     ternary monotonicity). *)
+  let phase ~embed ~patience ~candidates_per_round =
+    let fruitless = ref 0 in
+    while
+      !fruitless < patience
+      && Tseq.length !t0 < config.max_length
+      && not (Bitset.is_empty remaining)
+    do
+      incr rounds;
+      let eval_targets = sample_targets remaining config.sample_cap in
+      let best = ref None in
+      for _ = 1 to candidates_per_round do
+        let seg = candidate config rng ~width in
+        let scored = if embed then Tseq.concat !t0 seg else seg in
+        let outcome =
+          Fsim.run ~targets:eval_targets ~stop_when_all_detected:true universe
+            scored
+        in
+        let gain = Bitset.cardinal outcome.Fsim.detected in
+        match !best with
+        | Some (best_gain, _) when best_gain >= gain -> ()
+        | _ -> if gain > 0 then best := Some (gain, seg)
+      done;
+      match !best with
+      | None -> incr fruitless
+      | Some (_, seg) ->
+        fruitless := 0;
+        incr accepted;
+        let full = Tseq.concat !t0 seg in
+        let scored = if embed then full else seg in
+        let outcome =
+          Fsim.run ~targets:remaining ~stop_when_all_detected:true universe
+            scored
+        in
+        t0 := full;
+        Bitset.diff_into remaining outcome.Fsim.detected
+    done
+  in
+  phase ~embed:false ~patience:config.patience
+    ~candidates_per_round:config.candidates_per_round;
+  (* Re-baseline against the concatenated T0 (embedding can only add
+     detections), then refine with embedded scoring. *)
+  let embedded = Fsim.run ~stop_when_all_detected:true universe !t0 in
+  Bitset.clear remaining;
+  Bitset.fill remaining;
+  Bitset.diff_into remaining embedded.Fsim.detected;
+  phase ~embed:true
+    ~patience:(max 4 (config.patience / 2))
+    ~candidates_per_round:(max 3 (config.candidates_per_round / 2));
+  (* Directed tail: attack a few of the surviving faults one by one with
+     the genetic search, seeding each attempt after the full current T0. *)
+  if config.directed_budget > 0 then begin
+    let attempts = ref 0 in
+    let target_ids = Array.of_list (Bitset.elements remaining) in
+    Rng.shuffle_in_place rng target_ids;
+    Array.iter
+      (fun id ->
+        if
+          !attempts < config.directed_budget
+          && Bitset.mem remaining id
+          && Tseq.length !t0 < config.max_length
+        then begin
+          incr attempts;
+          let fault = Universe.get universe id in
+          let outcome = Directed.search ~rng ~prefix:!t0 circuit fault in
+          match outcome.Directed.segment with
+          | None -> ()
+          | Some seg ->
+            incr accepted;
+            let full = Tseq.concat !t0 seg in
+            let detected =
+              (Fsim.run ~targets:remaining ~stop_when_all_detected:true
+                 universe full)
+                .Fsim.detected
+            in
+            t0 := full;
+            Bitset.diff_into remaining detected
+        end)
+      target_ids
+  end;
+  let final = Fsim.run universe !t0 in
+  ( !t0,
+    {
+      rounds = !rounds;
+      segments_accepted = !accepted;
+      detected = Bitset.cardinal final.Fsim.detected;
+      total_faults = Universe.size universe;
+    } )

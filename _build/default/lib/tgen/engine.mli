@@ -1,0 +1,47 @@
+(** Deterministic test-sequence generation — the [T0] substrate.
+
+    The paper takes [T0] from STRATEGATE (a GA-based sequential ATPG we
+    do not have); this engine is the documented substitute. It grows [T0]
+    segment by segment with fault-simulation feedback: each round proposes
+    several candidate segments (plain random, weighted random with biased
+    one-probability, and hold-mode segments that repeat each vector
+    several times, after Nachman et al. [3]), keeps the candidate that
+    detects the most still-undetected faults, and stops after a run of
+    fruitless rounds.
+
+    Because three-valued gate functions are monotone in the information
+    order, a fault detected by a segment simulated from the all-X state is
+    also detected when the segment runs embedded in the concatenated
+    [T0] — so coverage only grows as segments are appended. *)
+
+type config = {
+  segment_length : int;  (** Vectors per candidate segment. *)
+  candidates_per_round : int;
+  patience : int;  (** Fruitless rounds tolerated before stopping. *)
+  max_length : int;  (** Hard cap on the length of [T0]. *)
+  hold_options : int list;  (** Hold factors sampled for hold-mode candidates. *)
+  weighted_p : float list;  (** One-probabilities sampled for weighted candidates. *)
+  sample_cap : int;
+      (** When more than this many faults remain, candidates are scored
+          against an evenly-spaced sample of that size (classic fault
+          sampling); the accepted segment is then re-simulated against
+          the full remaining set. *)
+  directed_budget : int;
+      (** Number of still-undetected faults to attack with the
+          genetic {!Directed} search after the random phases (0 disables
+          the phase, the default — it is the expensive, high-yield
+          tail). *)
+}
+
+val default_config : Bist_circuit.Netlist.t -> config
+(** Scales the segment length with the circuit's sequential depth. *)
+
+type stats = {
+  rounds : int;
+  segments_accepted : int;
+  detected : int;  (** Faults the final [T0] detects. *)
+  total_faults : int;
+}
+
+val generate :
+  ?config:config -> rng:Bist_util.Rng.t -> Bist_fault.Universe.t -> Bist_logic.Tseq.t * stats

@@ -1,0 +1,63 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : (string * align) list; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Ascii_table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 256 in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let emit cells =
+    List.iteri
+      (fun i (cell, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(i) cell))
+      cells;
+    (* Trim trailing spaces for clean diffs. *)
+    let line = Buffer.contents buf in
+    Buffer.clear buf;
+    let len = ref (String.length line) in
+    while !len > 0 && line.[!len - 1] = ' ' do decr len done;
+    String.sub line 0 !len
+  in
+  let aligns = List.map snd t.headers in
+  let lines =
+    emit (List.map (fun (h, a) -> (h, a)) t.headers)
+    :: String.make total_width '-'
+    :: List.map
+         (function
+           | Cells c -> emit (List.combine c aligns)
+           | Separator -> String.make total_width '-')
+         rows
+  in
+  String.concat "\n" lines ^ "\n"
+
+let render_rows ~headers rows =
+  let t = create ~headers in
+  List.iter (add_row t) rows;
+  render t

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the experiment reports.
+
+    Produces aligned, pipe-free tables in the visual style of the paper's
+    result tables. Columns are sized to their widest cell; numeric cells
+    should be pre-formatted by the caller. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+(** A table with the given column headers and per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append one row. Raises [Invalid_argument] if the arity does not match
+    the header count. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with a header rule, suitable for [print_string]. *)
+
+val render_rows : headers:(string * align) list -> string list list -> string
+(** One-shot convenience wrapper. *)

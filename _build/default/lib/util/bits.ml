@@ -1,0 +1,8 @@
+let width_for value =
+  if value <= 0 then invalid_arg "Bits.width_for";
+  let rec go bits capacity = if capacity >= value then bits else go (bits + 1) (2 * capacity) in
+  go 1 2
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v land (v - 1)) in
+  go 0 v

@@ -1,0 +1,9 @@
+(** Small bit-arithmetic helpers shared by the hardware models. *)
+
+val width_for : int -> int
+(** [width_for v] is the number of bits a counter needs to represent
+    [v] distinct values (at least 1). Raises [Invalid_argument] for
+    [v <= 0]. *)
+
+val popcount : int -> int
+(** Number of set bits. *)

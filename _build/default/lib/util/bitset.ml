@@ -1,0 +1,93 @@
+type t = { words : Bytes.t; cap : int }
+
+(* One byte per 8 members; Bytes gives cheap blits and comparisons. *)
+
+let words_for cap = (cap + 7) / 8
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make (words_for cap) '\000'; cap }
+
+let capacity t = t.cap
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.words b (Char.chr (Char.code (Bytes.get t.words b) lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = i lsr 3 in
+  Bytes.set t.words b (Char.chr (Char.code (Bytes.get t.words b) land lnot (1 lsl (i land 7)) land 0xFF))
+
+let popcount_byte =
+  let table = Array.init 256 (fun i ->
+    let rec count v = if v = 0 then 0 else (v land 1) + count (v lsr 1) in
+    count i)
+  in
+  fun c -> table.(Char.code c)
+
+let cardinal t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> n := !n + popcount_byte c) t.words;
+  !n
+
+let is_empty t =
+  let len = Bytes.length t.words in
+  let rec go i = i >= len || (Bytes.get t.words i = '\000' && go (i + 1)) in
+  go 0
+
+let copy t = { words = Bytes.copy t.words; cap = t.cap }
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let fill t =
+  Bytes.fill t.words 0 (Bytes.length t.words) '\255';
+  (* Mask out the bits beyond capacity so cardinal stays exact. *)
+  let extra = (8 - (t.cap land 7)) land 7 in
+  if extra > 0 && Bytes.length t.words > 0 then begin
+    let last = Bytes.length t.words - 1 in
+    Bytes.set t.words last (Char.chr (0xFF lsr extra))
+  end
+
+let binop f dst src =
+  if dst.cap <> src.cap then invalid_arg "Bitset: capacity mismatch";
+  for i = 0 to Bytes.length dst.words - 1 do
+    let v = f (Char.code (Bytes.get dst.words i)) (Char.code (Bytes.get src.words i)) in
+    Bytes.set dst.words i (Char.chr (v land 0xFF))
+  done
+
+let union_into dst src = binop (lor) dst src
+let diff_into dst src = binop (fun a b -> a land lnot b) dst src
+let inter_into dst src = binop (land) dst src
+
+let iter f t =
+  for i = 0 to t.cap - 1 do
+    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let equal a b = a.cap = b.cap && Bytes.equal a.words b.words
+
+let subset a b =
+  if a.cap <> b.cap then invalid_arg "Bitset: capacity mismatch";
+  let len = Bytes.length a.words in
+  let rec go i =
+    i >= len
+    || (Char.code (Bytes.get a.words i) land lnot (Char.code (Bytes.get b.words i)) land 0xFF = 0
+        && go (i + 1))
+  in
+  go 0

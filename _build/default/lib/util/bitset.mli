@@ -1,0 +1,50 @@
+(** Dense mutable bitsets over a fixed universe [0 .. capacity-1].
+
+    Used for fault sets: faults are numbered densely, and the selection
+    and compaction procedures repeatedly intersect and subtract large sets
+    of detected faults. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is the empty set over [0 .. capacity-1]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+(** Number of members (O(words)). *)
+
+val is_empty : t -> bool
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val fill : t -> unit
+(** Add every element of the universe. *)
+
+val union_into : t -> t -> unit
+(** [union_into dst src] adds all of [src] to [dst]. Capacities must match. *)
+
+val diff_into : t -> t -> unit
+(** [dst := dst \ src]. Capacities must match. *)
+
+val inter_into : t -> t -> unit
+(** [dst := dst ∩ src]. Capacities must match. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every member of [a] is in [b]. *)

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomized steps of the library (vector generation, Procedure 2's
+    omission order, the synthetic circuit generator) draw from this module
+    so that every experiment is reproducible from a single integer seed.
+    The generator is xoshiro256** seeded through splitmix64. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. Generators built
+    from equal seeds produce equal streams. *)
+
+val copy : t -> t
+(** Independent snapshot of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t len] is a uniformly random permutation of [0..len-1]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Bist_bench Bist_circuit Bist_logic Fun List Option QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bist_bench Bist_circuit Bist_core Bist_fault Bist_logic Bist_util List Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_diagnosis.ml: Alcotest Bist_bench Bist_core Bist_fault Bist_harness Bist_logic Fun Lazy List String

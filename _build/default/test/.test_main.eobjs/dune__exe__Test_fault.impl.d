@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Bist_bench Bist_circuit Bist_fault Bist_logic Bist_util List Printf QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Bist_baselines Bist_bench Bist_core Bist_fault Bist_harness Bist_logic Bist_util Filename Fun Lazy List Option Printf QCheck String Sys Testutil

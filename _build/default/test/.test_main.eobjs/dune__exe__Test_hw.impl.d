@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bist_bench Bist_circuit Bist_core Bist_hw Bist_logic Bist_util Hashtbl List Option Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array Bist_bench Bist_circuit Bist_core Bist_fault Bist_harness Bist_hw Bist_logic Bist_sim Bist_util Filename Fun Gen List QCheck String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Bist_logic Fun Gen List Printf QCheck Testutil

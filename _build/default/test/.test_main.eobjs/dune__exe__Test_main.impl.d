@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_circuit Test_core Test_diagnosis Test_fault Test_harness Test_hw Test_invariants Test_logic Test_opt Test_sim Test_tgen Test_util Test_validate

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Bist_bench Bist_circuit Bist_hw Bist_logic Bist_sim Bist_util List QCheck String Testutil

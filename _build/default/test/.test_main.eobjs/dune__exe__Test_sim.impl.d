@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bist_bench Bist_circuit Bist_logic Bist_sim Bist_util QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_tgen.ml: Alcotest Bist_bench Bist_circuit Bist_fault Bist_logic Bist_tgen Bist_util List Option Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bist_util Fun Int List Printf QCheck Set String Testutil

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Bist_bench Bist_circuit Bist_fault Bist_logic Bist_tgen Bist_util List

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Array Bist_bench Bist_logic Bist_util Format List Printf QCheck QCheck_alcotest String

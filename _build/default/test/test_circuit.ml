@@ -1,0 +1,227 @@
+(* Suites for Bist_circuit: Gate, Bench_parser, Builder, Netlist, Stats. *)
+
+module Gate = Bist_circuit.Gate
+module Netlist = Bist_circuit.Netlist
+module Parser = Bist_circuit.Bench_parser
+module T = Bist_logic.Ternary
+
+let test_gate_eval () =
+  let chk = Alcotest.check Testutil.ternary_testable in
+  chk "and3" T.Zero (Gate.eval Gate.And [| T.One; T.Zero; T.X |]);
+  chk "and3 X" T.X (Gate.eval Gate.And [| T.One; T.One; T.X |]);
+  chk "nand" T.One (Gate.eval Gate.Nand [| T.Zero; T.X |]);
+  chk "nor" T.Zero (Gate.eval Gate.Nor [| T.One; T.X |]);
+  chk "xor3" T.One (Gate.eval Gate.Xor [| T.One; T.One; T.One |]);
+  chk "xnor" T.One (Gate.eval Gate.Xnor [| T.One; T.One |]);
+  chk "buf" T.X (Gate.eval Gate.Buf [| T.X |]);
+  chk "const0" T.Zero (Gate.eval Gate.Const0 [||]);
+  chk "const1" T.One (Gate.eval Gate.Const1 [||])
+
+let test_gate_arity () =
+  Alcotest.(check bool) "not takes 1" true (Gate.arity_ok Gate.Not 1);
+  Alcotest.(check bool) "not rejects 2" false (Gate.arity_ok Gate.Not 2);
+  Alcotest.(check bool) "and rejects 1" false (Gate.arity_ok Gate.And 1);
+  Alcotest.(check bool) "and takes 4" true (Gate.arity_ok Gate.And 4);
+  Alcotest.(check bool) "dff takes 1" true (Gate.arity_ok Gate.Dff 1)
+
+(* eval and eval_packed must agree on every lane. *)
+let test_gate_eval_consistency =
+  let kinds = [ Gate.Buf; Gate.Not; Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ] in
+  let gen =
+    QCheck.Gen.(
+      oneofl kinds >>= fun kind ->
+      (if Gate.arity_ok kind 1 then return 1 else int_range 2 4) >>= fun k ->
+      list_size (return k) (list_size (return 8) Testutil.ternary_gen) >>= fun inputs ->
+      return (kind, inputs))
+  in
+  Testutil.qcheck
+    (QCheck.Test.make ~name:"Gate.eval_packed agrees with Gate.eval" ~count:300
+       (QCheck.make gen)
+       (fun (kind, inputs) ->
+         let packed =
+           Array.of_list
+             (List.map
+                (fun lanes ->
+                  List.fold_left
+                    (fun (w, i) v -> (Bist_logic.Packed.set w i v, i + 1))
+                    (Bist_logic.Packed.all_x, 0) lanes
+                  |> fst)
+                inputs)
+         in
+         let word = Gate.eval_packed kind packed in
+         List.for_all
+           (fun lane ->
+             let scalar =
+               Gate.eval kind (Array.of_list (List.map (fun l -> List.nth l lane) inputs))
+             in
+             T.equal scalar (Bist_logic.Packed.get word lane))
+           (List.init 8 Fun.id)))
+
+let test_gate_names () =
+  Alcotest.(check (option bool)) "BUFF accepted" (Some true)
+    (Option.map (fun k -> k = Gate.Buf) (Gate.kind_of_name "BUFF"));
+  Alcotest.(check (option bool)) "case-insensitive" (Some true)
+    (Option.map (fun k -> k = Gate.Nand) (Gate.kind_of_name "nand"));
+  Alcotest.(check bool) "unknown" true (Gate.kind_of_name "FOO" = None)
+
+(* Parser *)
+
+let test_parse_s27 () =
+  let c = Bist_bench.S27.circuit () in
+  Alcotest.(check int) "inputs" 4 (Netlist.num_inputs c);
+  Alcotest.(check int) "outputs" 1 (Netlist.num_outputs c);
+  Alcotest.(check int) "dffs" 3 (Netlist.num_dffs c);
+  Alcotest.(check int) "gates" 10 (Netlist.num_gates c);
+  Alcotest.(check string) "PO name" "G17" (Netlist.name c (Netlist.outputs c).(0))
+
+let test_parse_roundtrip () =
+  let c = Bist_bench.S27.circuit () in
+  let text = Bist_circuit.Bench_writer.to_string c in
+  let c2 = Parser.parse_string ~name:"s27" text in
+  Alcotest.(check int) "same size" (Netlist.size c) (Netlist.size c2);
+  for n = 0 to Netlist.size c - 1 do
+    let n2 = Netlist.find_exn c2 (Netlist.name c n) in
+    Alcotest.(check bool) "same kind" true (Netlist.kind c n = Netlist.kind c2 n2);
+    Alcotest.(check (list string)) "same fanins"
+      (Array.to_list (Array.map (Netlist.name c) (Netlist.fanins c n)))
+      (Array.to_list (Array.map (Netlist.name c2) (Netlist.fanins c2 n2)))
+  done
+
+let expect_parse_error text =
+  match Parser.parse_string ~name:"bad" text with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Parser.Parse_error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "INPUT(a";
+  expect_parse_error "a = FOO(b)";
+  expect_parse_error "a = = AND(b, c)";
+  expect_parse_error "INPUT(a) INPUT(b)";
+  expect_parse_error "a = INPUT(b)"
+
+let test_parse_comments_and_blanks () =
+  let c =
+    Parser.parse_string ~name:"t"
+      "# header\n\nINPUT(a)  # inline\nOUTPUT(y)\n   y = NOT( a )\n"
+  in
+  Alcotest.(check int) "one gate" 1 (Netlist.num_gates c)
+
+let test_structural_errors () =
+  let fails text =
+    match Parser.parse_string ~name:"bad" text with
+    | _ -> Alcotest.fail "expected Failure"
+    | exception Failure _ -> ()
+  in
+  (* duplicate definition *)
+  fails "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+  (* undefined signal *)
+  fails "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+  (* combinational loop *)
+  fails "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n";
+  (* undefined output *)
+  fails "INPUT(a)\nOUTPUT(ghost)\n"
+
+let test_sequential_loop_ok () =
+  (* A loop through a DFF is legal. *)
+  let c =
+    Parser.parse_string ~name:"loop"
+      "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, a)\n"
+  in
+  Alcotest.(check int) "one dff" 1 (Netlist.num_dffs c)
+
+let test_topo_order () =
+  let c = Bist_bench.S27.circuit () in
+  let pos = Array.make (Netlist.size c) (-1) in
+  Array.iteri (fun i n -> pos.(n) <- i) (Netlist.topo_order c);
+  Array.iter
+    (fun n ->
+      Array.iter
+        (fun d ->
+          if Gate.is_combinational (Netlist.kind c d) then
+            Alcotest.(check bool) "fanin before gate" true (pos.(d) < pos.(n)))
+        (Netlist.fanins c n))
+    (Netlist.topo_order c)
+
+let test_fanout_counts () =
+  let c = Bist_bench.S27.circuit () in
+  let g8 = Netlist.find_exn c "G8" in
+  (* G8 feeds G15 and G16 *)
+  Alcotest.(check int) "G8 drives two pins" 2 (Netlist.fanout_count c g8);
+  let g11 = Netlist.find_exn c "G11" in
+  (* G11 feeds G17, G10, G6(dff) *)
+  Alcotest.(check int) "G11 drives three pins" 3 (Netlist.fanout_count c g11)
+
+let test_stats () =
+  let s = Bist_circuit.Stats.of_netlist (Bist_bench.S27.circuit ()) in
+  Alcotest.(check int) "gates" 10 s.Bist_circuit.Stats.num_gates;
+  Alcotest.(check bool) "depth positive" true (s.max_level >= 3)
+
+(* Structural invariants over random netlists: fanout bookkeeping is
+   consistent with the fanin arrays, and the topological order covers
+   every combinational node exactly once. *)
+let test_netlist_invariants =
+  Testutil.qcheck
+    (QCheck.Test.make ~name:"netlist invariants on random circuits" ~count:50
+       QCheck.(int_range 0 300)
+       (fun seed ->
+         let c = Testutil.small_circuit seed in
+         let n = Netlist.size c in
+         (* pin-accurate fanout counts: recount from scratch *)
+         let counts = Array.make n 0 in
+         for v = 0 to n - 1 do
+           Array.iter (fun d -> counts.(d) <- counts.(d) + 1) (Netlist.fanins c v)
+         done;
+         Array.iter (fun po -> counts.(po) <- counts.(po) + 1) (Netlist.outputs c);
+         let fanouts_ok =
+           List.for_all
+             (fun v -> Netlist.fanout_count c v = counts.(v))
+             (List.init n Fun.id)
+         in
+         (* fanouts lists exactly the distinct consumers *)
+         let consumers_ok =
+           List.for_all
+             (fun v ->
+               Array.for_all
+                 (fun w -> Array.exists (fun d -> d = v) (Netlist.fanins c w))
+                 (Netlist.fanouts c v))
+             (List.init n Fun.id)
+         in
+         (* topo covers every combinational node exactly once *)
+         let seen = Array.make n 0 in
+         Array.iter (fun v -> seen.(v) <- seen.(v) + 1) (Netlist.topo_order c);
+         let topo_ok =
+           List.for_all
+             (fun v ->
+               if Gate.is_combinational (Netlist.kind c v) then seen.(v) = 1
+               else seen.(v) = 0)
+             (List.init n Fun.id)
+         in
+         fanouts_ok && consumers_ok && topo_ok))
+
+let test_builder_forward_refs () =
+  let b = Bist_circuit.Builder.create ~name:"fw" in
+  Bist_circuit.Builder.add_output b "y";
+  Bist_circuit.Builder.add_gate b ~output:"y" Gate.And [ "a"; "b" ];
+  Bist_circuit.Builder.add_input b "a";
+  Bist_circuit.Builder.add_input b "b";
+  let c = Bist_circuit.Builder.finalize b in
+  Alcotest.(check int) "resolved" 2 (Netlist.num_inputs c)
+
+let suite =
+  [
+    Alcotest.test_case "gate eval" `Quick test_gate_eval;
+    Alcotest.test_case "gate arity" `Quick test_gate_arity;
+    test_gate_eval_consistency;
+    Alcotest.test_case "gate names" `Quick test_gate_names;
+    Alcotest.test_case "parse s27" `Quick test_parse_s27;
+    Alcotest.test_case "writer roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
+    Alcotest.test_case "structural errors" `Quick test_structural_errors;
+    Alcotest.test_case "sequential loop ok" `Quick test_sequential_loop_ok;
+    Alcotest.test_case "topological order" `Quick test_topo_order;
+    Alcotest.test_case "fanout counts" `Quick test_fanout_counts;
+    Alcotest.test_case "stats" `Quick test_stats;
+    test_netlist_invariants;
+    Alcotest.test_case "builder forward refs" `Quick test_builder_forward_refs;
+  ]

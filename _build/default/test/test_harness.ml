@@ -1,0 +1,203 @@
+(* Suites for Bist_harness (Seq_io, Paper_data, Tables, Figure1) and
+   Bist_baselines. *)
+
+module Tseq = Bist_logic.Tseq
+module Seq_io = Bist_harness.Seq_io
+module Universe = Bist_fault.Universe
+
+let test_seq_io_roundtrip () =
+  let s = Tseq.of_strings [ "01x"; "110"; "xxx" ] in
+  Testutil.check_seq "roundtrip" s (Seq_io.parse (Seq_io.to_string s))
+
+let test_seq_io_comments () =
+  let s = Seq_io.parse "# header\n01\n  10  # trailing\n\n11\n" in
+  Testutil.check_seq "parsed" (Tseq.of_strings [ "01"; "10"; "11" ]) s
+
+let test_seq_io_errors () =
+  (match Seq_io.parse "01\n02\n" with
+   | _ -> Alcotest.fail "expected failure"
+   | exception Failure msg ->
+     Alcotest.(check bool) "line number" true
+       (String.length msg > 0 && String.sub msg 0 6 = "line 2"));
+  match Seq_io.parse "# nothing\n" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let test_seq_io_set_roundtrip () =
+  let set = [ Tseq.of_strings [ "01"; "10" ]; Tseq.of_strings [ "11" ] ] in
+  let path = Filename.temp_file "bist" ".seqs" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Seq_io.save_set set path;
+      let loaded = Seq_io.load_set path in
+      Alcotest.(check int) "two sequences" 2 (List.length loaded);
+      List.iter2 (Testutil.check_seq "sequence") set loaded)
+
+let test_paper_data () =
+  Alcotest.(check int) "twelve rows" 12 (List.length Bist_harness.Paper_data.rows);
+  (match Bist_harness.Paper_data.find "s298" with
+   | None -> Alcotest.fail "s298 missing"
+   | Some r ->
+     Alcotest.(check int) "s298 T0 length" 117 r.Bist_harness.Paper_data.t0_length;
+     Alcotest.(check int) "s298 after total" 27 r.after_total);
+  (* stand-in names resolve too *)
+  Alcotest.(check bool) "x1423 resolves" true
+    (Option.is_some (Bist_harness.Paper_data.find "x1423"))
+
+let test_figure1_s27 () =
+  let text = Bist_harness.Figure1.render_s27 () in
+  Alcotest.(check bool) "mentions T0" true
+    (String.length text > 0
+     &&
+     let lines = String.split_on_char '\n' text in
+     List.exists (fun l -> String.length l >= 2 && String.sub l 0 2 = "T0") lines)
+
+(* A miniature end-to-end suite run (counter-sized budget) exercises the
+   experiment pipeline and the table renderers. *)
+let mini_results =
+  lazy
+    (let entry =
+       { Bist_bench.Registry.name = "mini"; paper_name = "s298";
+         circuit = Bist_bench.Teaching.counter3; scaled = false }
+     in
+     [ Bist_harness.Experiment.run_circuit ~seed:4 entry ])
+
+let test_experiment_pipeline () =
+  match Lazy.force mini_results with
+  | [ r ] ->
+    Alcotest.(check bool) "coverage verified" true
+      r.Bist_harness.Experiment.best.coverage_verified;
+    Alcotest.(check int) "four runs (n sweep)" 4 (List.length r.runs);
+    List.iter
+      (fun (run : Bist_core.Scheme.run) ->
+        Alcotest.(check bool) "each n verified" true run.coverage_verified)
+      r.runs
+  | _ -> Alcotest.fail "one result expected"
+
+let test_tables_render () =
+  let results = Lazy.force mini_results in
+  let t3 = Bist_harness.Tables.table3 results in
+  let t4 = Bist_harness.Tables.table4 results in
+  let t5 = Bist_harness.Tables.table5 results in
+  let cmp = Bist_harness.Tables.comparison results in
+  List.iter
+    (fun (name, text) ->
+      Alcotest.(check bool) (name ^ " mentions circuit") true
+        (String.length text > 0
+         &&
+         let found = ref false in
+         List.iter
+           (fun line ->
+             if String.length line >= 4 && String.sub line 0 4 = "mini" then
+               found := true)
+           (String.split_on_char '\n' text);
+         !found || name = "comparison"))
+    [ ("table3", t3); ("table4", t4); ("table5", t5); ("comparison", cmp) ];
+  let avg_tot, avg_max = Bist_harness.Tables.averages results in
+  Alcotest.(check bool) "averages sane" true (avg_tot >= 0.0 && avg_max <= avg_tot +. 1.0)
+
+(* Baselines *)
+
+let test_full_load () =
+  let universe = Universe.collapsed (Bist_bench.S27.circuit ()) in
+  let t0 = Bist_bench.S27.t0 () in
+  let r = Bist_baselines.Full_load.evaluate universe ~t0 in
+  Alcotest.(check int) "memory words" 10 r.Bist_baselines.Full_load.memory_words;
+  Alcotest.(check int) "memory bits" 40 r.memory_bits;
+  Alcotest.(check (float 1e-9)) "coverage 1.0" 1.0 r.coverage
+
+let test_partition_preserves () =
+  let universe = Universe.collapsed (Bist_bench.S27.circuit ()) in
+  let t0 = Bist_bench.S27.t0 () in
+  List.iter
+    (fun block ->
+      let r = Bist_baselines.Partition.evaluate universe ~t0 ~block in
+      Alcotest.(check bool)
+        (Printf.sprintf "block %d preserves coverage" block)
+        true r.Bist_baselines.Partition.coverage_preserved;
+      Alcotest.(check bool) "total >= |T0|" true (r.total_loaded >= 10))
+    [ 2; 3; 5; 10 ]
+
+let test_encoding_roundtrip =
+  Testutil.qcheck
+    (QCheck.Test.make ~name:"encoding decode inverts encode" ~count:100
+       (Testutil.binary_seq ~width:6 ~max_len:30)
+       (fun s ->
+         let enc, report = Bist_baselines.Encoding.encode s in
+         Bist_logic.Tseq.equal s (Bist_baselines.Encoding.decode enc)
+         && report.Bist_baselines.Encoding.encoded_bits > 0))
+
+let test_encoding_compresses_holds () =
+  (* A hold-heavy sequence (repeated vectors) must compress well. *)
+  let rng = Bist_util.Rng.create 8 in
+  let v = Bist_logic.Vector.random_binary rng 16 in
+  let s = Tseq.of_vectors (Array.make 40 v) in
+  let _, report = Bist_baselines.Encoding.encode s in
+  Alcotest.(check bool) "ratio < 0.4" true
+    (report.Bist_baselines.Encoding.compression_ratio < 0.4)
+
+let test_encoding_rejects_x () =
+  Alcotest.check_raises "X rejected"
+    (Invalid_argument "Encoding.encode: X in stored sequence") (fun () ->
+      ignore (Bist_baselines.Encoding.encode (Tseq.of_strings [ "0x" ])))
+
+let test_ablation_runner () =
+  (* On s27 with the paper's T0: every variant must keep coverage; the
+     richer operator pipelines must not be worse than repeat-only. *)
+  let universe = Universe.collapsed (Bist_bench.S27.circuit ()) in
+  let t0 = Bist_bench.S27.t0 () in
+  let rows = Bist_harness.Ablation.run ~seed:5 ~n:2 ~t0 universe in
+  Alcotest.(check int) "all variants ran"
+    (List.length Bist_harness.Ablation.variants)
+    (List.length rows);
+  List.iter
+    (fun (r : Bist_harness.Ablation.row) ->
+      Alcotest.(check bool) (r.variant.label ^ " covers") true r.covers)
+    rows;
+  let find label =
+    List.find (fun (r : Bist_harness.Ablation.row) ->
+        r.variant.Bist_harness.Ablation.label = label)
+      rows
+  in
+  let paper = find "paper (all ops, max-udet, restart)" in
+  let repeat_only = find "operators: repeat only" in
+  Alcotest.(check bool) "full pipeline not worse than repeat-only" true
+    (paper.total_length <= repeat_only.total_length);
+  let text = Bist_harness.Ablation.render rows in
+  Alcotest.(check bool) "renders" true (String.length text > 100)
+
+let test_lfsr_bist () =
+  let universe = Universe.collapsed (Bist_bench.S27.circuit ()) in
+  let r = Bist_baselines.Lfsr_bist.evaluate universe ~cycles:200 ~hold:1 in
+  Alcotest.(check bool) "detects some" true (r.Bist_baselines.Lfsr_bist.detected > 0);
+  let curve =
+    Bist_baselines.Lfsr_bist.coverage_curve universe ~checkpoints:[ 10; 50; 200 ] ~hold:1
+  in
+  let counts = List.map snd curve in
+  Alcotest.(check bool) "curve monotone" true
+    (List.sort compare counts = counts);
+  (match List.rev curve with
+   | (cp, count) :: _ ->
+     Alcotest.(check int) "final checkpoint" 200 cp;
+     Alcotest.(check int) "curve end matches evaluate" r.detected count
+   | [] -> Alcotest.fail "empty curve")
+
+let suite =
+  [
+    Alcotest.test_case "seq_io roundtrip" `Quick test_seq_io_roundtrip;
+    Alcotest.test_case "seq_io comments" `Quick test_seq_io_comments;
+    Alcotest.test_case "seq_io errors" `Quick test_seq_io_errors;
+    Alcotest.test_case "seq_io set roundtrip" `Quick test_seq_io_set_roundtrip;
+    Alcotest.test_case "paper data" `Quick test_paper_data;
+    Alcotest.test_case "figure1 renders" `Quick test_figure1_s27;
+    Alcotest.test_case "experiment pipeline (mini)" `Slow test_experiment_pipeline;
+    Alcotest.test_case "tables render" `Slow test_tables_render;
+    Alcotest.test_case "baseline full load" `Quick test_full_load;
+    Alcotest.test_case "baseline partition" `Quick test_partition_preserves;
+    Alcotest.test_case "baseline lfsr" `Quick test_lfsr_bist;
+    Alcotest.test_case "ablation runner" `Quick test_ablation_runner;
+    test_encoding_roundtrip;
+    Alcotest.test_case "encoding compresses holds" `Quick test_encoding_compresses_holds;
+    Alcotest.test_case "encoding rejects X" `Quick test_encoding_rejects_x;
+  ]

@@ -1,0 +1,234 @@
+(* Suites for Bist_hw: memory, controller (including the controller ==
+   Ops.expand equivalence property), LFSR, MISR, area, session. *)
+
+module Tseq = Bist_logic.Tseq
+module Vector = Bist_logic.Vector
+module T = Bist_logic.Ternary
+module Memory = Bist_hw.Memory
+module Controller = Bist_hw.Controller
+module Lfsr = Bist_hw.Lfsr
+module Misr = Bist_hw.Misr
+
+let test_memory_load_read () =
+  let m = Memory.create ~word_bits:3 ~depth:8 in
+  let s = Tseq.of_strings [ "001"; "110"; "101" ] in
+  Memory.load_sequence m s;
+  Alcotest.(check int) "used" 3 (Memory.used_words m);
+  Testutil.check_vec "word 1" (Vector.of_string "110") (Memory.read m 1);
+  Alcotest.(check int) "load cycles" 3 (Memory.total_load_cycles m);
+  Memory.load_sequence m (Tseq.of_strings [ "111" ]);
+  Alcotest.(check int) "cumulative load cycles" 4 (Memory.total_load_cycles m);
+  Alcotest.(check int) "used after reload" 1 (Memory.used_words m)
+
+let test_memory_errors () =
+  let m = Memory.create ~word_bits:3 ~depth:2 in
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Memory.load_sequence: sequence longer than memory")
+    (fun () -> Memory.load_sequence m (Tseq.of_strings [ "000"; "000"; "000" ]));
+  Alcotest.check_raises "width"
+    (Invalid_argument "Memory.load_sequence: word width mismatch") (fun () ->
+      Memory.load_sequence m (Tseq.of_strings [ "00" ]));
+  Memory.load_sequence m (Tseq.of_strings [ "000" ]);
+  Alcotest.check_raises "address"
+    (Invalid_argument "Memory.read: address out of range") (fun () ->
+      ignore (Memory.read m 1))
+
+(* The central hardware property: the controller's emitted stream equals
+   the software expansion, for random stored sequences and every n. *)
+let test_controller_equals_expand =
+  Testutil.qcheck
+    (QCheck.Test.make ~name:"controller stream == Ops.expand" ~count:150
+       QCheck.(pair (Testutil.seq ~width:5 ~max_len:9) (int_range 1 6))
+       (fun (s, n) ->
+         let m = Memory.create ~word_bits:5 ~depth:(Tseq.length s) in
+         Memory.load_sequence m s;
+         let c = Controller.start m ~n in
+         Tseq.equal (Controller.emit_all c) (Bist_core.Ops.expand ~n s)))
+
+let test_controller_cycle_count () =
+  let m = Memory.create ~word_bits:2 ~depth:4 in
+  Memory.load_sequence m (Tseq.of_strings [ "00"; "01"; "10" ]);
+  let c = Controller.start m ~n:4 in
+  Alcotest.(check int) "8nL cycles" (8 * 4 * 3) (Controller.total_cycles c);
+  Alcotest.(check bool) "not finished" false (Controller.finished c);
+  let emitted = Controller.emit_all c in
+  Alcotest.(check int) "emitted all" 96 (Tseq.length emitted);
+  Alcotest.(check bool) "finished" true (Controller.finished c)
+
+let test_controller_stepwise () =
+  (* Stepping one by one equals emit_all. *)
+  let s = Tseq.of_strings [ "01"; "11" ] in
+  let m = Memory.create ~word_bits:2 ~depth:2 in
+  Memory.load_sequence m s;
+  let c1 = Controller.start m ~n:2 in
+  let c2 = Controller.start m ~n:2 in
+  let manual =
+    Array.init (Controller.total_cycles c1) (fun _ -> Controller.step c1)
+  in
+  Testutil.check_seq "stepwise == emit_all" (Tseq.of_vectors manual)
+    (Controller.emit_all c2)
+
+let test_lfsr_period () =
+  (* Galois LFSR with a primitive polynomial has period 2^w - 1. *)
+  List.iter
+    (fun w ->
+      let l = Lfsr.create ~width:w ~seed:1 () in
+      let seen = Hashtbl.create 64 in
+      let rec count n =
+        let bits = List.init w (fun _ -> Lfsr.next_bit l) in
+        if Hashtbl.mem seen bits || n > 1 lsl (w + 1) then n
+        else begin
+          Hashtbl.add seen bits ();
+          count (n + 1)
+        end
+      in
+      ignore (count 0);
+      Alcotest.(check bool)
+        (Printf.sprintf "width %d has long period" w)
+        true
+        (Hashtbl.length seen >= (1 lsl w) - w - 1))
+    [ 3; 4; 5 ]
+
+let test_lfsr_deterministic () =
+  let a = Lfsr.create ~width:16 ~seed:0xACE1 () in
+  let b = Lfsr.create ~width:16 ~seed:0xACE1 () in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same bit" (Lfsr.next_bit a) (Lfsr.next_bit b)
+  done
+
+let test_lfsr_zero_seed () =
+  let l = Lfsr.create ~width:8 ~seed:0 () in
+  (* all-zero state would be stuck; creation must avoid it *)
+  let any_one = ref false in
+  for _ = 1 to 16 do
+    if Lfsr.next_bit l then any_one := true
+  done;
+  Alcotest.(check bool) "not stuck at zero" true !any_one
+
+let test_misr_distinguishes () =
+  let a = Misr.create ~width:3 in
+  let b = Misr.create ~width:3 in
+  let feed m strings = List.iter (fun s -> Misr.compact m (Vector.of_string s)) strings in
+  feed a [ "000"; "101"; "110" ];
+  feed b [ "000"; "111"; "110" ];
+  Alcotest.(check bool) "different responses, different signatures" true
+    (Misr.signature a <> Misr.signature b);
+  Alcotest.(check bool) "clean" false (Misr.contaminated a)
+
+let test_misr_deterministic () =
+  let run () =
+    let m = Misr.create ~width:4 in
+    List.iter (fun s -> Misr.compact m (Vector.of_string s)) [ "0001"; "1010"; "1111" ];
+    Misr.signature m
+  in
+  Alcotest.(check int) "repeatable" (run ()) (run ())
+
+let test_misr_x_contamination () =
+  let m = Misr.create ~width:2 in
+  Misr.compact m (Vector.of_string "1x");
+  Alcotest.(check bool) "contaminated" true (Misr.contaminated m);
+  Misr.reset m;
+  Alcotest.(check bool) "reset clears" false (Misr.contaminated m);
+  Alcotest.(check int) "reset zeroes" 0 (Misr.signature m)
+
+let test_area_monotone () =
+  let base = Bist_hw.Area.estimate ~num_inputs:8 ~max_seq_len:16 ~n:4 in
+  let bigger = Bist_hw.Area.estimate ~num_inputs:8 ~max_seq_len:64 ~n:4 in
+  Alcotest.(check bool) "memory grows" true
+    (bigger.Bist_hw.Area.memory_bits > base.Bist_hw.Area.memory_bits);
+  Alcotest.(check bool) "counter grows" true
+    (bigger.address_counter_bits > base.address_counter_bits);
+  Alcotest.(check int) "memory bits exact" (16 * 8) base.memory_bits
+
+let test_session_report () =
+  let circuit = Bist_bench.S27.circuit () in
+  let seqs = [ Tseq.of_strings [ "1001"; "0000" ]; Tseq.of_strings [ "1011" ] ] in
+  let r = Bist_hw.Session.run ~n:2 circuit seqs in
+  Alcotest.(check int) "memory = longest" 2 r.Bist_hw.Session.memory_words;
+  Alcotest.(check int) "load = total stored" 3 r.total_load_cycles;
+  Alcotest.(check int) "at speed = 8n * stored" (16 * 3) r.total_at_speed_cycles;
+  Alcotest.(check int) "two sequences" 2 (List.length r.per_sequence);
+  List.iter
+    (fun (s : Bist_hw.Session.sequence_report) ->
+      Alcotest.(check int) "applied = 16 * stored" (16 * s.stored_length) s.applied_length)
+    r.per_sequence
+
+let test_session_signature_sensitivity () =
+  (* The fault-free signature differs from a faulty machine's signature
+     for a fault the expanded sequence detects and whose response is
+     X-clean... at minimum the report must be reproducible. *)
+  let circuit = Bist_bench.S27.circuit () in
+  let seqs = [ Tseq.of_strings [ "1001"; "0000" ] ] in
+  let a = Bist_hw.Session.run ~n:2 circuit seqs in
+  let b = Bist_hw.Session.run ~n:2 circuit seqs in
+  List.iter2
+    (fun (x : Bist_hw.Session.sequence_report) y ->
+      Alcotest.(check int) "same signature" x.signature y.Bist_hw.Session.signature)
+    a.per_sequence b.per_sequence
+
+(* Sync *)
+
+let test_sync_finds_sequence () =
+  List.iter
+    (fun circuit ->
+      let rng = Bist_util.Rng.create 4 in
+      match Bist_hw.Sync.find_sequence ~rng circuit with
+      | None ->
+        Alcotest.fail
+          (Bist_circuit.Netlist.circuit_name circuit ^ ": no sync sequence")
+      | Some seq ->
+        Alcotest.(check bool) "claims verified" true
+          (Bist_hw.Sync.synchronized circuit seq))
+    [ Bist_bench.Teaching.counter3 (); Bist_bench.Teaching.shift4 ();
+      Bist_bench.S27.circuit () ]
+
+let test_sync_impossible () =
+  (* The XOR self-loop can never leave X. *)
+  let c =
+    Bist_circuit.Bench_parser.parse_string ~name:"xloop"
+      "INPUT(a)\nOUTPUT(p)\nq = DFF(d)\nd = XOR(q, a)\np = BUF(q)\n"
+  in
+  let rng = Bist_util.Rng.create 4 in
+  Alcotest.(check bool) "no sequence exists" true
+    (Bist_hw.Sync.find_sequence ~attempts:8 ~max_length:16 ~rng c = None)
+
+let test_session_with_sync_clean_signatures () =
+  let circuit = Bist_bench.S27.circuit () in
+  let rng = Bist_util.Rng.create 4 in
+  let sync = Option.get (Bist_hw.Sync.find_sequence ~rng circuit) in
+  let seqs = [ Tseq.of_strings [ "1001"; "0000" ] ] in
+  let r = Bist_hw.Session.run ~sync ~n:2 circuit seqs in
+  List.iter
+    (fun (s : Bist_hw.Session.sequence_report) ->
+      Alcotest.(check bool) "signature valid with sync" true s.signature_valid)
+    r.Bist_hw.Session.per_sequence;
+  Alcotest.(check int) "sync cycles reported" (Tseq.length sync)
+    r.sync_cycles_per_sequence;
+  (* and without sync, the same session is contaminated *)
+  let r0 = Bist_hw.Session.run ~n:2 circuit seqs in
+  List.iter
+    (fun (s : Bist_hw.Session.sequence_report) ->
+      Alcotest.(check bool) "contaminated without sync" false s.signature_valid)
+    r0.per_sequence
+
+let suite =
+  [
+    Alcotest.test_case "memory load/read" `Quick test_memory_load_read;
+    Alcotest.test_case "sync finds sequence" `Quick test_sync_finds_sequence;
+    Alcotest.test_case "sync impossible" `Quick test_sync_impossible;
+    Alcotest.test_case "session sync signatures" `Quick
+      test_session_with_sync_clean_signatures;
+    Alcotest.test_case "memory errors" `Quick test_memory_errors;
+    test_controller_equals_expand;
+    Alcotest.test_case "controller cycles" `Quick test_controller_cycle_count;
+    Alcotest.test_case "controller stepwise" `Quick test_controller_stepwise;
+    Alcotest.test_case "lfsr period" `Quick test_lfsr_period;
+    Alcotest.test_case "lfsr deterministic" `Quick test_lfsr_deterministic;
+    Alcotest.test_case "lfsr zero seed" `Quick test_lfsr_zero_seed;
+    Alcotest.test_case "misr distinguishes" `Quick test_misr_distinguishes;
+    Alcotest.test_case "misr deterministic" `Quick test_misr_deterministic;
+    Alcotest.test_case "misr X contamination" `Quick test_misr_x_contamination;
+    Alcotest.test_case "area monotone" `Quick test_area_monotone;
+    Alcotest.test_case "session report" `Quick test_session_report;
+    Alcotest.test_case "session reproducible" `Quick test_session_signature_sensitivity;
+  ]

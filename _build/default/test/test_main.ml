@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "subseq_bist"
+    [
+      ("util", Test_util.suite);
+      ("logic", Test_logic.suite);
+      ("circuit", Test_circuit.suite);
+      ("validate", Test_validate.suite);
+      ("opt", Test_opt.suite);
+      ("sim", Test_sim.suite);
+      ("fault", Test_fault.suite);
+      ("core", Test_core.suite);
+      ("hw", Test_hw.suite);
+      ("tgen", Test_tgen.suite);
+      ("harness", Test_harness.suite);
+      ("invariants", Test_invariants.suite);
+      ("diagnosis", Test_diagnosis.suite);
+    ]

@@ -1,0 +1,154 @@
+(* Suites for Bist_circuit.Opt (netlist cleanup), Bist_sim.Vcd, and
+   Bist_hw.Verilog. *)
+
+module Netlist = Bist_circuit.Netlist
+module Opt = Bist_circuit.Opt
+module Tseq = Bist_logic.Tseq
+module Gate = Bist_circuit.Gate
+
+let parse = Bist_circuit.Bench_parser.parse_string
+
+(* Differential equivalence: the optimized circuit must match the
+   original cycle-for-cycle under three-valued simulation. *)
+let equivalent a b len seed =
+  let width = Netlist.num_inputs a in
+  let rng = Bist_util.Rng.create seed in
+  let seq = Tseq.random_binary rng ~width ~length:len in
+  let ra = Bist_sim.Seq_sim.run a seq in
+  let rb = Bist_sim.Seq_sim.run b seq in
+  Array.for_all2 Bist_logic.Vector.equal ra rb
+
+let test_const_prop_folds () =
+  let c =
+    parse ~name:"cp"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n\
+       one = CONST1\n\
+       zero = CONST0\n\
+       g1 = AND(a, one)\n\
+       g2 = OR(g1, zero)\n\
+       g3 = AND(b, zero)\n\
+       y = XOR(g2, g3)\n\
+       z = NAND(one, one)\n"
+  in
+  let o = Opt.constant_propagate c in
+  (* y reduces to buffer-of-a behaviour; z to constant 0. g3 vanishes. *)
+  Alcotest.(check bool) "equivalent" true (equivalent c o 20 7);
+  Alcotest.(check bool) "smaller" true (Netlist.num_gates o < Netlist.num_gates c)
+
+let test_const_prop_xor_parity () =
+  let c =
+    parse ~name:"xp"
+      "INPUT(a)\nOUTPUT(y)\none = CONST1\ny = XOR(a, one, one, one)\n"
+  in
+  let o = Opt.constant_propagate c in
+  Alcotest.(check bool) "equivalent" true (equivalent c o 10 3);
+  (* XOR(a,1,1,1) = NOT a *)
+  let y = Netlist.find_exn o "y" in
+  Alcotest.(check bool) "reduced to NOT" true (Netlist.kind o y = Gate.Not)
+
+let test_const_prop_keeps_dffs () =
+  let c =
+    parse ~name:"ff"
+      "INPUT(a)\nOUTPUT(p)\nzero = CONST0\nq = DFF(zero)\np = OR(q, a)\n"
+  in
+  let o = Opt.constant_propagate c in
+  (* q's D is constant 0, but q itself starts at X: it must survive. *)
+  Alcotest.(check int) "dff kept" 1 (Netlist.num_dffs o);
+  Alcotest.(check bool) "equivalent" true (equivalent c o 10 5)
+
+let test_const_prop_random_equivalence =
+  Testutil.qcheck
+    (QCheck.Test.make ~name:"constant_propagate preserves behaviour" ~count:40
+       Testutil.circuit_and_seq
+       (fun (cseed, sseed, len) ->
+         let c = Testutil.small_circuit cseed in
+         equivalent c (Opt.constant_propagate c) (len + 5) sseed))
+
+let test_sweep_removes_cone () =
+  let c =
+    parse ~name:"sw"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\nu1 = OR(a, b)\nu2 = NOT(u1)\n"
+  in
+  let o = Opt.sweep_unobservable c in
+  Alcotest.(check int) "only y remains" 1 (Netlist.num_gates o);
+  Alcotest.(check int) "PIs kept" 2 (Netlist.num_inputs o);
+  Alcotest.(check bool) "equivalent" true (equivalent c o 10 9)
+
+let test_cleanup_random_equivalence =
+  Testutil.qcheck
+    (QCheck.Test.make ~name:"cleanup preserves behaviour" ~count:30
+       Testutil.circuit_and_seq
+       (fun (cseed, sseed, len) ->
+         let c = Testutil.small_circuit cseed in
+         let o = Opt.cleanup c in
+         Netlist.num_gates o <= Netlist.num_gates c
+         && equivalent c o (len + 5) sseed))
+
+(* Vcd *)
+
+let test_vcd_structure () =
+  let c = Bist_bench.Teaching.parity_fsm () in
+  let text = Bist_sim.Vcd.dump_string c (Tseq.of_strings [ "10"; "01"; "01" ]) in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+    [ "$enddefinitions"; "$dumpvars"; "$var wire 1"; "#1"; "#3"; "$scope module parity_fsm" ]
+
+let test_vcd_deterministic () =
+  let c = Bist_bench.Teaching.shift4 () in
+  let seq = Tseq.of_strings [ "1"; "0"; "1" ] in
+  Alcotest.(check string) "stable output"
+    (Bist_sim.Vcd.dump_string c seq)
+    (Bist_sim.Vcd.dump_string c seq)
+
+(* Verilog *)
+
+let test_verilog_emits () =
+  let text =
+    Bist_hw.Verilog.emit
+      { Bist_hw.Verilog.module_name = "bist_expander"; width = 4; depth = 8; n = 2 }
+  in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+    [ "module bist_expander ("; "localparam SWEEPS = 16;"; "endmodule";
+      "dir_down"; "do_comp"; "do_shift"; "mem [0:7]";
+      "{word[2:0], word[3]}" ]
+
+let test_verilog_width1 () =
+  let text =
+    Bist_hw.Verilog.emit
+      { Bist_hw.Verilog.module_name = "w1"; width = 1; depth = 2; n = 1 }
+  in
+  Alcotest.(check bool) "emits" true (String.length text > 200)
+
+let test_verilog_invalid () =
+  Alcotest.check_raises "bad config" (Invalid_argument "Verilog.emit") (fun () ->
+      ignore
+        (Bist_hw.Verilog.emit
+           { Bist_hw.Verilog.module_name = "x"; width = 0; depth = 1; n = 1 }))
+
+let suite =
+  [
+    Alcotest.test_case "const prop folds" `Quick test_const_prop_folds;
+    Alcotest.test_case "const prop xor parity" `Quick test_const_prop_xor_parity;
+    Alcotest.test_case "const prop keeps dffs" `Quick test_const_prop_keeps_dffs;
+    test_const_prop_random_equivalence;
+    Alcotest.test_case "sweep removes cone" `Quick test_sweep_removes_cone;
+    test_cleanup_random_equivalence;
+    Alcotest.test_case "vcd structure" `Quick test_vcd_structure;
+    Alcotest.test_case "vcd deterministic" `Quick test_vcd_deterministic;
+    Alcotest.test_case "verilog emits" `Quick test_verilog_emits;
+    Alcotest.test_case "verilog width 1" `Quick test_verilog_width1;
+    Alcotest.test_case "verilog invalid" `Quick test_verilog_invalid;
+  ]
