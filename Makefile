@@ -1,0 +1,21 @@
+.PHONY: all build test smoke bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Acceptance gate: the unit/property suites plus the seeded s27
+# fault-injection campaign (200 faults, hardened defense) — every fault
+# must be corrected or detected, with zero silent escapes.
+smoke: test
+	dune exec bin/inject.exe -- --smoke
+
+bench:
+	dune exec bench/main.exe -- --fast
+
+clean:
+	dune clean

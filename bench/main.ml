@@ -77,7 +77,7 @@ let bench_table5_session =
   Test.make ~name:"table5_hw_session_s27"
     (Staged.stage (fun () ->
          let run = Lazy.force set in
-         ignore (Bist_hw.Session.run ~n:2 s27 run.Bist_core.Scheme.sequences)))
+         ignore (Bist_hw.Session.run_exn ~n:2 s27 run.Bist_core.Scheme.sequences)))
 
 (* Ablations from DESIGN.md section 5. *)
 

@@ -191,7 +191,7 @@ let session_cmd =
   let run spec set_file n =
     let circuit = resolve_circuit spec in
     let set = Bist_harness.Seq_io.load_set set_file in
-    let report = Bist_hw.Session.run ~n circuit set in
+    let report = Bist_hw.Session.run_exn ~n circuit set in
     Format.printf "%a@." Bist_hw.Session.pp_report report
   in
   Cmd.v (Cmd.info "session" ~doc:"Simulate the on-chip BIST session (memory, controller, MISR)")

@@ -1,0 +1,157 @@
+(* inject: fault-injection campaigns against the BIST hardware session.
+   Each campaign injects seeded faults into the memory / controller /
+   MISR model and audits the session's self-checking against a clean
+   golden run: every fault must be corrected, or detected and reported —
+   never silently escape. *)
+
+open Cmdliner
+module Campaign = Bist_inject.Campaign
+module Session = Bist_hw.Session
+
+let defense_of_name = function
+  | "hardened" -> Ok Session.hardened
+  | "default" -> Ok Session.default_defense
+  | "undefended" -> Ok Session.undefended
+  | "no-parity" -> Ok { Session.hardened with ecc = Bist_hw.Ecc.No_ecc }
+  | "hamming" -> Ok { Session.hardened with ecc = Bist_hw.Ecc.Hamming_sec }
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown defense %S (expected hardened, default, undefended, no-parity, hamming)"
+         s)
+
+let resolve_circuits specs =
+  match specs with
+  | [] -> [ Bist_bench.Registry.s27 ]
+  | [ "all" ] -> Bist_bench.Registry.all ()
+  | specs ->
+    List.map
+      (fun spec ->
+        match Bist_bench.Registry.find spec with
+        | Some entry -> entry
+        | None ->
+          Printf.eprintf "error: unknown circuit %S (try s27, x298, ..., or all)\n" spec;
+          exit 2)
+      specs
+
+let run_campaign ~config (entry : Bist_bench.Registry.entry) =
+  Campaign.run ~config ~name:entry.name (entry.circuit ())
+
+let print_campaigns ~verbose campaigns =
+  print_string (Bist_harness.Inject_report.summary campaigns);
+  List.iter
+    (fun (c : Campaign.t) ->
+      if verbose then begin
+        Printf.printf "\n%s by fault kind:\n" c.circuit_name;
+        print_string (Bist_harness.Inject_report.breakdown c)
+      end;
+      List.iter
+        (fun e -> Printf.printf "  escape [%s]: %s\n" c.circuit_name e)
+        (Bist_harness.Inject_report.escapes c))
+    campaigns
+
+(* The smoke campaign is the acceptance gate wired into `make smoke`:
+   the hardened s27 campaign must end with zero escapes and zero benign
+   samples, and the same campaign without the parity code must produce
+   escapes — proving the defense is load-bearing, not decorative. *)
+let smoke seed count =
+  let entry = Bist_bench.Registry.s27 in
+  let circuit = entry.circuit () in
+  let config = { Campaign.default_config with seed; count } in
+  let hardened = Campaign.run ~config ~name:entry.name circuit in
+  let no_parity =
+    Campaign.run
+      ~config:
+        { config with defense = { Session.hardened with ecc = Bist_hw.Ecc.No_ecc } }
+      ~name:(entry.name ^ " (no parity)") circuit
+  in
+  print_string (Bist_harness.Inject_report.summary [ hardened; no_parity ]);
+  print_newline ();
+  print_string (Bist_harness.Inject_report.breakdown hardened);
+  let ok =
+    hardened.escaped = 0 && hardened.benign = 0
+    && hardened.corrected + hardened.detected = count
+    && no_parity.escaped > 0
+  in
+  if ok then begin
+    Printf.printf
+      "\nsmoke: PASS — %d/%d faults corrected or detected, 0 escapes; \
+       disabling parity escapes %d\n"
+      (hardened.corrected + hardened.detected)
+      count no_parity.escaped;
+    0
+  end
+  else begin
+    Printf.printf
+      "\nsmoke: FAIL — corrected %d, detected %d, benign %d, escaped %d of %d \
+       (no-parity escapes %d, expected > 0)\n"
+      hardened.corrected hardened.detected hardened.benign hardened.escaped count
+      no_parity.escaped;
+    1
+  end
+
+let main circuits seed count defense n smoke_flag verbose =
+  if count < 1 then begin
+    Printf.eprintf "error: --count must be >= 1 (got %d)\n" count;
+    exit 2
+  end;
+  if n < 1 then begin
+    Printf.eprintf "error: --n must be >= 1 (got %d)\n" n;
+    exit 2
+  end;
+  match defense_of_name defense with
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+  | Ok defense ->
+    if smoke_flag then smoke seed count
+    else begin
+      let config = { Campaign.default_config with seed; count; defense; n } in
+      let campaigns = List.map (run_campaign ~config) (resolve_circuits circuits) in
+      print_campaigns ~verbose campaigns;
+      let escaped = List.exists (fun (c : Campaign.t) -> c.escaped > 0) campaigns in
+      if escaped then 1 else 0
+    end
+
+let circuits_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"CIRCUIT"
+        ~doc:"Registry circuits to campaign over (default s27; \"all\" for the full suite).")
+
+let seed_arg =
+  Arg.(value & opt int Campaign.default_config.seed
+       & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed (campaigns are deterministic).")
+
+let count_arg =
+  Arg.(value & opt int Campaign.default_config.count
+       & info [ "count" ] ~docv:"K" ~doc:"Number of faults injected per campaign.")
+
+let defense_arg =
+  Arg.(value & opt string "hardened"
+       & info [ "defense" ] ~docv:"NAME"
+           ~doc:"Defense configuration: hardened, default, undefended, no-parity, hamming.")
+
+let n_arg =
+  Arg.(value & opt int Campaign.default_config.n
+       & info [ "n" ] ~docv:"N" ~doc:"Expansion repetition count.")
+
+let smoke_arg =
+  Arg.(value & flag
+       & info [ "smoke" ]
+           ~doc:"Run the seeded s27 acceptance campaign (hardened vs no-parity) and exit non-zero on any escape.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-fault-kind breakdown.")
+
+let () =
+  let info =
+    Cmd.info "inject" ~version:"1.0.0"
+      ~doc:"Fault-injection campaigns and self-checking audit for the BIST hardware session"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const main $ circuits_arg $ seed_arg $ count_arg $ defense_arg
+            $ n_arg $ smoke_arg $ verbose_arg)))

@@ -20,11 +20,11 @@ let () =
   let memory =
     Bist_hw.Memory.create
       ~word_bits:(Bist_circuit.Netlist.num_inputs circuit)
-      ~depth:(max 1 run.after.max_length)
+      ~depth:(max 1 run.after.max_length) ()
   in
   List.iteri
     (fun i s ->
-      Bist_hw.Memory.load_sequence memory s;
+      Bist_hw.Memory.load_sequence_exn memory s;
       let controller = Bist_hw.Controller.start memory ~n in
       let hw = Bist_hw.Controller.emit_all controller in
       let sw = Bist_core.Ops.expand ~n s in
@@ -36,7 +36,7 @@ let () =
      state contaminates the signature with X values, so — as the paper
      prescribes — a synchronizing prefix runs before each sequence with
      the signature window closed. *)
-  let report = Bist_hw.Session.run ~n circuit run.sequences in
+  let report = Bist_hw.Session.run_exn ~n circuit run.sequences in
   Format.printf "@.without synchronization:@.%a@." Bist_hw.Session.pp_report report;
   let rng = Bist_util.Rng.create 4 in
   (match Bist_hw.Sync.find_sequence ~rng circuit with
@@ -45,7 +45,7 @@ let () =
      Format.printf "synchronizing prefix (%d vectors): %s@."
        (Bist_logic.Tseq.length sync)
        (String.concat " " (Bist_logic.Tseq.to_strings sync));
-     let report = Bist_hw.Session.run ~sync ~n circuit run.sequences in
+     let report = Bist_hw.Session.run_exn ~sync ~n circuit run.sequences in
      Format.printf "with synchronization:@.%a@." Bist_hw.Session.pp_report report);
 
   (* Diagnosis resolution of the per-sequence pass/fail syndrome: how far

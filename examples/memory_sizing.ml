@@ -40,7 +40,7 @@ let () =
     (fun n ->
       let run = Bist_core.Scheme.execute ~seed:5 ~n ~t0 universe in
       let max_len = max 1 run.Bist_core.Scheme.after.max_length in
-      let area = Bist_hw.Area.estimate ~num_inputs ~max_seq_len:max_len ~n in
+      let area = Bist_hw.Area.estimate ~num_inputs ~max_seq_len:max_len ~n () in
       Bist_util.Ascii_table.add_row table
         [ string_of_int n;
           string_of_int run.after.count;

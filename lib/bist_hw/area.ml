@@ -1,14 +1,16 @@
 type t = {
   memory_bits : int;
+  ecc_bits : int;
   address_counter_bits : int;
   sweep_counter_bits : int;
   mux_count : int;
   inverter_count : int;
   control_gate_estimate : int;
+  ecc_gate_estimate : int;
   gate_equivalents : int;
 }
 
-let estimate ~num_inputs ~max_seq_len ~n =
+let estimate ?(ecc = Ecc.No_ecc) ~num_inputs ~max_seq_len ~n () =
   if num_inputs < 1 || max_seq_len < 1 || n < 1 then invalid_arg "Area.estimate";
   let address_counter_bits = Bist_util.Bits.width_for max_seq_len in
   let sweep_counter_bits = Bist_util.Bits.width_for (8 * n) in
@@ -16,19 +18,34 @@ let estimate ~num_inputs ~max_seq_len ~n =
   let inverter_count = num_inputs in
   (* Decode of the sweep quarter plus the terminal-count comparators. *)
   let control_gate_estimate = 12 + (2 * address_counter_bits) + (2 * sweep_counter_bits) in
+  let check_bits = Ecc.check_bits ecc ~data_bits:num_inputs in
+  let ecc_gate_estimate =
+    match ecc with
+    | Ecc.No_ecc -> 0
+    (* Parity: XOR tree at the write port plus one at the read port and
+       the final comparator. *)
+    | Ecc.Parity -> (2 * (num_inputs - 1)) + 1
+    (* Hamming SEC: one parity tree per check bit (~m/2 XORs each) on
+       each port, a syndrome decoder, and the corrector XORs. *)
+    | Ecc.Hamming_sec ->
+      (2 * check_bits * (num_inputs / 2)) + (num_inputs + check_bits) + num_inputs
+  in
   let ff_cost = 6 (* 2-input-gate equivalents per flip-flop *) in
   let mux_cost = 3 in
   let gate_equivalents =
     ((address_counter_bits + sweep_counter_bits) * ff_cost)
     + (mux_count * mux_cost) + inverter_count + control_gate_estimate
+    + ecc_gate_estimate
   in
   {
     memory_bits = max_seq_len * num_inputs;
+    ecc_bits = max_seq_len * check_bits;
     address_counter_bits;
     sweep_counter_bits;
     mux_count;
     inverter_count;
     control_gate_estimate;
+    ecc_gate_estimate;
     gate_equivalents;
   }
 
@@ -38,4 +55,7 @@ let pp fmt t =
   Format.fprintf fmt
     "memory %d bits; addr ctr %d b; sweep ctr %d b; %d muxes; %d inverters; ~%d gate eq."
     t.memory_bits t.address_counter_bits t.sweep_counter_bits t.mux_count
-    t.inverter_count t.gate_equivalents
+    t.inverter_count t.gate_equivalents;
+  if t.ecc_bits > 0 then
+    Format.fprintf fmt " (incl. ecc: %d check bits, ~%d gates)" t.ecc_bits
+      t.ecc_gate_estimate

@@ -6,20 +6,29 @@
     complement/shift multiplexers. This model counts memory bits and
     equivalent 2-input-gate cost so the examples can compare
     configurations; the constants are conventional textbook figures, not
-    a technology library. *)
+    a technology library.
+
+    When the memory carries a check code (see {!Ecc}), the extra storage
+    and the encode/decode logic are counted separately, so the paper's
+    area comparison stays honest for a hardened configuration. *)
 
 type t = {
-  memory_bits : int;  (** [max_seq_len * num_inputs]. *)
+  memory_bits : int;  (** [max_seq_len * num_inputs], data bits only. *)
+  ecc_bits : int;  (** Check bits stored alongside ([0] without ECC). *)
   address_counter_bits : int;
   sweep_counter_bits : int;
   mux_count : int;  (** One complement mux + one shift mux per input. *)
   inverter_count : int;
   control_gate_estimate : int;  (** FSM decode logic, gate equivalents. *)
+  ecc_gate_estimate : int;  (** Encoder + decoder/corrector logic. *)
   gate_equivalents : int;  (** Everything except the memory, in 2-input
-                               gate equivalents (flip-flop = 6). *)
+                               gate equivalents (flip-flop = 6), ECC
+                               logic included. *)
 }
 
-val estimate : num_inputs:int -> max_seq_len:int -> n:int -> t
+val estimate : ?ecc:Ecc.scheme -> num_inputs:int -> max_seq_len:int -> n:int -> unit -> t
+(** [ecc] defaults to {!Ecc.No_ecc}, which reproduces the paper's bare
+    configuration. *)
 
 val storage_for_full_t0 : num_inputs:int -> t0_len:int -> int
 (** Memory bits needed by the load-everything baseline, for comparison. *)

@@ -2,25 +2,33 @@ module Vector = Bist_logic.Vector
 
 type t = {
   memory : Memory.t;
+  injector : Injector.t;
   n : int;
   length : int;
-  mutable sweep : int; (* 0 .. 8n-1 *)
+  nominal : int; (* 8 · n · length *)
+  target : int; (* nominal, unless a termination glitch was injected *)
+  mutable sweep : int; (* 0 .. 8n-1 (beyond on an injected overrun) *)
   mutable offset : int; (* 0 .. length-1, position within the sweep *)
+  mutable emitted : int;
 }
 
-let start memory ~n =
+let start ?(injector = Injector.none) memory ~n =
   if n < 1 then invalid_arg "Controller.start: n must be >= 1";
   let length = Memory.used_words memory in
   if length = 0 then invalid_arg "Controller.start: memory is empty";
-  { memory; n; length; sweep = 0; offset = 0 }
+  let nominal = 8 * n * length in
+  let target = Injector.adjust_total_cycles injector nominal in
+  { memory; injector; n; length; nominal; target; sweep = 0; offset = 0; emitted = 0 }
 
-let total_cycles t = 8 * t.n * t.length
+let total_cycles t = t.nominal
+let emitted t = t.emitted
+let finished t = t.emitted >= t.target
 
-let finished t = t.sweep >= 8 * t.n
-
-(* Decode the sweep index into direction / complement / shift controls. *)
+(* Decode the sweep index into direction / complement / shift controls.
+   The quarter wraps modulo 8 so an injected overrun keeps emitting the
+   periodic pattern instead of walking off the FSM. *)
 let controls t =
-  let quarter = t.sweep / t.n in
+  let quarter = t.sweep / t.n mod 8 in
   match quarter with
   | 0 -> (`Up, false, false)
   | 1 -> (`Up, true, false)
@@ -30,25 +38,34 @@ let controls t =
   | 5 -> (`Down, false, true)
   | 6 -> (`Down, true, false)
   | 7 -> (`Down, false, false)
-  | _ -> invalid_arg "Controller.step: already finished"
+  | _ -> assert false
 
-let step t =
+let step_with t read =
+  if finished t then invalid_arg "Controller.step: already finished";
   let dir, comp, shift = controls t in
   let addr = match dir with `Up -> t.offset | `Down -> t.length - 1 - t.offset in
-  let word = Memory.read t.memory addr in
-  let word = if shift then Vector.shift_left_circular word else word in
-  let word = if comp then Vector.complement word else word in
-  t.offset <- t.offset + 1;
-  if t.offset = t.length then begin
-    t.offset <- 0;
-    t.sweep <- t.sweep + 1
-  end;
-  word
+  let addr = Injector.on_address t.injector addr mod t.length in
+  match read t.memory addr with
+  | Error _ as e -> e
+  | Ok word ->
+    let word = if shift then Vector.shift_left_circular word else word in
+    let word = if comp then Vector.complement word else word in
+    t.offset <- t.offset + 1;
+    if t.offset = t.length then begin
+      t.offset <- 0;
+      t.sweep <- t.sweep + 1
+    end;
+    t.emitted <- t.emitted + 1;
+    Ok word
+
+let step t =
+  match step_with t (fun m a -> Ok (Memory.read m a)) with
+  | Ok word -> word
+  | Error _ -> assert false (* the raw read never returns Error *)
+
+let step_checked t ~attempt = step_with t (fun m a -> Memory.read_checked m ~attempt a)
 
 let emit_all t =
-  let remaining =
-    ((8 * t.n) - t.sweep) * t.length - t.offset
-  in
-  if remaining = 0 then Bist_logic.Tseq.empty (Memory.word_bits t.memory)
-  else
-    Bist_logic.Tseq.of_vectors (Array.init remaining (fun _ -> step t))
+  let remaining = t.target - t.emitted in
+  if remaining <= 0 then Bist_logic.Tseq.empty (Memory.word_bits t.memory)
+  else Bist_logic.Tseq.of_vectors (Array.init remaining (fun _ -> step t))

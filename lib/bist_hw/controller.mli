@@ -19,21 +19,35 @@
     which is exactly [Ops.expand ~n] (tested as an equivalence property).
     The hardware needed — an up/down address counter, a sweep counter,
     one inverter + mux per memory output and a rotate-by-one mux — is
-    independent of the circuit under test, as the paper observes. *)
+    independent of the circuit under test, as the paper observes.
+
+    An optional {!Injector} models defects in this machinery: stuck
+    address-counter bits divert every read (the diverted address wraps
+    into the stored range, as a physical counter's would), and
+    terminal-count glitches stop the FSM early or let it overrun. The
+    nominal {!total_cycles} is unaffected — comparing it against
+    {!emitted} is the session's cycle-count defense. *)
 
 type t
 
-val start : Memory.t -> n:int -> t
+val start : ?injector:Injector.t -> Memory.t -> n:int -> t
 (** Begin a session over the sequence currently loaded in the memory. *)
 
 val total_cycles : t -> int
-(** [8 · n · used_words]. *)
+(** Nominal [8 · n · used_words]. *)
+
+val emitted : t -> int
+(** Cycles emitted so far (equals [total_cycles] after a clean run). *)
 
 val finished : t -> bool
 
 val step : t -> Bist_logic.Vector.t
-(** Emit the next vector of [Sexp] and advance. Raises [Invalid_argument]
-    when {!finished}. *)
+(** Emit the next vector of [Sexp] and advance, reading the memory raw
+    (no ECC check). Raises [Invalid_argument] when {!finished}. *)
+
+val step_checked : t -> attempt:int -> (Bist_logic.Vector.t, Error.t) result
+(** {!step} through the ECC decoder: [Error] (without advancing) when the
+    memory flags an uncorrectable word. *)
 
 val emit_all : t -> Bist_logic.Tseq.t
 (** Run the controller to completion from its current position. *)

@@ -1,0 +1,91 @@
+module Vector = Bist_logic.Vector
+module T = Bist_logic.Ternary
+
+type scheme = No_ecc | Parity | Hamming_sec
+
+let scheme_name = function
+  | No_ecc -> "none"
+  | Parity -> "parity"
+  | Hamming_sec -> "hamming-sec"
+
+let rec hamming_r m r = if 1 lsl r >= m + r + 1 then r else hamming_r m (r + 1)
+
+let check_bits scheme ~data_bits =
+  if data_bits < 1 then invalid_arg "Ecc.check_bits";
+  match scheme with
+  | No_ecc -> 0
+  | Parity -> 1
+  | Hamming_sec -> hamming_r data_bits 2
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+(* 1-based Hamming position of each data bit: the i-th index that is not
+   a power of two (powers of two hold the check bits). *)
+let data_positions m =
+  let arr = Array.make m 0 in
+  let pos = ref 1 in
+  let i = ref 0 in
+  while !i < m do
+    if not (is_pow2 !pos) then begin
+      arr.(!i) <- !pos;
+      incr i
+    end;
+    incr pos
+  done;
+  arr
+
+let bit_one v i = Vector.get v i = T.One
+
+let parity_of v =
+  let acc = ref 0 in
+  for i = 0 to Vector.width v - 1 do
+    if bit_one v i then acc := !acc lxor 1
+  done;
+  !acc
+
+(* XOR of the positions of all 1 data bits: bit j of the result is check
+   bit j of the classic SEC layout (X counts as 0). *)
+let hamming_code v =
+  let positions = data_positions (Vector.width v) in
+  let acc = ref 0 in
+  for i = 0 to Vector.width v - 1 do
+    if bit_one v i then acc := !acc lxor positions.(i)
+  done;
+  !acc
+
+let encode scheme v =
+  match scheme with
+  | No_ecc -> 0
+  | Parity -> parity_of v
+  | Hamming_sec -> hamming_code v
+
+type verdict = Clean | Corrected of Bist_logic.Vector.t | Uncorrectable
+
+let flip v i =
+  match Vector.get v i with
+  | T.One -> Some (Vector.set v i T.Zero)
+  | T.Zero -> Some (Vector.set v i T.One)
+  | T.X -> None
+
+let verify scheme v stored =
+  match scheme with
+  | No_ecc -> Clean
+  | Parity -> if parity_of v = stored land 1 then Clean else Uncorrectable
+  | Hamming_sec ->
+    let m = Vector.width v in
+    let r = hamming_r m 2 in
+    let syndrome = hamming_code v lxor stored in
+    if syndrome = 0 then Clean
+    else if is_pow2 syndrome && syndrome < 1 lsl r then
+      (* A check bit itself flipped; the data is intact. *)
+      Corrected v
+    else begin
+      let positions = data_positions m in
+      let target = ref (-1) in
+      for i = 0 to m - 1 do
+        if positions.(i) = syndrome then target := i
+      done;
+      match !target with
+      | -1 -> Uncorrectable (* syndrome outside the code word: multi-bit *)
+      | i -> (match flip v i with Some v' -> Corrected v' | None -> Uncorrectable)
+    end

@@ -1,0 +1,35 @@
+(** Per-word error-detecting/correcting codes for the test memory.
+
+    The subsequence memory is the one circuit-dependent-sized block of the
+    scheme's hardware, so it is also the natural place for soft errors and
+    manufacturing defects to corrupt the stored test. Each word can carry
+    either a single parity bit (detection only — the session recovers by
+    reloading) or a SEC Hamming code (single-bit errors corrected on the
+    fly, no reload needed).
+
+    Codes are computed over the binary content of a word; an [X] lane
+    counts as 0, which is deterministic because injected faults only
+    toggle binary lanes. *)
+
+type scheme = No_ecc | Parity | Hamming_sec
+
+val scheme_name : scheme -> string
+
+val check_bits : scheme -> data_bits:int -> int
+(** Check bits stored per word: 0, 1, or the minimal [r] with
+    [2^r >= data_bits + r + 1]. *)
+
+val encode : scheme -> Bist_logic.Vector.t -> int
+(** The check word for a data word, computed at load time from the
+    incoming tester data (before any corruption of the cells). *)
+
+type verdict =
+  | Clean
+  | Corrected of Bist_logic.Vector.t
+      (** Single-bit error corrected by the decoder; the returned word is
+          the corrected value (the cell itself is left as is). *)
+  | Uncorrectable
+
+val verify : scheme -> Bist_logic.Vector.t -> int -> verdict
+(** [verify scheme word check] re-derives the code from [word] and
+    compares with the stored [check]. *)

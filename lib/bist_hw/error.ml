@@ -1,0 +1,38 @@
+type t =
+  | No_sequences
+  | Empty_sequence
+  | Width_mismatch of { expected : int; got : int }
+  | Sequence_too_long of { length : int; depth : int }
+  | Address_out_of_range of { addr : int; used : int }
+  | Parity_violation of { word : int; attempt : int }
+  | Signature_mismatch of { expected : int; got : int; attempt : int }
+  | Cycle_count_mismatch of { expected : int; got : int; attempt : int }
+
+exception Error of t
+
+let to_string = function
+  | No_sequences -> "no stored sequences to apply"
+  | Empty_sequence -> "empty stored sequence"
+  | Width_mismatch { expected; got } ->
+    Printf.sprintf "word width mismatch: expected %d bits, got %d" expected got
+  | Sequence_too_long { length; depth } ->
+    Printf.sprintf "sequence of %d words does not fit a %d-word memory" length depth
+  | Address_out_of_range { addr; used } ->
+    Printf.sprintf "memory address %d out of range (%d words in use)" addr used
+  | Parity_violation { word; attempt } ->
+    Printf.sprintf "parity violation in memory word %d (attempt %d)" word attempt
+  | Signature_mismatch { expected; got; attempt } ->
+    Printf.sprintf "signature mismatch: reference %08x, got %08x (attempt %d)"
+      expected got attempt
+  | Cycle_count_mismatch { expected; got; attempt } ->
+    Printf.sprintf "cycle-count mismatch: expected %d at-speed cycles, got %d (attempt %d)"
+      expected got attempt
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+let raise_exn e = raise (Error e)
+let ok_exn = function Ok v -> v | Error e -> raise_exn e
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Bist_hw.Error: " ^ to_string e)
+    | _ -> None)

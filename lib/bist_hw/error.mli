@@ -1,0 +1,33 @@
+(** Structured errors of the hardware model.
+
+    Misuse of the session (empty inputs, width mismatches) and runtime
+    integrity violations caught by the defenses (parity, golden-signature
+    cross-check, cycle-count comparator) are all values of one type, so a
+    session can report them, retry on them, or surface them in a partial
+    report instead of aborting the program. The [_exn] wrappers of the
+    [Result]-returning entry points raise {!Error}. *)
+
+type t =
+  | No_sequences  (** {!Session.run} called with an empty sequence list. *)
+  | Empty_sequence  (** A stored sequence of length 0. *)
+  | Width_mismatch of { expected : int; got : int }
+  | Sequence_too_long of { length : int; depth : int }
+  | Address_out_of_range of { addr : int; used : int }
+  | Parity_violation of { word : int; attempt : int }
+      (** The memory ECC flagged an uncorrectable word on read. *)
+  | Signature_mismatch of { expected : int; got : int; attempt : int }
+      (** The hardware signature disagreed with the software reference
+          recomputed from the stored memory content. *)
+  | Cycle_count_mismatch of { expected : int; got : int; attempt : int }
+      (** The controller did not apply exactly [8nL] cycles. *)
+
+exception Error of t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val raise_exn : t -> 'a
+(** Raise {!Error}. *)
+
+val ok_exn : ('a, t) result -> 'a
+(** Unwrap, raising {!Error} on [Error]. *)

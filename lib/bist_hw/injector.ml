@@ -1,0 +1,85 @@
+module Vector = Bist_logic.Vector
+module T = Bist_logic.Ternary
+
+type fault =
+  | Mem_flip of { word : int; bit : int; phase : [ `Load | `Stored ] }
+  | Mem_stuck of { word : int; bit : int; value : bool }
+  | Addr_stuck of { bit : int; value : bool }
+  | Early_termination of { dropped : int }
+  | Late_termination of { extra : int }
+  | Misr_corrupt of { mask : int }
+
+type t = { fault : fault option; mutable fired : bool }
+
+let none = { fault = None; fired = true }
+let create fault = { fault = Some fault; fired = false }
+let fault t = t.fault
+
+let kind_name = function
+  | Mem_flip _ -> "mem-flip"
+  | Mem_stuck _ -> "mem-stuck"
+  | Addr_stuck _ -> "addr-stuck"
+  | Early_termination _ -> "early-term"
+  | Late_termination _ -> "late-term"
+  | Misr_corrupt _ -> "misr-corrupt"
+
+let fault_to_string = function
+  | Mem_flip { word; bit; phase } ->
+    Printf.sprintf "transient flip of memory word %d bit %d (%s)" word bit
+      (match phase with `Load -> "during load" | `Stored -> "after load")
+  | Mem_stuck { word; bit; value } ->
+    Printf.sprintf "memory cell word %d bit %d stuck at %d" word bit
+      (if value then 1 else 0)
+  | Addr_stuck { bit; value } ->
+    Printf.sprintf "address counter bit %d stuck at %d" bit (if value then 1 else 0)
+  | Early_termination { dropped } ->
+    Printf.sprintf "controller terminates %d cycles early" dropped
+  | Late_termination { extra } ->
+    Printf.sprintf "controller overruns by %d cycles" extra
+  | Misr_corrupt { mask } -> Printf.sprintf "MISR register corrupted by mask %x" mask
+
+let flip v i =
+  match Vector.get v i with
+  | T.One -> Vector.set v i T.Zero
+  | T.Zero -> Vector.set v i T.One
+  | T.X -> v
+
+let on_load_word t ~word v =
+  match t.fault with
+  | Some (Mem_flip { word = w; bit; phase = `Load }) when (not t.fired) && w = word ->
+    t.fired <- true;
+    flip v bit
+  | Some (Mem_stuck { word = w; bit; value }) when w = word ->
+    Vector.set v bit (if value then T.One else T.Zero)
+  | _ -> v
+
+let on_stored t memory =
+  match t.fault with
+  | Some (Mem_flip { word; bit; phase = `Stored })
+    when (not t.fired) && word < Memory.used_words memory ->
+    t.fired <- true;
+    Memory.corrupt memory ~word (fun v -> flip v bit)
+  | _ -> ()
+
+let on_address t addr =
+  match t.fault with
+  | Some (Addr_stuck { bit; value }) ->
+    if value then addr lor (1 lsl bit) else addr land lnot (1 lsl bit)
+  | _ -> addr
+
+let adjust_total_cycles t nominal =
+  match t.fault with
+  | Some (Early_termination { dropped }) when not t.fired ->
+    t.fired <- true;
+    max 0 (nominal - dropped)
+  | Some (Late_termination { extra }) when not t.fired ->
+    t.fired <- true;
+    nominal + extra
+  | _ -> nominal
+
+let on_final_misr t misr =
+  match t.fault with
+  | Some (Misr_corrupt { mask }) when not t.fired ->
+    t.fired <- true;
+    Misr.corrupt misr ~mask
+  | _ -> ()

@@ -1,0 +1,61 @@
+(** Deterministic fault injection into the hardware model.
+
+    The paper assumes the BIST machinery itself is fault-free; this module
+    drops that assumption. An injector arms exactly one fault and is
+    threaded through {!Session.run}, which hands it the hook points the
+    real defect mechanisms correspond to: memory cells as words are
+    written and after a load completes, the address counter on every
+    read, the terminal-count comparator at controller start, and the MISR
+    register at the end of a sequence.
+
+    Transient faults ([Mem_flip], [Early_termination], [Late_termination],
+    [Misr_corrupt]) fire once at their first opportunity and never again —
+    in particular not on a recovery reload, which is what makes the
+    session's retry policy effective against them. Permanent faults
+    ([Mem_stuck], [Addr_stuck]) apply at every opportunity, so recovery by
+    reload fails and the session must degrade gracefully instead. *)
+
+type fault =
+  | Mem_flip of { word : int; bit : int; phase : [ `Load | `Stored ] }
+      (** One-shot bit flip of a stored cell, either as the word is
+          written ([`Load]) or once the load completes ([`Stored]). Both
+          strike after check-bit generation, as a cell upset does. *)
+  | Mem_stuck of { word : int; bit : int; value : bool }  (** Permanent. *)
+  | Addr_stuck of { bit : int; value : bool }
+      (** Permanent stuck bit of the memory address counter. *)
+  | Early_termination of { dropped : int }
+  | Late_termination of { extra : int }
+  | Misr_corrupt of { mask : int }
+
+type t
+
+val none : t
+(** Inert injector; every hook is the identity. *)
+
+val create : fault -> t
+(** A fresh injector with the fault armed (transient faults not yet
+    fired). *)
+
+val fault : t -> fault option
+
+val kind_name : fault -> string
+(** Short slug for campaign tables: ["mem-flip"], ["addr-stuck"], ... *)
+
+val fault_to_string : fault -> string
+
+(** {2 Hook points (called by the hardware model)} *)
+
+val on_load_word : t -> word:int -> Bist_logic.Vector.t -> Bist_logic.Vector.t
+(** Corrupt a word as it is written into the memory. *)
+
+val on_stored : t -> Memory.t -> unit
+(** Strike the stored content after a load completed. *)
+
+val on_address : t -> int -> int
+(** Apply address-counter stuck bits to a nominal address. *)
+
+val adjust_total_cycles : t -> int -> int
+(** Glitch the terminal count at controller start. *)
+
+val on_final_misr : t -> Misr.t -> unit
+(** Corrupt the signature register at the end of a sequence. *)

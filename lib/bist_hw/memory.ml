@@ -1,34 +1,68 @@
+module Vector = Bist_logic.Vector
+module Tseq = Bist_logic.Tseq
+
 type t = {
   word_bits : int;
   depth : int;
-  mutable words : Bist_logic.Vector.t array;
+  ecc : Ecc.scheme;
+  words : Vector.t array;
+  checks : int array;
   mutable used : int;
   mutable load_cycles : int;
+  mutable corrections : int;
 }
 
-let create ~word_bits ~depth =
+let create ?(ecc = Ecc.No_ecc) ~word_bits ~depth () =
   if word_bits < 1 || depth < 1 then invalid_arg "Memory.create";
+  let xword = Vector.create word_bits Bist_logic.Ternary.X in
   {
     word_bits;
     depth;
-    words = Array.make depth (Bist_logic.Vector.create word_bits Bist_logic.Ternary.X);
+    ecc;
+    words = Array.make depth xword;
+    checks = Array.make depth (Ecc.encode ecc xword);
     used = 0;
     load_cycles = 0;
+    corrections = 0;
   }
 
 let depth t = t.depth
 let word_bits t = t.word_bits
+let ecc t = t.ecc
 
-let load_sequence t seq =
-  let len = Bist_logic.Tseq.length seq in
-  if len > t.depth then invalid_arg "Memory.load_sequence: sequence longer than memory";
-  if Bist_logic.Tseq.width seq <> t.word_bits then
-    invalid_arg "Memory.load_sequence: word width mismatch";
-  for i = 0 to len - 1 do
-    t.words.(i) <- Bist_logic.Tseq.get seq i
-  done;
-  t.used <- len;
-  t.load_cycles <- t.load_cycles + len
+let load_sequence ?corrupt t seq =
+  let len = Tseq.length seq in
+  if Tseq.width seq <> t.word_bits then begin
+    (* A rejected load leaves no stale sequence behind: a session that
+       ignored the error must not silently re-apply the previous one. *)
+    t.used <- 0;
+    Error (Error.Width_mismatch { expected = t.word_bits; got = Tseq.width seq })
+  end
+  else if len > t.depth then begin
+    t.used <- 0;
+    Error (Error.Sequence_too_long { length = len; depth = t.depth })
+  end
+  else begin
+    t.used <- 0;
+    for i = 0 to len - 1 do
+      let word = Tseq.get seq i in
+      (* Check bits come from the incoming tester data; corruption (the
+         injector's cell faults) hits the stored copy only. *)
+      t.checks.(i) <- Ecc.encode t.ecc word;
+      t.words.(i) <- (match corrupt with None -> word | Some f -> f ~word:i word)
+    done;
+    let xword = Vector.create t.word_bits Bist_logic.Ternary.X in
+    let xcheck = Ecc.encode t.ecc xword in
+    for i = len to t.depth - 1 do
+      t.words.(i) <- xword;
+      t.checks.(i) <- xcheck
+    done;
+    t.used <- len;
+    t.load_cycles <- t.load_cycles + len;
+    Ok ()
+  end
+
+let load_sequence_exn ?corrupt t seq = Error.ok_exn (load_sequence ?corrupt t seq)
 
 let used_words t = t.used
 
@@ -36,4 +70,24 @@ let read t addr =
   if addr < 0 || addr >= t.used then invalid_arg "Memory.read: address out of range";
   t.words.(addr)
 
+let read_checked t ~attempt addr =
+  if addr < 0 || addr >= t.used then
+    Error (Error.Address_out_of_range { addr; used = t.used })
+  else
+    match Ecc.verify t.ecc t.words.(addr) t.checks.(addr) with
+    | Ecc.Clean -> Ok t.words.(addr)
+    | Ecc.Corrected word ->
+      t.corrections <- t.corrections + 1;
+      Ok word
+    | Ecc.Uncorrectable -> Error (Error.Parity_violation { word = addr; attempt })
+
+let raw_word t addr =
+  if addr < 0 || addr >= t.depth then invalid_arg "Memory.raw_word";
+  t.words.(addr)
+
+let corrupt t ~word f =
+  if word < 0 || word >= t.depth then invalid_arg "Memory.corrupt";
+  t.words.(word) <- f t.words.(word)
+
+let corrections t = t.corrections
 let total_load_cycles t = t.load_cycles

@@ -3,25 +3,67 @@
     A word array of [word_bits] (one bit per circuit primary input) by
     [depth] words. Sequences are loaded at tester speed through
     {!load_sequence}, which also accounts the load cycles — the quantity
-    the paper's "tot len" column measures. *)
+    the paper's "tot len" column measures.
+
+    The memory can optionally carry a per-word check code (see {!Ecc}):
+    check bits are generated from the incoming data as a word is written
+    and verified on every {!read_checked}, which is how the session
+    detects (parity) or transparently repairs (SEC Hamming) corrupted
+    cells. {!corrupt} is the fault-injection surface — it flips stored
+    data without touching the check bits, exactly like a cell upset. *)
 
 type t
 
-val create : word_bits:int -> depth:int -> t
+val create : ?ecc:Ecc.scheme -> word_bits:int -> depth:int -> unit -> t
+(** [ecc] defaults to {!Ecc.No_ecc}. *)
 
 val depth : t -> int
 val word_bits : t -> int
+val ecc : t -> Ecc.scheme
 
-val load_sequence : t -> Bist_logic.Tseq.t -> unit
-(** Load a sequence into addresses [0 .. length-1]. Raises
-    [Invalid_argument] if it does not fit or widths differ. Increments
-    the load-cycle counter by the sequence length. *)
+val load_sequence :
+  ?corrupt:(word:int -> Bist_logic.Vector.t -> Bist_logic.Vector.t) ->
+  t ->
+  Bist_logic.Tseq.t ->
+  (unit, Error.t) result
+(** Load a sequence into addresses [0 .. length-1], overwriting the whole
+    memory: [used_words] is reset before writing and every word above the
+    new length is cleared to all-X, so a failed or partial reload can
+    never silently expose vectors of the previous subsequence. Returns
+    [Error] (and leaves the memory invalidated, [used_words = 0]) if the
+    sequence does not fit or widths differ. Increments the load-cycle
+    counter by the sequence length on success. [corrupt] is applied to
+    each word as it is stored (after check-bit generation). *)
+
+val load_sequence_exn :
+  ?corrupt:(word:int -> Bist_logic.Vector.t -> Bist_logic.Vector.t) ->
+  t ->
+  Bist_logic.Tseq.t ->
+  unit
+(** {!load_sequence}, raising {!Error.Error} on failure. *)
 
 val used_words : t -> int
 (** Number of words occupied by the currently loaded sequence. *)
 
 val read : t -> int -> Bist_logic.Vector.t
-(** Word at an address, [0 <= addr < used_words]. *)
+(** Raw word at an address, [0 <= addr < used_words], no ECC check.
+    Raises [Invalid_argument] out of range. *)
+
+val read_checked : t -> attempt:int -> int -> (Bist_logic.Vector.t, Error.t) result
+(** {!read} through the ECC decoder: a clean or corrected word on [Ok]
+    (corrections are counted), [Parity_violation] when the code flags an
+    uncorrectable word. [attempt] tags the error for the session report. *)
+
+val raw_word : t -> int -> Bist_logic.Vector.t
+(** Stored cell content at any address in [0 <= addr < depth], bypassing
+    both the [used_words] fence and the ECC decoder (model inspection). *)
+
+val corrupt : t -> word:int -> (Bist_logic.Vector.t -> Bist_logic.Vector.t) -> unit
+(** Fault-injection surface: rewrite a stored cell in place, leaving the
+    check bits untouched. *)
+
+val corrections : t -> int
+(** ECC decoder corrections performed since {!create}. *)
 
 val total_load_cycles : t -> int
 (** Tester cycles spent loading since {!create}. *)

@@ -38,6 +38,10 @@ let compact t vec =
 
 let signature t = t.state
 let contaminated t = t.contaminated
+let reg_width t = t.reg_width
+
+let corrupt t ~mask =
+  t.state <- t.state lxor (mask land ((1 lsl t.reg_width) - 1))
 
 let reset t =
   t.state <- 0;

@@ -23,4 +23,12 @@ val signature : t -> int
 
 val contaminated : t -> bool
 
+val reg_width : t -> int
+(** Number of register stages ([min 32 (max 2 width)]). *)
+
+val corrupt : t -> mask:int -> unit
+(** Fault-injection surface: XOR the register with [mask] (masked to the
+    register width), modelling a transient upset of the signature
+    flip-flops. *)
+
 val reset : t -> unit

@@ -1,10 +1,34 @@
 module Tseq = Bist_logic.Tseq
+module Vector = Bist_logic.Vector
+
+type defense = {
+  ecc : Ecc.scheme;
+  signature_check : bool;
+  cycle_check : bool;
+  max_reloads : int;
+}
+
+let undefended =
+  { ecc = Ecc.No_ecc; signature_check = false; cycle_check = false; max_reloads = 0 }
+
+let default_defense =
+  { ecc = Ecc.Parity; signature_check = false; cycle_check = true; max_reloads = 3 }
+
+let hardened =
+  { ecc = Ecc.Parity; signature_check = true; cycle_check = true; max_reloads = 3 }
+
+type status = Clean | Recovered | Degraded of Error.t
 
 type sequence_report = {
   stored_length : int;
   applied_length : int;
   signature : int;
   signature_valid : bool;
+  status : status;
+  attempts : int;
+  corrections : int;
+  detections : Error.t list;
+  applied : Tseq.t option;
 }
 
 type report = {
@@ -15,73 +39,220 @@ type report = {
   total_load_cycles : int;
   total_at_speed_cycles : int;
   sync_cycles_per_sequence : int;
+  total_reloads : int;
+  complete : bool;
+  defense : defense;
   per_sequence : sequence_report list;
   area : Area.t;
 }
 
-let run ?sync ~n circuit sequences =
-  if sequences = [] then invalid_arg "Session.run: no sequences";
+let ( let* ) = Result.bind
+
+let validate_inputs ~num_inputs sequences =
+  if sequences = [] then Error Error.No_sequences
+  else
+    List.fold_left
+      (fun acc seq ->
+        let* () = acc in
+        if Tseq.length seq = 0 then Error Error.Empty_sequence
+        else if Tseq.width seq <> num_inputs then
+          Error (Error.Width_mismatch { expected = num_inputs; got = Tseq.width seq })
+        else Ok ())
+      (Ok ()) sequences
+
+let run ?sync ?(defense = default_defense) ?(injector = Injector.none)
+    ?(capture = false) ~n circuit sequences =
+  if n < 1 then invalid_arg "Session.run: n must be >= 1";
   let num_inputs = Bist_circuit.Netlist.num_inputs circuit in
+  let num_outputs = Bist_circuit.Netlist.num_outputs circuit in
+  let* () = validate_inputs ~num_inputs sequences in
   let depth =
     List.fold_left (fun acc s -> max acc (Tseq.length s)) 0 sequences
   in
-  if depth = 0 then invalid_arg "Session.run: empty sequence";
-  let memory = Memory.create ~word_bits:num_inputs ~depth in
-  let misr = Misr.create ~width:(Bist_circuit.Netlist.num_outputs circuit) in
+  let memory = Memory.create ~ecc:defense.ecc ~word_bits:num_inputs ~depth () in
+  let misr = Misr.create ~width:num_outputs in
   let at_speed = ref 0 in
-  let sync_cycles =
-    match sync with None -> 0 | Some s -> Bist_logic.Tseq.length s
+  let total_reloads = ref 0 in
+  let sync_cycles = match sync with None -> 0 | Some s -> Tseq.length s in
+  let apply_sync ~count sim =
+    match sync with
+    | None -> ()
+    | Some s ->
+      Tseq.iter
+        (fun v ->
+          ignore (Bist_sim.Seq_sim.step sim v : Vector.t);
+          if count then incr at_speed)
+        s
+  in
+  (* The golden-signature reference: re-expand the memory content in
+     software and compact the simulated responses in a software MISR,
+     under the same synchronization discipline. The readback goes through
+     the ECC decoder like every other memory read — so memory integrity
+     is the code's job, and this check owns the expansion datapath, the
+     address counter, the terminal count and the MISR itself. *)
+  let software_signature ~attempt () =
+    let used = Memory.used_words memory in
+    let rec readback i acc =
+      if i = used then Ok (List.rev acc)
+      else
+        let* word = Memory.read_checked memory ~attempt i in
+        readback (i + 1) (word :: acc)
+    in
+    let* words = readback 0 [] in
+    let stored = Tseq.of_vectors (Array.of_list words) in
+    let sim = Bist_sim.Seq_sim.create circuit in
+    apply_sync ~count:false sim;
+    let reference = Misr.create ~width:num_outputs in
+    Tseq.iter
+      (fun v -> Misr.compact reference (Bist_sim.Seq_sim.step sim v))
+      (Bist_core.Ops.expand ~n stored);
+    Ok (Misr.signature reference, not (Misr.contaminated reference))
   in
   let apply_one seq =
-    Memory.load_sequence memory seq;
-    let controller = Controller.start memory ~n in
-    let sim = Bist_sim.Seq_sim.create circuit in
-    (* Synchronizing prefix: applied at speed, signature window closed. *)
-    (match sync with
-     | None -> ()
-     | Some s ->
-       Bist_logic.Tseq.iter
-         (fun v ->
-           ignore (Bist_sim.Seq_sim.step sim v : Bist_logic.Vector.t);
-           incr at_speed)
-         s);
-    Misr.reset misr;
-    while not (Controller.finished controller) do
-      let vec = Controller.step controller in
-      let response = Bist_sim.Seq_sim.step sim vec in
-      Misr.compact misr response;
-      incr at_speed
-    done;
-    {
-      stored_length = Tseq.length seq;
-      applied_length = Controller.total_cycles controller;
-      signature = Misr.signature misr;
-      signature_valid = not (Misr.contaminated misr);
-    }
+    let detections = ref [] in
+    let base_corrections = Memory.corrections memory in
+    let rec attempt k =
+      if k > 1 then incr total_reloads;
+      (match
+         Memory.load_sequence memory seq
+           ~corrupt:(fun ~word v -> Injector.on_load_word injector ~word v)
+       with
+       | Ok () -> ()
+       | Error e -> Error.raise_exn e (* unreachable: inputs pre-validated *));
+      Injector.on_stored injector memory;
+      let captured = ref [] in
+      let outcome =
+        let* reference =
+          if defense.signature_check then
+            let* r = software_signature ~attempt:k () in
+            Ok (Some r)
+          else Ok None
+        in
+        let controller = Controller.start ~injector memory ~n in
+        let sim = Bist_sim.Seq_sim.create circuit in
+        apply_sync ~count:true sim;
+        Misr.reset misr;
+        captured := [];
+        let* () =
+          let rec loop () =
+            if Controller.finished controller then Ok ()
+            else
+              let* vec = Controller.step_checked controller ~attempt:k in
+              if capture then captured := vec :: !captured;
+              Misr.compact misr (Bist_sim.Seq_sim.step sim vec);
+              incr at_speed;
+              loop ()
+          in
+          loop ()
+        in
+        Injector.on_final_misr injector misr;
+        let emitted = Controller.emitted controller in
+        let* () =
+          if defense.cycle_check && emitted <> Controller.total_cycles controller then
+            Error
+              (Error.Cycle_count_mismatch
+                 { expected = Controller.total_cycles controller;
+                   got = emitted;
+                   attempt = k })
+          else Ok ()
+        in
+        let* () =
+          match reference with
+          | Some (ref_sig, true) when Misr.signature misr <> ref_sig ->
+            Error
+              (Error.Signature_mismatch
+                 { expected = ref_sig; got = Misr.signature misr; attempt = k })
+          | _ -> Ok ()
+        in
+        Ok emitted
+      in
+      match outcome with
+      | Ok emitted ->
+        let corrections = Memory.corrections memory - base_corrections in
+        let status =
+          if k = 1 && !detections = [] && corrections = 0 then Clean else Recovered
+        in
+        {
+          stored_length = Tseq.length seq;
+          applied_length = emitted;
+          signature = Misr.signature misr;
+          signature_valid = not (Misr.contaminated misr);
+          status;
+          attempts = k;
+          corrections;
+          detections = List.rev !detections;
+          applied =
+            (if capture then
+               Some
+                 (match !captured with
+                  | [] -> Tseq.empty num_inputs
+                  | vs -> Tseq.of_vectors (Array.of_list (List.rev vs)))
+             else None);
+        }
+      | Error e ->
+        detections := e :: !detections;
+        if k > defense.max_reloads then
+          (* Graceful degradation: the sequence could not be applied
+             faithfully; report the failure instead of raising and let
+             the session continue with the remaining sequences. *)
+          {
+            stored_length = Tseq.length seq;
+            applied_length = 0;
+            signature = Misr.signature misr;
+            signature_valid = false;
+            status = Degraded e;
+            attempts = k;
+            corrections = Memory.corrections memory - base_corrections;
+            detections = List.rev !detections;
+            applied = None;
+          }
+        else attempt (k + 1)
+    in
+    attempt 1
   in
   let per_sequence = List.map apply_one sequences in
-  {
-    circuit_name = Bist_circuit.Netlist.circuit_name circuit;
-    n;
-    memory_words = depth;
-    memory_bits = depth * num_inputs;
-    total_load_cycles = Memory.total_load_cycles memory;
-    total_at_speed_cycles = !at_speed;
-    sync_cycles_per_sequence = sync_cycles;
-    per_sequence;
-    area = Area.estimate ~num_inputs ~max_seq_len:depth ~n;
-  }
+  Ok
+    {
+      circuit_name = Bist_circuit.Netlist.circuit_name circuit;
+      n;
+      memory_words = depth;
+      memory_bits = depth * num_inputs;
+      total_load_cycles = Memory.total_load_cycles memory;
+      total_at_speed_cycles = !at_speed;
+      sync_cycles_per_sequence = sync_cycles;
+      total_reloads = !total_reloads;
+      complete =
+        List.for_all
+          (fun s -> match s.status with Degraded _ -> false | _ -> true)
+          per_sequence;
+      defense;
+      per_sequence;
+      area = Area.estimate ~ecc:defense.ecc ~num_inputs ~max_seq_len:depth ~n ();
+    }
+
+let run_exn ?sync ?defense ?injector ?capture ~n circuit sequences =
+  Error.ok_exn (run ?sync ?defense ?injector ?capture ~n circuit sequences)
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "@[<v>%s (n=%d): memory %d words (%d bits), load %d cycles, at-speed %d cycles@,%a@,%d sequences:@,"
+    "@[<v>%s (n=%d): memory %d words (%d bits), load %d cycles, at-speed %d cycles@,%a@,defense: ecc %s, signature-check %b, cycle-check %b, max-reloads %d; %d reloads; %s@,%d sequences:@,"
     r.circuit_name r.n r.memory_words r.memory_bits r.total_load_cycles
     r.total_at_speed_cycles Area.pp r.area
+    (Ecc.scheme_name r.defense.ecc)
+    r.defense.signature_check r.defense.cycle_check r.defense.max_reloads
+    r.total_reloads
+    (if r.complete then "complete" else "PARTIAL")
     (List.length r.per_sequence);
   List.iteri
     (fun i s ->
-      Format.fprintf fmt "  #%d: stored %d, applied %d, signature %08x%s@," i
+      Format.fprintf fmt "  #%d: stored %d, applied %d, signature %08x%s%s@," i
         s.stored_length s.applied_length s.signature
-        (if s.signature_valid then "" else " (X-contaminated)"))
+        (if s.signature_valid then "" else " (X-contaminated)")
+        (match s.status with
+         | Clean -> ""
+         | Recovered ->
+           Printf.sprintf " [recovered: %d attempts, %d corrections]" s.attempts
+             s.corrections
+         | Degraded e -> Printf.sprintf " [DEGRADED: %s]" (Error.to_string e)))
     r.per_sequence;
   Format.fprintf fmt "@]"

@@ -1,18 +1,63 @@
-(** A complete on-chip test session.
+(** A complete BIST session over the hardware model: for each stored
+    subsequence, load the memory at tester speed, then run the expansion
+    controller at functional speed, apply the emitted vectors to the
+    circuit under test, and compact the responses in a MISR.
 
-    For each stored sequence: load it into the memory at tester speed,
-    run the expansion controller at functional speed, apply the emitted
-    vectors to the circuit under test, and compact the responses in a
-    MISR. The fault-free signatures computed here are what a tester
-    would compare against; the coverage achieved is by construction that
-    of the software expansion (verified by an equivalence test between
-    {!Controller} and [Ops.expand]). *)
+    The session is also where the self-checking policy lives. A
+    {!defense} names which mechanisms are armed:
+
+    - {b ECC} on the memory (per-word parity or SEC Hamming) flags — or
+      transparently repairs — corrupted cells on every read.
+    - {b Cycle check}: the emitted cycle count must equal the nominal
+      [8·n·L], catching terminal-count glitches in the controller.
+    - {b Signature check}: a software golden signature is computed by
+      re-expanding the (ECC-checked) memory readback and simulating the
+      circuit, catching faults in the expansion datapath, the address
+      counter and the MISR itself.
+
+    On a detection the session reloads the subsequence and retries, up to
+    [max_reloads] times; a transient fault is outrun this way, a
+    permanent one exhausts the budget and the sequence is reported
+    {!Degraded} — the session completes with a structured
+    partial-coverage report instead of raising. *)
+
+type defense = {
+  ecc : Ecc.scheme;
+  signature_check : bool;
+  cycle_check : bool;
+  max_reloads : int;
+}
+
+val undefended : defense
+(** Nothing armed: the paper's bare hardware. Faults escape silently. *)
+
+val default_defense : defense
+(** Parity + cycle check, up to 3 reloads. Cheap and catches the
+    high-probability faults (memory upsets, termination glitches). *)
+
+val hardened : defense
+(** [default_defense] plus the golden-signature cross-check. *)
+
+type status =
+  | Clean  (** First attempt, no detections, no ECC corrections. *)
+  | Recovered
+      (** Applied faithfully after at least one reload or ECC
+          correction. *)
+  | Degraded of Error.t
+      (** Reload budget exhausted; the sequence was not applied. The
+          payload is the last detection. *)
 
 type sequence_report = {
   stored_length : int;
-  applied_length : int;  (** [8 n · stored_length] at-speed cycles. *)
+  applied_length : int;  (** Expanded cycles applied ([0] if degraded). *)
   signature : int;
-  signature_valid : bool;  (** False if an X reached the MISR. *)
+  signature_valid : bool;  (** [false] if X-contaminated or degraded. *)
+  status : status;
+  attempts : int;  (** Load attempts consumed ([1] = no reload). *)
+  corrections : int;  (** ECC single-bit corrections during this sequence. *)
+  detections : Error.t list;  (** Every defense firing, in order. *)
+  applied : Bist_logic.Tseq.t option;
+      (** The expanded stream as actually applied, when [~capture:true]. *)
 }
 
 type report = {
@@ -20,24 +65,45 @@ type report = {
   n : int;
   memory_words : int;  (** Memory depth required = longest stored sequence. *)
   memory_bits : int;
-  total_load_cycles : int;  (** Tester cycles (the "tot len" cost). *)
+  total_load_cycles : int;  (** Tester cycles (the "tot len" cost),
+                                including reloads. *)
   total_at_speed_cycles : int;  (** Applied test length ("test len"),
                                     including synchronization cycles. *)
   sync_cycles_per_sequence : int;  (** 0 when no synchronizing prefix. *)
+  total_reloads : int;
+  complete : bool;  (** No sequence ended {!Degraded}. *)
+  defense : defense;
   per_sequence : sequence_report list;
   area : Area.t;
 }
 
 val run :
   ?sync:Bist_logic.Tseq.t ->
+  ?defense:defense ->
+  ?injector:Injector.t ->
+  ?capture:bool ->
+  n:int ->
+  Bist_circuit.Netlist.t ->
+  Bist_logic.Tseq.t list ->
+  (report, Error.t) result
+(** Run the full session. [Error] only on invalid inputs ([No_sequences],
+    [Empty_sequence], [Width_mismatch]) — runtime fault detections are
+    handled by the retry policy and end up inside the report, never here.
+    [sync] is a synchronizing prefix (see {!Sync}) applied — and counted —
+    before each expanded sequence. [defense] defaults to
+    {!default_defense}; [injector] defaults to {!Injector.none};
+    [capture] (default [false]) records each applied expanded stream in
+    the report. Raises [Invalid_argument] if [n < 1]. *)
+
+val run_exn :
+  ?sync:Bist_logic.Tseq.t ->
+  ?defense:defense ->
+  ?injector:Injector.t ->
+  ?capture:bool ->
   n:int ->
   Bist_circuit.Netlist.t ->
   Bist_logic.Tseq.t list ->
   report
-(** [run ~n circuit sequences] — sequences are applied independently,
-    each from the unknown circuit state. With [sync] (see {!Sync}), the
-    synchronizing prefix runs before each sequence with the MISR held in
-    reset, which is the paper's recipe for X-free signatures. Raises
-    [Invalid_argument] on an empty sequence list or width mismatches. *)
+(** {!run}, raising {!Error.Error} on invalid inputs. *)
 
 val pp_report : Format.formatter -> report -> unit

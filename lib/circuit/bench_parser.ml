@@ -46,16 +46,39 @@ let parse_args lineno tokens =
     args [] rest
   | _ -> error lineno "expected '('"
 
-let parse_line builder lineno line =
+(* Definition and use sites are tracked here, not in [Builder], so that a
+   duplicate definition or a dangling reference is reported as a
+   [Parse_error] carrying the offending line — [Builder]'s own checks
+   only back-stop programmatic construction. *)
+type state = {
+  builder : Builder.t;
+  def_lines : (string, int) Hashtbl.t;
+  mutable uses_rev : (string * int * string) list; (* signal, line, context *)
+}
+
+let define st lineno signal =
+  (match Hashtbl.find_opt st.def_lines signal with
+   | Some first ->
+     error lineno "signal %S already defined at line %d" signal first
+   | None -> ());
+  Hashtbl.add st.def_lines signal lineno
+
+let use st lineno context signal = st.uses_rev <- (signal, lineno, context) :: st.uses_rev
+
+let parse_line st lineno line =
   match tokenize lineno line with
   | [] -> ()
   | Name kw :: rest when String.uppercase_ascii kw = "INPUT" ->
     (match parse_args lineno rest with
-     | [ name ] -> Builder.add_input builder name
+     | [ name ] ->
+       define st lineno name;
+       Builder.add_input st.builder name
      | _ -> error lineno "INPUT takes exactly one signal")
   | Name kw :: rest when String.uppercase_ascii kw = "OUTPUT" ->
     (match parse_args lineno rest with
-     | [ name ] -> Builder.add_output builder name
+     | [ name ] ->
+       use st lineno "OUTPUT" name;
+       Builder.add_output st.builder name
      | _ -> error lineno "OUTPUT takes exactly one signal")
   | Name out :: Equals :: Name kindname :: rest ->
     (match Gate.kind_of_name kindname with
@@ -69,14 +92,23 @@ let parse_line builder lineno line =
        in
        if not (Gate.arity_ok kind (List.length args)) then
          error lineno "%s takes a different number of arguments" (Gate.kind_name kind);
-       Builder.add_gate builder ~output:out kind args)
+       define st lineno out;
+       List.iter (use st lineno (Printf.sprintf "gate %S" out)) args;
+       Builder.add_gate st.builder ~output:out kind args)
   | _ -> error lineno "malformed statement"
 
 let parse_string ~name text =
-  let builder = Builder.create ~name in
+  let st =
+    { builder = Builder.create ~name; def_lines = Hashtbl.create 64; uses_rev = [] }
+  in
   let lines = String.split_on_char '\n' text in
-  List.iteri (fun i line -> parse_line builder (i + 1) line) lines;
-  Builder.finalize builder
+  List.iteri (fun i line -> parse_line st (i + 1) line) lines;
+  List.iter
+    (fun (signal, lineno, context) ->
+      if not (Hashtbl.mem st.def_lines signal) then
+        error lineno "%s references undefined signal %S" context signal)
+    (List.rev st.uses_rev);
+  Builder.finalize st.builder
 
 let parse_file path =
   let ic = open_in_bin path in

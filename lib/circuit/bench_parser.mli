@@ -16,8 +16,11 @@ exception Parse_error of { line : int; message : string }
 val parse_string : name:string -> string -> Netlist.t
 (** [parse_string ~name text] parses a whole file's contents. The
     [name] labels the circuit in reports.
-    Raises {!Parse_error} on a syntax error and [Failure] on a
-    structurally invalid circuit. *)
+    Raises {!Parse_error} — with the offending line number — on a syntax
+    error, a duplicate signal definition, an unknown gate kind, or a
+    reference to an undefined signal (dangling fanin or OUTPUT); and
+    [Failure] on a circuit that is structurally invalid beyond that
+    (e.g. a combinational cycle). *)
 
 val parse_file : string -> Netlist.t
 (** Reads the file; the circuit name is the basename without extension. *)

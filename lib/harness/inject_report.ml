@@ -1,0 +1,51 @@
+module At = Bist_util.Ascii_table
+module Campaign = Bist_inject.Campaign
+
+let fi = string_of_int
+
+let pct num den =
+  if den = 0 then "n/a" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int num /. float_of_int den)
+
+let summary campaigns =
+  let t =
+    At.create
+      ~headers:
+        [ ("circuit", At.Left); ("defense", At.Left); ("faults", At.Right);
+          ("corrected", At.Right); ("detected", At.Right); ("benign", At.Right);
+          ("escaped", At.Right); ("covered", At.Right) ]
+  in
+  List.iter
+    (fun (c : Campaign.t) ->
+      let d = c.config.defense in
+      let defense_name =
+        Printf.sprintf "%s%s%s"
+          (Bist_hw.Ecc.scheme_name d.ecc)
+          (if d.signature_check then "+sig" else "")
+          (if d.cycle_check then "+cyc" else "")
+      in
+      At.add_row t
+        [ c.circuit_name; defense_name; fi c.config.count; fi c.corrected;
+          fi c.detected; fi c.benign; fi c.escaped;
+          pct (c.corrected + c.detected) (c.config.count - c.benign) ])
+    campaigns;
+  At.render t
+
+let breakdown (c : Campaign.t) =
+  let t =
+    At.create
+      ~headers:
+        [ ("fault kind", At.Left); ("corrected", At.Right); ("detected", At.Right);
+          ("benign", At.Right); ("escaped", At.Right) ]
+  in
+  List.iter
+    (fun (kind, (co, de, be, es)) -> At.add_row t [ kind; fi co; fi de; fi be; fi es ])
+    (Campaign.by_kind c);
+  At.render t
+
+let escapes (c : Campaign.t) =
+  List.filter_map
+    (fun (tr : Campaign.trial) ->
+      if tr.outcome = Campaign.Escaped then
+        Some (Bist_hw.Injector.fault_to_string tr.fault)
+      else None)
+    c.trials

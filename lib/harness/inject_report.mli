@@ -1,0 +1,15 @@
+(** Rendering of fault-injection campaign results for [bin/inject.exe].
+
+    The "covered" column is [(corrected + detected) / (count - benign)]:
+    the fraction of faults with an observable effect that the defense
+    either outran or honestly reported. The acceptance bar for the
+    hardened configuration is 100% — equivalently, zero escapes. *)
+
+val summary : Bist_inject.Campaign.t list -> string
+(** One row per campaign: outcome totals and the coverage ratio. *)
+
+val breakdown : Bist_inject.Campaign.t -> string
+(** Outcome counts per fault kind for a single campaign. *)
+
+val escapes : Bist_inject.Campaign.t -> string list
+(** Human-readable description of every escaped fault. *)

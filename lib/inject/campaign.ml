@@ -1,0 +1,157 @@
+module Rng = Bist_util.Rng
+module Tseq = Bist_logic.Tseq
+module Netlist = Bist_circuit.Netlist
+module Injector = Bist_hw.Injector
+module Session = Bist_hw.Session
+module Misr = Bist_hw.Misr
+
+type config = {
+  seed : int;
+  count : int;
+  defense : Session.defense;
+  n : int;
+  seq_length : int;
+  num_sequences : int;
+}
+
+let default_config =
+  {
+    seed = 1999;
+    count = 200;
+    defense = Session.hardened;
+    n = 2;
+    seq_length = 8;
+    num_sequences = 2;
+  }
+
+type outcome = Corrected | Detected | Benign | Escaped
+
+let outcome_name = function
+  | Corrected -> "corrected"
+  | Detected -> "detected"
+  | Benign -> "benign"
+  | Escaped -> "escaped"
+
+type trial = {
+  fault : Injector.fault;
+  outcome : outcome;
+  attempts : int;
+  detections : int;
+  degraded : bool;
+}
+
+type t = {
+  circuit_name : string;
+  config : config;
+  sync_found : bool;
+  trials : trial list;
+  corrected : int;
+  detected : int;
+  benign : int;
+  escaped : int;
+}
+
+(* A trial is *faithful* when the injected session applied exactly the
+   test the clean session applied: same expanded streams, same lengths,
+   and — when the clean signature is X-free — the same signature. The
+   clean run is the oracle; the session's own verdicts are what is being
+   audited against it. *)
+let faithful ~golden (report : Session.report) =
+  List.length report.per_sequence = List.length golden.Session.per_sequence
+  && List.for_all2
+       (fun (g : Session.sequence_report) (t : Session.sequence_report) ->
+         t.applied_length = g.applied_length
+         && (match (g.applied, t.applied) with
+            | Some ga, Some ta -> Tseq.equal ga ta
+            | _ -> false)
+         && ((not g.signature_valid) || (t.signature_valid && t.signature = g.signature)))
+       golden.Session.per_sequence report.per_sequence
+
+let flagged (report : Session.report) =
+  report.total_reloads > 0
+  || List.exists
+       (fun (s : Session.sequence_report) ->
+         s.detections <> [] || s.corrections > 0
+         || match s.status with Session.Clean -> false | _ -> true)
+       report.per_sequence
+
+let classify ~golden (report : Session.report) fault =
+  let degraded = not report.Session.complete in
+  let outcome =
+    if degraded then Detected
+    else if faithful ~golden report then
+      if flagged report then Corrected else Benign
+    else if flagged report then
+      (* The session claims recovery but applied the wrong test: the
+         recovery path itself failed, which is still an escape. *)
+      Escaped
+    else Escaped
+  in
+  {
+    fault;
+    outcome;
+    attempts =
+      List.fold_left
+        (fun acc (s : Session.sequence_report) -> max acc s.attempts)
+        0 report.per_sequence;
+    detections =
+      List.fold_left
+        (fun acc (s : Session.sequence_report) -> acc + List.length s.detections)
+        0 report.per_sequence;
+    degraded;
+  }
+
+let run ?(config = default_config) ~name circuit =
+  let rng = Rng.create config.seed in
+  let num_inputs = Netlist.num_inputs circuit in
+  let seq_length = min config.seq_length (1 lsl min num_inputs 10) in
+  let sequences =
+    List.init config.num_sequences (fun _ ->
+        Fault_gen.distinct_word_sequence rng ~width:num_inputs ~length:seq_length)
+  in
+  let sync =
+    Bist_hw.Sync.find_sequence ~rng:(Rng.split rng) circuit
+  in
+  let misr_width = Misr.reg_width (Misr.create ~width:(Netlist.num_outputs circuit)) in
+  let golden =
+    Session.run_exn ?sync ~defense:config.defense ~capture:true ~n:config.n
+      circuit sequences
+  in
+  let faults =
+    Fault_gen.faults rng ~count:config.count ~word_bits:num_inputs ~sequences
+      ~misr_width
+  in
+  let trials =
+    List.map
+      (fun fault ->
+        let injector = Injector.create fault in
+        let report =
+          Session.run_exn ?sync ~defense:config.defense ~injector ~capture:true
+            ~n:config.n circuit sequences
+        in
+        classify ~golden report fault)
+      faults
+  in
+  let count o = List.length (List.filter (fun t -> t.outcome = o) trials) in
+  {
+    circuit_name = name;
+    config;
+    sync_found = sync <> None;
+    trials;
+    corrected = count Corrected;
+    detected = count Detected;
+    benign = count Benign;
+    escaped = count Escaped;
+  }
+
+let kinds = [ "mem-flip"; "mem-stuck"; "addr-stuck"; "early-term"; "late-term"; "misr-corrupt" ]
+
+let by_kind t =
+  List.filter_map
+    (fun kind ->
+      let ts = List.filter (fun tr -> Injector.kind_name tr.fault = kind) t.trials in
+      if ts = [] then None
+      else
+        let c o = List.length (List.filter (fun tr -> tr.outcome = o) ts) in
+        Some (kind, (c Corrected, c Detected, c Benign, c Escaped)))
+    kinds

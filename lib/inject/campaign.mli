@@ -1,0 +1,66 @@
+(** Seeded fault-injection campaigns over the BIST hardware session.
+
+    A campaign generates [count] effective faults (see {!Fault_gen}),
+    runs one session per fault under a chosen {!Bist_hw.Session.defense},
+    and audits every run against a clean golden run of the same session:
+    did the hardware apply exactly the intended expanded test, and does
+    the report say so?
+
+    Outcomes:
+    - {b Corrected}: the applied test matches the golden run and the
+      session flagged the fault (ECC correction, reload, or recovery) —
+      the defense both saw and outran it.
+    - {b Detected}: the session exhausted its reload budget and reported
+      the sequence degraded — the fault is permanent, coverage is
+      partial, and the report says so. No silent damage.
+    - {b Benign}: the applied test matches and nothing fired — the fault
+      had no observable effect (rare, by construction of {!Fault_gen}).
+    - {b Escaped}: the applied test differs from the golden run but the
+      report claims success. The failure mode campaigns exist to count.
+
+    The paper's acceptance bar for the hardened defense is zero escapes;
+    disabling the parity code makes memory faults escape, which the
+    campaign makes measurable. *)
+
+type config = {
+  seed : int;
+  count : int;  (** Number of faults injected (one session each). *)
+  defense : Bist_hw.Session.defense;
+  n : int;  (** Expansion parameter of the sessions. *)
+  seq_length : int;  (** Stored subsequence length (clamped to 2^inputs). *)
+  num_sequences : int;
+}
+
+val default_config : config
+(** seed 1999, 200 faults, {!Bist_hw.Session.hardened}, n = 2, two stored
+    sequences of 8 vectors. *)
+
+type outcome = Corrected | Detected | Benign | Escaped
+
+val outcome_name : outcome -> string
+
+type trial = {
+  fault : Bist_hw.Injector.fault;
+  outcome : outcome;
+  attempts : int;  (** Max load attempts over the session's sequences. *)
+  detections : int;  (** Total defense firings across the session. *)
+  degraded : bool;
+}
+
+type t = {
+  circuit_name : string;
+  config : config;
+  sync_found : bool;  (** Whether a synchronizing prefix was applied. *)
+  trials : trial list;
+  corrected : int;
+  detected : int;
+  benign : int;
+  escaped : int;
+}
+
+val run : ?config:config -> name:string -> Bist_circuit.Netlist.t -> t
+(** Deterministic for a given [config.seed]. *)
+
+val by_kind : t -> (string * (int * int * int * int)) list
+(** Outcome counts [(corrected, detected, benign, escaped)] per fault
+    kind, for the kinds that occurred. *)

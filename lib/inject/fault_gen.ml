@@ -1,0 +1,79 @@
+module Rng = Bist_util.Rng
+module Tseq = Bist_logic.Tseq
+module Vector = Bist_logic.Vector
+module Injector = Bist_hw.Injector
+
+(* Faults are generated to be *effective*: each one, if undefended, would
+   actually change at least one applied vector or the reported signature.
+   A fault that lands on an address bit above the memory depth, or drives
+   a cell to the value it already holds, is a no-op the campaign could
+   only score as noise — targeting the live word range and negating the
+   actual stored bit keeps every sample meaningful. *)
+
+let longest sequences =
+  List.fold_left
+    (fun acc s -> if Tseq.length s > Tseq.length acc then s else acc)
+    (List.hd sequences) sequences
+
+let bit_as_bool v i =
+  match Vector.get v i with Bist_logic.Ternary.One -> true | _ -> false
+
+let addr_bits_in_range ~depth =
+  let rec go b acc = if 1 lsl b >= depth then acc else go (b + 1) (b :: acc) in
+  go 0 []
+
+let random_fault rng ~word_bits ~sequences ~misr_width =
+  let s = longest sequences in
+  let len = Tseq.length s in
+  let word = Rng.int rng len in
+  let bit = Rng.int rng word_bits in
+  let n_kinds = 6 in
+  let rec pick () =
+    match Rng.int rng n_kinds with
+    | 0 -> Injector.Mem_flip { word; bit; phase = `Load }
+    | 1 -> Injector.Mem_flip { word; bit; phase = `Stored }
+    | 2 ->
+      (* Stuck at the negation of the loaded bit, so the fault is live. *)
+      let value = not (bit_as_bool (Tseq.get s word) bit) in
+      Injector.Mem_stuck { word; bit; value }
+    | 3 -> (
+      match addr_bits_in_range ~depth:len with
+      | [] -> pick () (* single-word memory: no live address bit exists *)
+      | bits ->
+        let b = List.nth bits (Rng.int rng (List.length bits)) in
+        Injector.Addr_stuck { bit = b; value = Rng.bool rng })
+    | 4 ->
+      if Rng.bool rng then
+        Injector.Early_termination { dropped = 1 + Rng.int rng len }
+      else Injector.Late_termination { extra = 1 + Rng.int rng len }
+    | 5 -> Injector.Misr_corrupt { mask = 1 + Rng.int rng ((1 lsl misr_width) - 1) }
+    | _ -> assert false
+  in
+  pick ()
+
+let faults rng ~count ~word_bits ~sequences ~misr_width =
+  if count < 1 then invalid_arg "Fault_gen.faults: count must be >= 1";
+  if sequences = [] then invalid_arg "Fault_gen.faults: no sequences";
+  List.init count (fun _ -> random_fault rng ~word_bits ~sequences ~misr_width)
+
+let is_permanent = function
+  | Injector.Mem_stuck _ | Injector.Addr_stuck _ -> true
+  | Injector.Mem_flip _ | Injector.Early_termination _
+  | Injector.Late_termination _ | Injector.Misr_corrupt _ -> false
+
+(* Random sequences whose words are pairwise distinct, so a diverted
+   address can never read back the very vector it displaced. *)
+let distinct_word_sequence rng ~width ~length =
+  if length > 1 lsl min width 20 then
+    invalid_arg "Fault_gen.distinct_word_sequence: length > 2^width";
+  let seen = Hashtbl.create 16 in
+  let rec fresh () =
+    let v = Vector.random_binary rng width in
+    let key = Vector.to_string v in
+    if Hashtbl.mem seen key then fresh ()
+    else begin
+      Hashtbl.add seen key ();
+      v
+    end
+  in
+  Tseq.of_vectors (Array.init length (fun _ -> fresh ()))

@@ -1,0 +1,36 @@
+(** Seeded generation of effective hardware faults for a campaign.
+
+    Every generated fault is targeted at live state: memory faults land
+    inside the longest stored sequence, a stuck cell is driven to the
+    negation of the bit it will hold, address faults only toggle bits
+    below the memory's address width, and termination glitches drop or
+    add at least one cycle. An undefended session therefore applies a
+    visibly wrong test for (almost) every sample, which is what makes
+    detection-rate numbers meaningful. *)
+
+val random_fault :
+  Bist_util.Rng.t ->
+  word_bits:int ->
+  sequences:Bist_logic.Tseq.t list ->
+  misr_width:int ->
+  Bist_hw.Injector.fault
+
+val faults :
+  Bist_util.Rng.t ->
+  count:int ->
+  word_bits:int ->
+  sequences:Bist_logic.Tseq.t list ->
+  misr_width:int ->
+  Bist_hw.Injector.fault list
+(** [count] independent draws from {!random_fault}. Raises
+    [Invalid_argument] if [count < 1] or [sequences] is empty. *)
+
+val is_permanent : Bist_hw.Injector.fault -> bool
+(** Stuck-at faults fire on every access and cannot be outrun by a
+    reload; the transient kinds fire once. *)
+
+val distinct_word_sequence :
+  Bist_util.Rng.t -> width:int -> length:int -> Bist_logic.Tseq.t
+(** A random binary sequence with pairwise-distinct words, so an
+    address-counter fault always changes the vector actually applied.
+    Raises [Invalid_argument] when [length > 2^width]. *)

@@ -107,19 +107,22 @@ let test_parse_comments_and_blanks () =
   Alcotest.(check int) "one gate" 1 (Netlist.num_gates c)
 
 let test_structural_errors () =
-  let fails text =
+  let fails_at line text =
     match Parser.parse_string ~name:"bad" text with
-    | _ -> Alcotest.fail "expected Failure"
-    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+    | exception Parser.Parse_error e ->
+      Alcotest.(check int) "error line" line e.line
   in
   (* duplicate definition *)
-  fails "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+  fails_at 4 "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
   (* undefined signal *)
-  fails "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
-  (* combinational loop *)
-  fails "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n";
+  fails_at 3 "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
   (* undefined output *)
-  fails "INPUT(a)\nOUTPUT(ghost)\n"
+  fails_at 2 "INPUT(a)\nOUTPUT(ghost)\n";
+  (* combinational loop: structurally well-formed, fails in finalize *)
+  match Parser.parse_string ~name:"bad" "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = BUF(y)\n" with
+  | _ -> Alcotest.fail "expected Failure on combinational loop"
+  | exception Failure _ -> ()
 
 let test_sequential_loop_ok () =
   (* A loop through a DFF is legal. *)

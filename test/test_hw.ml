@@ -10,28 +10,82 @@ module Lfsr = Bist_hw.Lfsr
 module Misr = Bist_hw.Misr
 
 let test_memory_load_read () =
-  let m = Memory.create ~word_bits:3 ~depth:8 in
+  let m = Memory.create ~word_bits:3 ~depth:8 () in
   let s = Tseq.of_strings [ "001"; "110"; "101" ] in
-  Memory.load_sequence m s;
+  Memory.load_sequence_exn m s;
   Alcotest.(check int) "used" 3 (Memory.used_words m);
   Testutil.check_vec "word 1" (Vector.of_string "110") (Memory.read m 1);
   Alcotest.(check int) "load cycles" 3 (Memory.total_load_cycles m);
-  Memory.load_sequence m (Tseq.of_strings [ "111" ]);
+  Memory.load_sequence_exn m (Tseq.of_strings [ "111" ]);
   Alcotest.(check int) "cumulative load cycles" 4 (Memory.total_load_cycles m);
   Alcotest.(check int) "used after reload" 1 (Memory.used_words m)
 
+let check_load_error name expected m s =
+  match Memory.load_sequence m s with
+  | Ok () -> Alcotest.failf "%s: expected Error" name
+  | Error e ->
+    Alcotest.(check string) name (Bist_hw.Error.to_string expected)
+      (Bist_hw.Error.to_string e)
+
 let test_memory_errors () =
-  let m = Memory.create ~word_bits:3 ~depth:2 in
-  Alcotest.check_raises "too long"
-    (Invalid_argument "Memory.load_sequence: sequence longer than memory")
-    (fun () -> Memory.load_sequence m (Tseq.of_strings [ "000"; "000"; "000" ]));
-  Alcotest.check_raises "width"
-    (Invalid_argument "Memory.load_sequence: word width mismatch") (fun () ->
-      Memory.load_sequence m (Tseq.of_strings [ "00" ]));
-  Memory.load_sequence m (Tseq.of_strings [ "000" ]);
+  let m = Memory.create ~word_bits:3 ~depth:2 () in
+  check_load_error "too long"
+    (Bist_hw.Error.Sequence_too_long { length = 3; depth = 2 })
+    m
+    (Tseq.of_strings [ "000"; "000"; "000" ]);
+  check_load_error "width"
+    (Bist_hw.Error.Width_mismatch { expected = 3; got = 2 })
+    m
+    (Tseq.of_strings [ "00" ]);
+  Alcotest.(check int) "failed load invalidates" 0 (Memory.used_words m);
+  Memory.load_sequence_exn m (Tseq.of_strings [ "000" ]);
   Alcotest.check_raises "address"
     (Invalid_argument "Memory.read: address out of range") (fun () ->
-      ignore (Memory.read m 1))
+      ignore (Memory.read m 1));
+  Alcotest.check_raises "exn wrapper raises Error.Error"
+    (Bist_hw.Error.Error (Bist_hw.Error.Width_mismatch { expected = 3; got = 2 }))
+    (fun () -> Memory.load_sequence_exn m (Tseq.of_strings [ "00" ]))
+
+let test_memory_clears_stale_words () =
+  (* A shorter reload must not leave vectors of the previous sequence
+     readable above the new length. *)
+  let m = Memory.create ~word_bits:2 ~depth:4 () in
+  Memory.load_sequence_exn m (Tseq.of_strings [ "11"; "10"; "01"; "00" ]);
+  Memory.load_sequence_exn m (Tseq.of_strings [ "00" ]);
+  Alcotest.(check int) "used" 1 (Memory.used_words m);
+  for addr = 1 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "word %d cleared to X" addr)
+      false
+      (Vector.is_fully_specified (Memory.raw_word m addr))
+  done
+
+let test_memory_parity_detects () =
+  let m = Memory.create ~ecc:Bist_hw.Ecc.Parity ~word_bits:4 ~depth:2 () in
+  Memory.load_sequence_exn m (Tseq.of_strings [ "1010"; "0110" ]);
+  (match Memory.read_checked m ~attempt:1 0 with
+   | Ok w -> Testutil.check_vec "clean read" (Vector.of_string "1010") w
+   | Error e -> Alcotest.failf "clean read flagged: %s" (Bist_hw.Error.to_string e));
+  Memory.corrupt m ~word:1 (fun v ->
+      Vector.set v 2 (match Vector.get v 2 with T.One -> T.Zero | _ -> T.One));
+  (match Memory.read_checked m ~attempt:3 1 with
+   | Ok _ -> Alcotest.fail "corrupted word not flagged"
+   | Error (Bist_hw.Error.Parity_violation { word; attempt }) ->
+     Alcotest.(check int) "word" 1 word;
+     Alcotest.(check int) "attempt" 3 attempt
+   | Error e -> Alcotest.failf "wrong error: %s" (Bist_hw.Error.to_string e));
+  Alcotest.(check int) "raw read still works" 2
+    (Tseq.length (Tseq.of_vectors [| Memory.read m 0; Memory.read m 1 |]))
+
+let test_memory_hamming_corrects () =
+  let m = Memory.create ~ecc:Bist_hw.Ecc.Hamming_sec ~word_bits:4 ~depth:1 () in
+  Memory.load_sequence_exn m (Tseq.of_strings [ "1010" ]);
+  Memory.corrupt m ~word:0 (fun v ->
+      Vector.set v 3 (match Vector.get v 3 with T.One -> T.Zero | _ -> T.One));
+  (match Memory.read_checked m ~attempt:1 0 with
+   | Ok w -> Testutil.check_vec "single-bit error corrected" (Vector.of_string "1010") w
+   | Error e -> Alcotest.failf "SEC flagged instead: %s" (Bist_hw.Error.to_string e));
+  Alcotest.(check int) "correction counted" 1 (Memory.corrections m)
 
 (* The central hardware property: the controller's emitted stream equals
    the software expansion, for random stored sequences and every n. *)
@@ -40,14 +94,14 @@ let test_controller_equals_expand =
     (QCheck.Test.make ~name:"controller stream == Ops.expand" ~count:150
        QCheck.(pair (Testutil.seq ~width:5 ~max_len:9) (int_range 1 6))
        (fun (s, n) ->
-         let m = Memory.create ~word_bits:5 ~depth:(Tseq.length s) in
-         Memory.load_sequence m s;
+         let m = Memory.create ~word_bits:5 ~depth:(Tseq.length s) () in
+         Memory.load_sequence_exn m s;
          let c = Controller.start m ~n in
          Tseq.equal (Controller.emit_all c) (Bist_core.Ops.expand ~n s)))
 
 let test_controller_cycle_count () =
-  let m = Memory.create ~word_bits:2 ~depth:4 in
-  Memory.load_sequence m (Tseq.of_strings [ "00"; "01"; "10" ]);
+  let m = Memory.create ~word_bits:2 ~depth:4 () in
+  Memory.load_sequence_exn m (Tseq.of_strings [ "00"; "01"; "10" ]);
   let c = Controller.start m ~n:4 in
   Alcotest.(check int) "8nL cycles" (8 * 4 * 3) (Controller.total_cycles c);
   Alcotest.(check bool) "not finished" false (Controller.finished c);
@@ -58,8 +112,8 @@ let test_controller_cycle_count () =
 let test_controller_stepwise () =
   (* Stepping one by one equals emit_all. *)
   let s = Tseq.of_strings [ "01"; "11" ] in
-  let m = Memory.create ~word_bits:2 ~depth:2 in
-  Memory.load_sequence m s;
+  let m = Memory.create ~word_bits:2 ~depth:2 () in
+  Memory.load_sequence_exn m s;
   let c1 = Controller.start m ~n:2 in
   let c2 = Controller.start m ~n:2 in
   let manual =
@@ -132,8 +186,8 @@ let test_misr_x_contamination () =
   Alcotest.(check int) "reset zeroes" 0 (Misr.signature m)
 
 let test_area_monotone () =
-  let base = Bist_hw.Area.estimate ~num_inputs:8 ~max_seq_len:16 ~n:4 in
-  let bigger = Bist_hw.Area.estimate ~num_inputs:8 ~max_seq_len:64 ~n:4 in
+  let base = Bist_hw.Area.estimate ~num_inputs:8 ~max_seq_len:16 ~n:4 () in
+  let bigger = Bist_hw.Area.estimate ~num_inputs:8 ~max_seq_len:64 ~n:4 () in
   Alcotest.(check bool) "memory grows" true
     (bigger.Bist_hw.Area.memory_bits > base.Bist_hw.Area.memory_bits);
   Alcotest.(check bool) "counter grows" true
@@ -143,7 +197,7 @@ let test_area_monotone () =
 let test_session_report () =
   let circuit = Bist_bench.S27.circuit () in
   let seqs = [ Tseq.of_strings [ "1001"; "0000" ]; Tseq.of_strings [ "1011" ] ] in
-  let r = Bist_hw.Session.run ~n:2 circuit seqs in
+  let r = Bist_hw.Session.run_exn ~n:2 circuit seqs in
   Alcotest.(check int) "memory = longest" 2 r.Bist_hw.Session.memory_words;
   Alcotest.(check int) "load = total stored" 3 r.total_load_cycles;
   Alcotest.(check int) "at speed = 8n * stored" (16 * 3) r.total_at_speed_cycles;
@@ -159,8 +213,8 @@ let test_session_signature_sensitivity () =
      X-clean... at minimum the report must be reproducible. *)
   let circuit = Bist_bench.S27.circuit () in
   let seqs = [ Tseq.of_strings [ "1001"; "0000" ] ] in
-  let a = Bist_hw.Session.run ~n:2 circuit seqs in
-  let b = Bist_hw.Session.run ~n:2 circuit seqs in
+  let a = Bist_hw.Session.run_exn ~n:2 circuit seqs in
+  let b = Bist_hw.Session.run_exn ~n:2 circuit seqs in
   List.iter2
     (fun (x : Bist_hw.Session.sequence_report) y ->
       Alcotest.(check int) "same signature" x.signature y.Bist_hw.Session.signature)
@@ -197,7 +251,7 @@ let test_session_with_sync_clean_signatures () =
   let rng = Bist_util.Rng.create 4 in
   let sync = Option.get (Bist_hw.Sync.find_sequence ~rng circuit) in
   let seqs = [ Tseq.of_strings [ "1001"; "0000" ] ] in
-  let r = Bist_hw.Session.run ~sync ~n:2 circuit seqs in
+  let r = Bist_hw.Session.run_exn ~sync ~n:2 circuit seqs in
   List.iter
     (fun (s : Bist_hw.Session.sequence_report) ->
       Alcotest.(check bool) "signature valid with sync" true s.signature_valid)
@@ -205,11 +259,117 @@ let test_session_with_sync_clean_signatures () =
   Alcotest.(check int) "sync cycles reported" (Tseq.length sync)
     r.sync_cycles_per_sequence;
   (* and without sync, the same session is contaminated *)
-  let r0 = Bist_hw.Session.run ~n:2 circuit seqs in
+  let r0 = Bist_hw.Session.run_exn ~n:2 circuit seqs in
   List.iter
     (fun (s : Bist_hw.Session.sequence_report) ->
       Alcotest.(check bool) "contaminated without sync" false s.signature_valid)
     r0.per_sequence
+
+(* Defense / error-path behavior of the session itself. *)
+
+let test_session_input_errors () =
+  let circuit = Bist_bench.S27.circuit () in
+  (match Bist_hw.Session.run ~n:2 circuit [] with
+   | Error Bist_hw.Error.No_sequences -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Bist_hw.Error.to_string e)
+   | Ok _ -> Alcotest.fail "empty list accepted");
+  (match Bist_hw.Session.run ~n:2 circuit [ Tseq.empty 4 ] with
+   | Error Bist_hw.Error.Empty_sequence -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Bist_hw.Error.to_string e)
+   | Ok _ -> Alcotest.fail "empty sequence accepted");
+  match Bist_hw.Session.run ~n:2 circuit [ Tseq.of_strings [ "10" ] ] with
+  | Error (Bist_hw.Error.Width_mismatch { expected = 4; got = 2 }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Bist_hw.Error.to_string e)
+  | Ok _ -> Alcotest.fail "narrow sequence accepted"
+
+let test_session_recovers_from_transient () =
+  let circuit = Bist_bench.S27.circuit () in
+  let seqs = [ Tseq.of_strings [ "1001"; "0000" ] ] in
+  let injector =
+    Bist_hw.Injector.create
+      (Bist_hw.Injector.Mem_flip { word = 0; bit = 1; phase = `Stored })
+  in
+  let clean = Bist_hw.Session.run_exn ~n:2 circuit seqs in
+  let r = Bist_hw.Session.run_exn ~injector ~n:2 circuit seqs in
+  Alcotest.(check bool) "complete" true r.Bist_hw.Session.complete;
+  Alcotest.(check int) "one reload" 1 r.total_reloads;
+  List.iter2
+    (fun (c : Bist_hw.Session.sequence_report) (s : Bist_hw.Session.sequence_report) ->
+      (match s.status with
+       | Bist_hw.Session.Recovered -> ()
+       | _ -> Alcotest.fail "expected Recovered");
+      Alcotest.(check int) "signature matches clean run" c.signature s.signature;
+      Alcotest.(check bool) "parity fired" true (s.detections <> []))
+    clean.per_sequence r.per_sequence
+
+let test_session_degrades_on_permanent () =
+  let circuit = Bist_bench.S27.circuit () in
+  let seqs = [ Tseq.of_strings [ "1001"; "0000" ] ] in
+  let stuck_value =
+    (* negation of the stored bit, so the parity code must fire *)
+    match Vector.get (Vector.of_string "1001") 0 with T.One -> false | _ -> true
+  in
+  let injector =
+    Bist_hw.Injector.create
+      (Bist_hw.Injector.Mem_stuck { word = 0; bit = 0; value = stuck_value })
+  in
+  let r = Bist_hw.Session.run_exn ~injector ~n:2 circuit seqs in
+  Alcotest.(check bool) "incomplete" false r.Bist_hw.Session.complete;
+  Alcotest.(check int) "budget consumed"
+    (Bist_hw.Session.default_defense.max_reloads + 1)
+    (List.hd r.per_sequence).attempts;
+  match (List.hd r.per_sequence).status with
+  | Bist_hw.Session.Degraded (Bist_hw.Error.Parity_violation _) -> ()
+  | Bist_hw.Session.Degraded e ->
+    Alcotest.failf "degraded with wrong error: %s" (Bist_hw.Error.to_string e)
+  | _ -> Alcotest.fail "expected Degraded"
+
+let test_session_undefended_misses_corruption () =
+  (* Same transient fault, parity disarmed: the session reports Clean
+     but silently applied a different test than the clean run. *)
+  let circuit = Bist_bench.S27.circuit () in
+  let rng = Bist_util.Rng.create 4 in
+  let sync = Option.get (Bist_hw.Sync.find_sequence ~rng circuit) in
+  let seqs = [ Tseq.of_strings [ "1001"; "0000"; "1111" ] ] in
+  let injector =
+    Bist_hw.Injector.create
+      (Bist_hw.Injector.Mem_flip { word = 1; bit = 2; phase = `Stored })
+  in
+  let defense = Bist_hw.Session.undefended in
+  let clean = Bist_hw.Session.run_exn ~sync ~defense ~capture:true ~n:2 circuit seqs in
+  let r =
+    Bist_hw.Session.run_exn ~sync ~defense ~injector ~capture:true ~n:2 circuit seqs
+  in
+  List.iter
+    (fun (s : Bist_hw.Session.sequence_report) ->
+      match s.status with
+      | Bist_hw.Session.Clean -> ()
+      | _ -> Alcotest.fail "undefended session should not notice anything")
+    r.per_sequence;
+  Alcotest.(check bool) "applied stream silently wrong" false
+    (Tseq.equal
+       (Option.get (List.hd clean.per_sequence).applied)
+       (Option.get (List.hd r.per_sequence).applied))
+
+let test_area_ecc_overhead () =
+  let bare = Bist_hw.Area.estimate ~num_inputs:8 ~max_seq_len:16 ~n:4 () in
+  let parity =
+    Bist_hw.Area.estimate ~ecc:Bist_hw.Ecc.Parity ~num_inputs:8 ~max_seq_len:16 ~n:4 ()
+  in
+  let hamming =
+    Bist_hw.Area.estimate ~ecc:Bist_hw.Ecc.Hamming_sec ~num_inputs:8 ~max_seq_len:16
+      ~n:4 ()
+  in
+  Alcotest.(check int) "no ecc bits without ecc" 0 bare.Bist_hw.Area.ecc_bits;
+  Alcotest.(check int) "one parity bit per word" 16 parity.Bist_hw.Area.ecc_bits;
+  Alcotest.(check int) "hamming check bits per word"
+    (16 * Bist_hw.Ecc.check_bits Bist_hw.Ecc.Hamming_sec ~data_bits:8)
+    hamming.Bist_hw.Area.ecc_bits;
+  Alcotest.(check bool) "data bits unchanged" true
+    (bare.memory_bits = parity.memory_bits && parity.memory_bits = hamming.memory_bits);
+  Alcotest.(check bool) "gate cost ordered" true
+    (bare.gate_equivalents < parity.gate_equivalents
+    && parity.gate_equivalents < hamming.gate_equivalents)
 
 let suite =
   [
@@ -219,6 +379,9 @@ let suite =
     Alcotest.test_case "session sync signatures" `Quick
       test_session_with_sync_clean_signatures;
     Alcotest.test_case "memory errors" `Quick test_memory_errors;
+    Alcotest.test_case "memory clears stale words" `Quick test_memory_clears_stale_words;
+    Alcotest.test_case "memory parity detects" `Quick test_memory_parity_detects;
+    Alcotest.test_case "memory hamming corrects" `Quick test_memory_hamming_corrects;
     test_controller_equals_expand;
     Alcotest.test_case "controller cycles" `Quick test_controller_cycle_count;
     Alcotest.test_case "controller stepwise" `Quick test_controller_stepwise;
@@ -231,4 +394,12 @@ let suite =
     Alcotest.test_case "area monotone" `Quick test_area_monotone;
     Alcotest.test_case "session report" `Quick test_session_report;
     Alcotest.test_case "session reproducible" `Quick test_session_signature_sensitivity;
+    Alcotest.test_case "session input errors" `Quick test_session_input_errors;
+    Alcotest.test_case "session recovers transient" `Quick
+      test_session_recovers_from_transient;
+    Alcotest.test_case "session degrades on permanent" `Quick
+      test_session_degrades_on_permanent;
+    Alcotest.test_case "session undefended escape" `Quick
+      test_session_undefended_misses_corruption;
+    Alcotest.test_case "area ecc overhead" `Quick test_area_ecc_overhead;
   ]

@@ -1,0 +1,122 @@
+(* The fault-injection campaign is the robustness acceptance gate: under
+   the hardened defense every injected fault must be corrected or
+   detected — zero silent escapes — and disarming the parity code must
+   demonstrably open escapes, proving the defense is load-bearing. *)
+
+module Campaign = Bist_inject.Campaign
+module Session = Bist_hw.Session
+
+let s27 () =
+  let e = Bist_bench.Registry.s27 in
+  e.Bist_bench.Registry.circuit ()
+
+let test_campaign_hardened_no_escapes () =
+  let c = Campaign.run ~name:"s27" (s27 ()) in
+  Alcotest.(check int) "200 faults" 200 (List.length c.Campaign.trials);
+  Alcotest.(check bool) "sync found for s27" true c.sync_found;
+  Alcotest.(check int) "zero escapes" 0 c.escaped;
+  Alcotest.(check int) "zero benign (all faults effective)" 0 c.benign;
+  Alcotest.(check int) "every fault corrected or detected" 200
+    (c.corrected + c.detected)
+
+let test_campaign_deterministic () =
+  let a = Campaign.run ~name:"s27" (s27 ()) in
+  let b = Campaign.run ~name:"s27" (s27 ()) in
+  Alcotest.(check (list string)) "same faults, same outcomes"
+    (List.map
+       (fun (t : Campaign.trial) ->
+         Bist_hw.Injector.fault_to_string t.fault ^ "/" ^ Campaign.outcome_name t.outcome)
+       a.trials)
+    (List.map
+       (fun (t : Campaign.trial) ->
+         Bist_hw.Injector.fault_to_string t.fault ^ "/" ^ Campaign.outcome_name t.outcome)
+       b.trials)
+
+let test_campaign_no_parity_escapes () =
+  let config =
+    { Campaign.default_config with
+      defense = { Session.hardened with ecc = Bist_hw.Ecc.No_ecc }
+    }
+  in
+  let c = Campaign.run ~config ~name:"s27" (s27 ()) in
+  Alcotest.(check bool) "disabling parity opens escapes" true (c.escaped > 0);
+  (* ...and every escape is a memory fault, invisible to the
+     self-checking signature (which audits the corrupted readback). *)
+  List.iter
+    (fun (t : Campaign.trial) ->
+      if t.outcome = Campaign.Escaped then
+        match Bist_hw.Injector.kind_name t.fault with
+        | "mem-flip" | "mem-stuck" -> ()
+        | k -> Alcotest.failf "non-memory fault escaped: %s" k)
+    c.trials
+
+let test_campaign_undefended_all_escape () =
+  let config =
+    { Campaign.default_config with defense = Session.undefended }
+  in
+  let c = Campaign.run ~config ~name:"s27" (s27 ()) in
+  Alcotest.(check int) "nothing corrected" 0 c.corrected;
+  Alcotest.(check int) "nothing detected" 0 c.detected;
+  Alcotest.(check int) "everything escapes" c.config.count c.escaped
+
+let test_campaign_hamming_corrects_in_place () =
+  (* SEC Hamming turns memory transients into in-place corrections:
+     still zero escapes, and strictly fewer reloads than parity. *)
+  let run ecc =
+    let config =
+      { Campaign.default_config with defense = { Session.hardened with ecc } }
+    in
+    Campaign.run ~config ~name:"s27" (s27 ())
+  in
+  let parity = run Bist_hw.Ecc.Parity in
+  let hamming = run Bist_hw.Ecc.Hamming_sec in
+  Alcotest.(check int) "hamming: zero escapes" 0 hamming.Campaign.escaped;
+  let reloads c =
+    List.fold_left
+      (fun acc (t : Campaign.trial) -> acc + (t.attempts - 1))
+      0 c.Campaign.trials
+  in
+  Alcotest.(check bool) "hamming reloads < parity reloads" true
+    (reloads hamming < reloads parity)
+
+let test_fault_gen_effective () =
+  let rng = Bist_util.Rng.create 7 in
+  let s = Bist_inject.Fault_gen.distinct_word_sequence rng ~width:6 ~length:8 in
+  Alcotest.(check int) "length" 8 (Bist_logic.Tseq.length s);
+  let seen = Hashtbl.create 8 in
+  Bist_logic.Tseq.iter
+    (fun v ->
+      let key = Bist_logic.Vector.to_string v in
+      Alcotest.(check bool) ("distinct " ^ key) false (Hashtbl.mem seen key);
+      Hashtbl.add seen key ())
+    s;
+  List.iter
+    (fun f ->
+      match f with
+      | Bist_hw.Injector.Mem_flip { word; _ } | Bist_hw.Injector.Mem_stuck { word; _ }
+        ->
+        Alcotest.(check bool) "memory fault inside sequence" true (word < 8)
+      | Bist_hw.Injector.Addr_stuck { bit; _ } ->
+        Alcotest.(check bool) "address bit below depth" true (1 lsl bit < 8)
+      | Bist_hw.Injector.Early_termination { dropped } ->
+        Alcotest.(check bool) "drops at least one cycle" true (dropped >= 1)
+      | Bist_hw.Injector.Late_termination { extra } ->
+        Alcotest.(check bool) "adds at least one cycle" true (extra >= 1)
+      | Bist_hw.Injector.Misr_corrupt { mask } ->
+        Alcotest.(check bool) "nonzero mask" true (mask <> 0))
+    (Bist_inject.Fault_gen.faults rng ~count:100 ~word_bits:6 ~sequences:[ s ]
+       ~misr_width:4)
+
+let suite =
+  [
+    Alcotest.test_case "hardened campaign: no escapes" `Quick
+      test_campaign_hardened_no_escapes;
+    Alcotest.test_case "campaign deterministic" `Quick test_campaign_deterministic;
+    Alcotest.test_case "no-parity campaign: escapes" `Quick
+      test_campaign_no_parity_escapes;
+    Alcotest.test_case "undefended campaign: all escape" `Quick
+      test_campaign_undefended_all_escape;
+    Alcotest.test_case "hamming corrects in place" `Quick
+      test_campaign_hamming_corrects_in_place;
+    Alcotest.test_case "fault generator effective" `Quick test_fault_gen_effective;
+  ]

@@ -119,13 +119,64 @@ let test_state_diff_count () =
 
 (* Controller misuse is rejected. *)
 let test_controller_finished_error () =
-  let m = Bist_hw.Memory.create ~word_bits:1 ~depth:1 in
-  Bist_hw.Memory.load_sequence m (Tseq.of_strings [ "1" ]);
+  let m = Bist_hw.Memory.create ~word_bits:1 ~depth:1 () in
+  Bist_hw.Memory.load_sequence_exn m (Tseq.of_strings [ "1" ]);
   let c = Bist_hw.Controller.start m ~n:1 in
   ignore (Bist_hw.Controller.emit_all c);
   Alcotest.check_raises "step after finish"
     (Invalid_argument "Controller.step: already finished") (fun () ->
       ignore (Bist_hw.Controller.step c))
+
+(* Recovery soundness: a session hit by a random *transient* fault but
+   defended by the hardened policy applies exactly the clean session's
+   test — same expanded stream of length 8·n·|S|, same signature — so
+   the paper's coverage guarantee survives the fault. *)
+let test_recovery_preserves_session =
+  Testutil.qcheck
+    (QCheck.Test.make ~name:"injected-but-recovered session == clean session"
+       ~count:60
+       QCheck.(triple (int_range 1 6) (int_range 1 3) int)
+       (fun (len, n, fseed) ->
+         let circuit = Bist_bench.S27.circuit () in
+         let width = Bist_circuit.Netlist.num_inputs circuit in
+         let rng = Bist_util.Rng.create fseed in
+         let s = Tseq.random_binary rng ~width ~length:len in
+         let misr_width =
+           Bist_hw.Misr.reg_width
+             (Bist_hw.Misr.create ~width:(Bist_circuit.Netlist.num_outputs circuit))
+         in
+         let fault =
+           (* redraw until the fault is transient: permanent faults are
+              *supposed* to end degraded, not recovered *)
+           let rec transient () =
+             let f =
+               Bist_inject.Fault_gen.random_fault rng ~word_bits:width
+                 ~sequences:[ s ] ~misr_width
+             in
+             if Bist_inject.Fault_gen.is_permanent f then transient () else f
+           in
+           transient ()
+         in
+         let defense = Bist_hw.Session.hardened in
+         let sync_rng = Bist_util.Rng.create 4 in
+         let sync = Bist_hw.Sync.find_sequence ~rng:sync_rng circuit in
+         let clean =
+           Bist_hw.Session.run_exn ?sync ~defense ~capture:true ~n circuit [ s ]
+         in
+         let injector = Bist_hw.Injector.create fault in
+         let faulty =
+           Bist_hw.Session.run_exn ?sync ~defense ~injector ~capture:true ~n
+             circuit [ s ]
+         in
+         let c = List.hd clean.Bist_hw.Session.per_sequence in
+         let f = List.hd faulty.Bist_hw.Session.per_sequence in
+         faulty.Bist_hw.Session.complete
+         && f.applied_length = 8 * n * Tseq.length s
+         && f.applied_length = c.applied_length
+         && f.signature = c.signature
+         && (match (c.applied, f.applied) with
+            | Some ca, Some fa -> Tseq.equal ca fa
+            | _ -> false)))
 
 (* Parser fuzz: arbitrary junk must raise a clean error, never crash. *)
 let test_parser_fuzz =
@@ -195,7 +246,7 @@ let test_bench_file_roundtrip () =
         (Bist_circuit.Netlist.size c2))
 
 let test_area_minimum () =
-  let a = Bist_hw.Area.estimate ~num_inputs:1 ~max_seq_len:1 ~n:1 in
+  let a = Bist_hw.Area.estimate ~num_inputs:1 ~max_seq_len:1 ~n:1 () in
   Alcotest.(check int) "1 memory bit" 1 a.Bist_hw.Area.memory_bits;
   Alcotest.(check bool) "counters nonzero" true (a.address_counter_bits >= 1)
 
@@ -232,6 +283,7 @@ let suite =
     Alcotest.test_case "snapshot restore" `Quick test_snapshot_restore;
     Alcotest.test_case "state diff count" `Quick test_state_diff_count;
     Alcotest.test_case "controller finished error" `Quick test_controller_finished_error;
+    test_recovery_preserves_session;
     test_parser_fuzz;
     Alcotest.test_case "fault table consistent" `Quick test_fault_table_consistent;
   ]

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("logic", Test_logic.suite);
       ("circuit", Test_circuit.suite);
+      ("parser-errors", Test_parser_errors.suite);
       ("validate", Test_validate.suite);
       ("opt", Test_opt.suite);
       ("sim", Test_sim.suite);
@@ -13,5 +14,6 @@ let () =
       ("tgen", Test_tgen.suite);
       ("harness", Test_harness.suite);
       ("invariants", Test_invariants.suite);
+      ("inject", Test_inject.suite);
       ("diagnosis", Test_diagnosis.suite);
     ]

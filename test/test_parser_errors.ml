@@ -1,0 +1,56 @@
+(* Malformed .bench netlists must fail with a Parse_error carrying the
+   line number of the offending statement — not a generic Failure from
+   deep inside netlist construction. *)
+
+module P = Bist_circuit.Bench_parser
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_error ~expected_line ~substring text () =
+  match P.parse_string ~name:"bad" text with
+  | (_ : Bist_circuit.Netlist.t) ->
+    Alcotest.failf "expected Parse_error on %S" text
+  | exception P.Parse_error { line; message } ->
+    Alcotest.(check int) "line" expected_line line;
+    if not (contains message substring) then
+      Alcotest.failf "message %S does not mention %S" message substring
+
+let unbalanced_open = "INPUT(a\nb = NOT(a)\nOUTPUT(b)\n"
+let unbalanced_close = "INPUT(a)\nb = NOT(a))\nOUTPUT(b)\n"
+let missing_paren = "INPUT(a)\nb = NOT a\nOUTPUT(b)\n"
+let dup_gate = "INPUT(a)\nb = NOT(a)\nb = BUF(a)\nOUTPUT(b)\n"
+let dup_input = "INPUT(a)\n\nINPUT(a)\nb = NOT(a)\nOUTPUT(b)\n"
+let unknown_kind = "INPUT(a)\nb = NANDY(a, a)\nOUTPUT(b)\n"
+let dangling_fanin = "INPUT(a)\nb = AND(a, ghost)\nOUTPUT(b)\n"
+let dangling_output = "INPUT(a)\nb = NOT(a)\nOUTPUT(c)\n"
+let bad_char = "INPUT(a)\nb = NOT(a)\nOUTPUT(b)\n!!!\n"
+
+let suite =
+  [
+    Alcotest.test_case "unbalanced ( at line 1" `Quick
+      (check_error ~expected_line:1 ~substring:"argument list" unbalanced_open);
+    Alcotest.test_case "unbalanced ) at line 2" `Quick
+      (check_error ~expected_line:2 ~substring:"argument list" unbalanced_close);
+    Alcotest.test_case "missing ( at line 2" `Quick
+      (check_error ~expected_line:2 ~substring:"expected '('" missing_paren);
+    Alcotest.test_case "duplicate gate definition at line 3" `Quick
+      (check_error ~expected_line:3 ~substring:"already defined at line 2" dup_gate);
+    Alcotest.test_case "duplicate INPUT at line 3" `Quick
+      (check_error ~expected_line:3 ~substring:"already defined at line 1" dup_input);
+    Alcotest.test_case "unknown gate kind at line 2" `Quick
+      (check_error ~expected_line:2 ~substring:"NANDY" unknown_kind);
+    Alcotest.test_case "dangling fanin at line 2" `Quick
+      (check_error ~expected_line:2 ~substring:"ghost" dangling_fanin);
+    Alcotest.test_case "dangling OUTPUT at line 3" `Quick
+      (check_error ~expected_line:3 ~substring:"undefined" dangling_output);
+    Alcotest.test_case "garbage characters at line 4" `Quick
+      (check_error ~expected_line:4 ~substring:"malformed" bad_char);
+    Alcotest.test_case "valid circuit still parses" `Quick (fun () ->
+        let c =
+          P.parse_string ~name:"ok" "INPUT(a)\nb = DFF(c)\nc = NOR(a, b)\nOUTPUT(c)\n"
+        in
+        Alcotest.(check int) "inputs" 1 (Bist_circuit.Netlist.num_inputs c));
+  ]
