@@ -1,4 +1,4 @@
-.PHONY: all build test smoke bench clean
+.PHONY: all build test lint check smoke bench clean
 
 all: build
 
@@ -7,6 +7,16 @@ build:
 
 test:
 	dune runtest
+
+# Static-analysis gate over every registry circuit. The warning budget
+# is pinned to the current known findings (x641 dangling/unobservable
+# cones, x820/x1488 redundant tie-offs, the x5378 uninitializable state
+# core); a new warning anywhere fails the build.
+lint:
+	dune build bin/lint.exe
+	dune exec bin/lint.exe -- --quiet --max-warnings 8
+
+check: test lint
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault

@@ -61,15 +61,17 @@ let stats_cmd =
 let lint_cmd =
   let run spec =
     let circuit = resolve_circuit spec in
-    let report = Bist_circuit.Validate.check circuit in
-    Format.printf "%a" (Bist_circuit.Validate.pp circuit) report;
-    if not (Bist_circuit.Validate.is_clean report) then exit 1
+    let report = Bist_analyze.Lint.run circuit in
+    Format.printf "%a" Bist_analyze.Lint.pp report;
+    if Bist_analyze.Lint.errors report > 0 || Bist_analyze.Lint.warnings report > 0
+    then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Structural diagnostics: dangling and unobservable nodes, \
-          uncontrollable and possibly uninitializable flip-flops")
+         "Static analysis: structural diagnostics, provably untestable \
+          faults, S-graph initialization risks and SCOAP testability \
+          (see also the standalone lint executable for batch/JSON use)")
     Term.(const run $ circuit_arg)
 
 (* faultsim *)

@@ -1,0 +1,106 @@
+(* lint: static-analysis gate over netlists. With no arguments, lints
+   every registry circuit — the CI configuration. Exit status: 0 when no
+   error findings and the warning total stays within --max-warnings,
+   1 otherwise, 2 on usage errors. *)
+
+open Cmdliner
+module Lint = Bist_analyze.Lint
+
+let teaching = function
+  | "counter3" -> Some (Bist_bench.Teaching.counter3 ())
+  | "shift4" -> Some (Bist_bench.Teaching.shift4 ())
+  | "parity_fsm" -> Some (Bist_bench.Teaching.parity_fsm ())
+  | _ -> None
+
+(* A circuit that fails to parse (or to validate structurally) still
+   yields a report — with a single error finding — so one bad file in a
+   batch doesn't mask the results of the others. *)
+let report_of spec =
+  let broken category message =
+    {
+      Lint.circuit = Filename.remove_extension (Filename.basename spec);
+      findings = [ { Lint.severity = Lint.Error; category; message; nodes = [] } ];
+    }
+  in
+  if Sys.file_exists spec then
+    match Bist_circuit.Bench_parser.parse_file spec with
+    | circuit -> Lint.run circuit
+    | exception Bist_circuit.Bench_parser.Parse_error { line; message } ->
+      broken "parse-error" (Printf.sprintf "line %d: %s" line message)
+    | exception Failure message -> broken "invalid-netlist" message
+  else
+    match Bist_bench.Registry.find spec with
+    | Some entry -> Lint.run (entry.circuit ())
+    | None ->
+      (match teaching spec with
+       | Some circuit -> Lint.run circuit
+       | None ->
+         Printf.eprintf
+           "error: %S is neither a file nor a known circuit (try s27, x298, \
+            counter3, ...)\n"
+           spec;
+         exit 2)
+
+let run specs json max_warnings quiet =
+  let reports =
+    match specs with
+    | [] ->
+      List.map
+        (fun (e : Bist_bench.Registry.entry) -> Lint.run (e.circuit ()))
+        (Bist_bench.Registry.all ())
+    | specs -> List.map report_of specs
+  in
+  if json then
+    print_endline
+      ("[" ^ String.concat "," (List.map Lint.to_json reports) ^ "]")
+  else
+    List.iter
+      (fun r ->
+        let visible =
+          if quiet then
+            { r with Lint.findings =
+                List.filter (fun f -> f.Lint.severity <> Lint.Info) r.Lint.findings }
+          else r
+        in
+        Format.printf "%a" Lint.pp visible)
+      reports;
+  let errors = List.fold_left (fun acc r -> acc + Lint.errors r) 0 reports in
+  let warnings = List.fold_left (fun acc r -> acc + Lint.warnings r) 0 reports in
+  if errors > 0 then begin
+    Printf.eprintf "lint: %d error finding(s)\n" errors;
+    exit 1
+  end;
+  if warnings > max_warnings then begin
+    Printf.eprintf "lint: %d warning(s) exceed the budget of %d\n" warnings
+      max_warnings;
+    exit 1
+  end
+
+let specs_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"CIRCUIT"
+        ~doc:
+          "Registry names (s27, x298, ...), teaching circuits or .bench \
+           files. Default: every registry circuit.")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON array of reports.")
+
+let max_warnings_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-warnings" ] ~docv:"N"
+        ~doc:"Fail (exit 1) when the warning total exceeds $(docv).")
+
+let quiet_flag =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Hide info-level findings.")
+
+let () =
+  let info =
+    Cmd.info "lint" ~version:"1.0.0"
+      ~doc:"Static testability analysis and structural diagnostics for netlists"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info Term.(const run $ specs_arg $ json_flag $ max_warnings_arg $ quiet_flag)))

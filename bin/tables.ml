@@ -21,4 +21,6 @@ let () =
   print_newline ();
   print_string (Bist_harness.Tables.comparison results);
   print_newline ();
+  print_string (Bist_harness.Tables.prescreen_table results);
+  print_newline ();
   print_string (Bist_harness.Figure1.render_s27 ())

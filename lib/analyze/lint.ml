@@ -1,0 +1,192 @@
+module Netlist = Bist_circuit.Netlist
+module Validate = Bist_circuit.Validate
+module Fault = Bist_fault.Fault
+module Universe = Bist_fault.Universe
+
+type severity = Error | Warning | Info
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+type finding = {
+  severity : severity;
+  category : string;
+  message : string;
+  nodes : string list;
+}
+
+type report = { circuit : string; findings : finding list }
+
+let max_named_nodes = 8
+
+let names c nodes = List.sort compare (List.map (Netlist.name c) nodes)
+
+let truncate nodes =
+  let n = List.length nodes in
+  if n <= max_named_nodes then nodes
+  else List.filteri (fun i _ -> i < max_named_nodes) nodes @ [ "..." ]
+
+let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+
+let validate_findings c =
+  let r = Validate.check c in
+  let finding severity category noun rest nodes =
+    if nodes = [] then []
+    else
+      [
+        {
+          severity;
+          category;
+          message = plural (List.length nodes) noun ^ " " ^ rest;
+          nodes = truncate (names c nodes);
+        };
+      ]
+  in
+  finding Warning "dangling" "dangling node" "(no fanout, not a primary output)"
+    r.Validate.dangling
+  @ finding Warning "unobservable" "node" "with no path to any primary output"
+      r.Validate.unobservable
+  @ finding Error "uncontrollable-ff" "flip-flop"
+      "unreachable from any primary input" r.Validate.uncontrollable_ffs
+  @ finding Warning "uninitializable-ff" "flip-flop"
+      "that can never leave X under 3-valued simulation"
+      r.Validate.maybe_uninitializable_ffs
+
+let untestable_findings c =
+  let u = Universe.collapsed c in
+  let p = Untestable.prescreen_universe u in
+  let n = Untestable.total p in
+  if n = 0 then []
+  else begin
+    let nodes = ref [] in
+    Universe.iter
+      (fun id f ->
+        if Bist_util.Bitset.mem p.Untestable.untestable id then
+          nodes := Fault.name c f :: !nodes)
+      u;
+    [
+      {
+        severity = Warning;
+        category = "untestable-faults";
+        message =
+          Printf.sprintf
+            "%s provably untestable (of %d collapsed): %d unexcitable, %d \
+             unobservable, %d propagation-blocked"
+            (plural n "fault") (Universe.size u) p.Untestable.unexcitable
+            p.Untestable.unobservable p.Untestable.blocked;
+        nodes = truncate (List.rev !nodes);
+      };
+    ]
+  end
+
+let sgraph_findings c =
+  let g = Sgraph.analyze c in
+  if Sgraph.num_ffs g = 0 then []
+  else begin
+    let info =
+      {
+        severity = Info;
+        category = "s-graph";
+        message =
+          Printf.sprintf
+            "%s, %s (largest %d, %d cyclic), sequential depth %d"
+            (plural (Sgraph.num_ffs g) "flip-flop")
+            (plural (Sgraph.num_sccs g) "SCC")
+            (Sgraph.largest_scc g) (Sgraph.nontrivial_sccs g) (Sgraph.depth g);
+        nodes = [];
+      }
+    in
+    let risk = Sgraph.x_risk g in
+    let risk_finding =
+      if risk = [] then []
+      else
+        [
+          {
+            severity = Warning;
+            category = "x-risk";
+            message =
+              Printf.sprintf
+                "%s may hold X indefinitely (cyclic state core with no \
+                 round-0 synchronization) — X-contaminated MISR signatures \
+                 likely"
+                (plural (List.length risk) "flip-flop");
+            nodes = truncate (names c risk);
+          };
+        ]
+    in
+    info :: risk_finding
+  end
+
+let scoap_findings c =
+  let s = Scoap.compute c in
+  let sum = Scoap.summarize s (Universe.collapsed c) in
+  [
+    {
+      severity = Info;
+      category = "scoap";
+      message =
+        Printf.sprintf
+          "SCOAP over %s: median cost %d, max finite %d, %d saturated"
+          (plural sum.Scoap.faults "collapsed fault")
+          sum.Scoap.median_cost sum.Scoap.max_finite_cost sum.Scoap.saturated;
+      nodes = [];
+    };
+  ]
+
+let run c =
+  {
+    circuit = Netlist.circuit_name c;
+    findings =
+      validate_findings c @ untestable_findings c @ sgraph_findings c
+      @ scoap_findings c;
+  }
+
+let count sev r =
+  List.length (List.filter (fun f -> f.severity = sev) r.findings)
+
+let errors = count Error
+let warnings = count Warning
+let infos = count Info
+
+let pp fmt r =
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "%s: %s[%s]: %s" r.circuit (severity_name f.severity)
+        f.category f.message;
+      if f.nodes <> [] then
+        Format.fprintf fmt " (%s)" (String.concat " " f.nodes);
+      Format.fprintf fmt "@.")
+    r.findings;
+  Format.fprintf fmt "%s: %d error(s), %d warning(s), %d info(s)@." r.circuit
+    (errors r) (warnings r) (infos r)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json r =
+  let finding f =
+    Printf.sprintf "{\"severity\":%s,\"category\":%s,\"message\":%s,\"nodes\":[%s]}"
+      (json_string (severity_name f.severity))
+      (json_string f.category) (json_string f.message)
+      (String.concat "," (List.map json_string f.nodes))
+  in
+  Printf.sprintf
+    "{\"circuit\":%s,\"errors\":%d,\"warnings\":%d,\"infos\":%d,\"findings\":[%s]}"
+    (json_string r.circuit) (errors r) (warnings r) (infos r)
+    (String.concat "," (List.map finding r.findings))

@@ -1,0 +1,32 @@
+(** Unified static-analysis driver: one entry point that runs the
+    {!Bist_circuit.Validate} soft checks, the {!Untestable} prescreen,
+    the {!Sgraph} pass and a {!Scoap} summary over a netlist and folds
+    everything into a flat list of severity-tagged findings, suitable
+    for both human review and a CI gate ({!Bin.lint}). *)
+
+type severity = Error | Warning | Info
+
+val severity_name : severity -> string
+
+type finding = {
+  severity : severity;
+  category : string;  (** stable machine-readable slug, e.g. "x-risk" *)
+  message : string;
+  nodes : string list;  (** affected node/fault names, possibly truncated *)
+}
+
+type report = { circuit : string; findings : finding list }
+
+val run : Bist_circuit.Netlist.t -> report
+
+val errors : report -> int
+val warnings : report -> int
+val infos : report -> int
+
+val pp : Format.formatter -> report -> unit
+(** Text rendering, one line per finding:
+    ["s27: warning[x-risk]: ... (G5 G6)"]. *)
+
+val to_json : report -> string
+(** Single-object JSON rendering with [circuit], severity counts, and
+    the findings array. Self-contained (no external JSON library). *)

@@ -1,0 +1,227 @@
+module Netlist = Bist_circuit.Netlist
+module Gate = Bist_circuit.Gate
+module Fault = Bist_fault.Fault
+module Universe = Bist_fault.Universe
+
+let infinite = 1_000_000_000
+
+let sat_add a b = if a >= infinite || b >= infinite then infinite else a + b
+let sat_scale k a = if a >= infinite then infinite else min infinite (k * a)
+
+type t = {
+  circuit : Netlist.t;
+  cc0 : int array;
+  cc1 : int array;
+  co : int array;
+  sc0 : int array;
+  sc1 : int array;
+  so : int array;
+}
+
+(* Per-gate controllability from fanin controllabilities. [extra] is the
+   cost of crossing the gate itself: 1 for the combinational measures, 0
+   for the sequential ones (only flip-flops cost a clock). *)
+let gate_ctrl kind ~extra c0 c1 fanins =
+  let sum f = Array.fold_left (fun acc d -> sat_add acc (f d)) 0 fanins in
+  let mn f = Array.fold_left (fun acc d -> min acc (f d)) infinite fanins in
+  let zero, one =
+    match kind with
+    | Gate.Buf -> (c0 fanins.(0), c1 fanins.(0))
+    | Gate.Not -> (c1 fanins.(0), c0 fanins.(0))
+    | Gate.And -> (mn c0, sum c1)
+    | Gate.Nand -> (sum c1, mn c0)
+    | Gate.Or -> (sum c0, mn c1)
+    | Gate.Nor -> (mn c1, sum c0)
+    | Gate.Xor | Gate.Xnor ->
+      (* Cheapest way to produce each parity over the fanin fold. *)
+      let a0, a1 =
+        Array.fold_left
+          (fun (a0, a1) d ->
+            let x0 = c0 d and x1 = c1 d in
+            ( min (sat_add a0 x0) (sat_add a1 x1),
+              min (sat_add a0 x1) (sat_add a1 x0) ))
+          (0, infinite) fanins
+      in
+      if kind = Gate.Xnor then (a1, a0) else (a0, a1)
+    | Gate.Input | Gate.Dff | Gate.Const0 | Gate.Const1 ->
+      invalid_arg "Scoap.gate_ctrl"
+  in
+  (sat_add zero extra, sat_add one extra)
+
+let controllabilities c ~extra ~dff_extra ~input_cost ~const_cost =
+  let n = Netlist.size c in
+  let c0 = Array.make n infinite and c1 = Array.make n infinite in
+  Array.iter
+    (fun pi ->
+      c0.(pi) <- input_cost;
+      c1.(pi) <- input_cost)
+    (Netlist.inputs c);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let set node (z, o) =
+      if z < c0.(node) then begin
+        c0.(node) <- z;
+        changed := true
+      end;
+      if o < c1.(node) then begin
+        c1.(node) <- o;
+        changed := true
+      end
+    in
+    Array.iter
+      (fun node ->
+        match Netlist.kind c node with
+        | Gate.Const0 -> set node (const_cost, infinite)
+        | Gate.Const1 -> set node (infinite, const_cost)
+        | kind ->
+          let fanins = Netlist.fanins c node in
+          set node
+            (gate_ctrl kind ~extra (fun d -> c0.(d)) (fun d -> c1.(d)) fanins))
+      (Netlist.topo_order c);
+    Array.iter
+      (fun ff ->
+        let d = (Netlist.fanins c ff).(0) in
+        set ff (sat_add c0.(d) dff_extra, sat_add c1.(d) dff_extra))
+      (Netlist.dffs c)
+  done;
+  (c0, c1)
+
+(* Observability of fanin pin [p] of [gate]: the gate's own output
+   observability plus the cost of holding every other pin at a value that
+   lets the pin's value through. *)
+let pin_obs_of kind ~extra ~out_obs c0 c1 fanins p =
+  let side acc j =
+    if j = p then acc
+    else
+      let d = fanins.(j) in
+      let hold =
+        match kind with
+        | Gate.And | Gate.Nand -> c1 d
+        | Gate.Or | Gate.Nor -> c0 d
+        | Gate.Xor | Gate.Xnor -> min (c0 d) (c1 d)
+        | _ -> 0
+      in
+      sat_add acc hold
+  in
+  let acc = ref (sat_add out_obs extra) in
+  for j = 0 to Array.length fanins - 1 do
+    acc := side !acc j
+  done;
+  !acc
+
+let observabilities c ~extra ~dff_extra (c0, c1) =
+  let n = Netlist.size c in
+  let obs = Array.make n infinite in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let relax node v =
+      if v < obs.(node) then begin
+        obs.(node) <- v;
+        changed := true
+      end
+    in
+    for node = 0 to n - 1 do
+      if Netlist.is_output c node then relax node 0;
+      Array.iter
+        (fun g ->
+          let fanins = Netlist.fanins c g in
+          match Netlist.kind c g with
+          | Gate.Dff -> relax node (sat_add obs.(g) dff_extra)
+          | kind ->
+            Array.iteri
+              (fun p d ->
+                if d = node then
+                  relax node
+                    (pin_obs_of kind ~extra ~out_obs:obs.(g)
+                       (fun d -> c0.(d))
+                       (fun d -> c1.(d))
+                       fanins p))
+              fanins)
+        (Netlist.fanouts c node)
+    done
+  done;
+  obs
+
+let compute c =
+  let cc = controllabilities c ~extra:1 ~dff_extra:1 ~input_cost:1 ~const_cost:1 in
+  let sc = controllabilities c ~extra:0 ~dff_extra:1 ~input_cost:0 ~const_cost:0 in
+  let co = observabilities c ~extra:1 ~dff_extra:1 cc in
+  let so = observabilities c ~extra:0 ~dff_extra:1 sc in
+  {
+    circuit = c;
+    cc0 = fst cc;
+    cc1 = snd cc;
+    co;
+    sc0 = fst sc;
+    sc1 = snd sc;
+    so;
+  }
+
+let cc0 t n = t.cc0.(n)
+let cc1 t n = t.cc1.(n)
+let co t n = t.co.(n)
+let sc0 t n = t.sc0.(n)
+let sc1 t n = t.sc1.(n)
+let so t n = t.so.(n)
+
+let pin_co t ~gate ~pin =
+  let c = t.circuit in
+  match Netlist.kind c gate with
+  | Gate.Dff -> sat_add t.co.(gate) 1
+  | kind ->
+    pin_obs_of kind ~extra:1 ~out_obs:t.co.(gate)
+      (fun d -> t.cc0.(d))
+      (fun d -> t.cc1.(d))
+      (Netlist.fanins c gate) pin
+
+let pin_so t ~gate ~pin =
+  let c = t.circuit in
+  match Netlist.kind c gate with
+  | Gate.Dff -> sat_add t.so.(gate) 1
+  | kind ->
+    pin_obs_of kind ~extra:0 ~out_obs:t.so.(gate)
+      (fun d -> t.sc0.(d))
+      (fun d -> t.sc1.(d))
+      (Netlist.fanins c gate) pin
+
+(* Sequential effort dominates in practice (a clock cycle costs far more
+   than an extra gate), hence the 100x weight on the sequential part. *)
+let fault_cost t f =
+  let c = t.circuit in
+  let driver, comb_obs, seq_obs =
+    match f.Fault.site with
+    | Fault.Output node -> (node, t.co.(node), t.so.(node))
+    | Fault.Pin { gate; pin } ->
+      ((Netlist.fanins c gate).(pin), pin_co t ~gate ~pin, pin_so t ~gate ~pin)
+  in
+  let comb_ctrl, seq_ctrl =
+    match f.Fault.stuck with
+    | Bist_logic.Ternary.Zero -> (t.cc1.(driver), t.sc1.(driver))
+    | Bist_logic.Ternary.One -> (t.cc0.(driver), t.sc0.(driver))
+    | Bist_logic.Ternary.X -> invalid_arg "Scoap.fault_cost"
+  in
+  sat_add (sat_add comb_ctrl comb_obs) (sat_scale 100 (sat_add seq_ctrl seq_obs))
+
+type summary = {
+  faults : int;
+  median_cost : int;
+  max_finite_cost : int;
+  saturated : int;
+}
+
+let summarize t u =
+  let costs = Array.init (Universe.size u) (fun i -> fault_cost t (Universe.get u i)) in
+  Array.sort compare costs;
+  let n = Array.length costs in
+  let saturated = Array.fold_left (fun acc c -> if c >= infinite then acc + 1 else acc) 0 costs in
+  let max_finite =
+    Array.fold_left (fun acc c -> if c < infinite then max acc c else acc) 0 costs
+  in
+  {
+    faults = n;
+    median_cost = (if n = 0 then 0 else costs.(n / 2));
+    max_finite_cost = max_finite;
+    saturated;
+  }

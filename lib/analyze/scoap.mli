@@ -1,0 +1,54 @@
+(** SCOAP testability measures (Goldstein 1979), combinational and
+    sequential.
+
+    Six per-node measures: CC0/CC1 estimate the effort of driving the
+    node's output to 0/1, CO the effort of propagating its value to a
+    primary output. The combinational measures add one per gate crossed;
+    the sequential variants (SC0/SC1/SO) instead add one per flip-flop
+    crossed, estimating the number of clock cycles needed. Computed as a
+    monotone min-fixpoint over the levelized netlist, iterated until
+    stable across the flip-flop feedback edges, with saturating
+    arithmetic so cyclic structural dependencies settle at {!infinite}
+    rather than diverging.
+
+    The measures are heuristics, not proofs: a saturated cost does {e
+    not} imply untestability (see {!Untestable} for that), but higher
+    cost correlates with faults the random phases of the generator miss,
+    which is why {!fault_cost} drives the directed-phase target order. *)
+
+type t
+
+val infinite : int
+(** Saturation bound for all measures. Costs at or above this value mean
+    "no bounded strategy found". *)
+
+val compute : Bist_circuit.Netlist.t -> t
+
+val cc0 : t -> Bist_circuit.Netlist.node -> int
+val cc1 : t -> Bist_circuit.Netlist.node -> int
+val co : t -> Bist_circuit.Netlist.node -> int
+val sc0 : t -> Bist_circuit.Netlist.node -> int
+val sc1 : t -> Bist_circuit.Netlist.node -> int
+val so : t -> Bist_circuit.Netlist.node -> int
+
+val pin_co : t -> gate:Bist_circuit.Netlist.node -> pin:int -> int
+(** Combinational observability of one fanin pin of [gate]: the cost of
+    propagating a value through that pin (side pins held at
+    non-controlling values) and onward to a primary output. *)
+
+val pin_so : t -> gate:Bist_circuit.Netlist.node -> pin:int -> int
+
+val fault_cost : t -> Bist_fault.Fault.t -> int
+(** Estimated difficulty of detecting the fault: controllability of the
+    opposite value at the fault line plus the line's observability,
+    combining combinational and (weighted) sequential measures.
+    Saturating; incomparable beyond {!infinite}. *)
+
+type summary = {
+  faults : int;  (** faults scored *)
+  median_cost : int;
+  max_finite_cost : int;  (** largest non-saturated {!fault_cost} *)
+  saturated : int;  (** faults whose cost saturated at {!infinite} *)
+}
+
+val summarize : t -> Bist_fault.Universe.t -> summary

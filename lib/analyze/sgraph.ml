@@ -1,0 +1,161 @@
+module Netlist = Bist_circuit.Netlist
+module Gate = Bist_circuit.Gate
+module Validate = Bist_circuit.Validate
+
+type t = {
+  ffs : Netlist.node array;
+  ff_index : (Netlist.node, int) Hashtbl.t;
+  succ : int array array;  (* succ.(a) = flip-flops whose next state reads a *)
+  scc_id : int array;
+  scc_sizes : int array;
+  self_loop : bool array;  (* per flip-flop index *)
+  depth : int;
+  sync_levels : int array;  (* per flip-flop index, -1 = never *)
+}
+
+(* Flip-flops in the combinational back-cone of [b]'s D input. *)
+let state_deps c ff_index b =
+  let seen = Hashtbl.create 16 in
+  let deps = ref [] in
+  let rec visit node =
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      match Netlist.kind c node with
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+      | Gate.Dff -> deps := Hashtbl.find ff_index node :: !deps
+      | _ -> Array.iter visit (Netlist.fanins c node)
+    end
+  in
+  visit (Netlist.fanins c b).(0);
+  !deps
+
+let analyze c =
+  let ffs = Netlist.dffs c in
+  let n = Array.length ffs in
+  let ff_index = Hashtbl.create (2 * n) in
+  Array.iteri (fun i ff -> Hashtbl.add ff_index ff i) ffs;
+  let preds = Array.map (fun ff -> state_deps c ff_index ff) ffs in
+  let succ = Array.make n [] in
+  Array.iteri (fun b ps -> List.iter (fun a -> succ.(a) <- b :: succ.(a)) ps) preds;
+  let succ = Array.map Array.of_list succ in
+  let self_loop = Array.mapi (fun b ps -> List.mem b ps) preds in
+  (* Tarjan. SCCs are emitted in reverse topological order of the
+     condensation, so the longest-chain DP can run during emission. *)
+  let scc_id = Array.make n (-1) in
+  let scc_sizes = ref [] in
+  let num_sccs = ref 0 in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let scc_depth = Array.make (max n 1) 0 in  (* per scc id, 1 + max succ depth *)
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Array.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      succ.(v);
+    if lowlink.(v) = index.(v) then begin
+      let id = !num_sccs in
+      incr num_sccs;
+      let members = ref [] in
+      let continue = ref true in
+      while !continue do
+        match !stack with
+        | [] -> assert false
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          scc_id.(w) <- id;
+          members := w :: !members;
+          if w = v then continue := false
+      done;
+      scc_sizes := List.length !members :: !scc_sizes;
+      (* Successor SCCs are already numbered (< id), so their final
+         depths are known. *)
+      let d = ref 0 in
+      List.iter
+        (fun w ->
+          Array.iter
+            (fun x ->
+              let sid = scc_id.(x) in
+              if sid <> id && sid <> -1 then d := max !d scc_depth.(sid))
+            succ.(w))
+        !members;
+      scc_depth.(id) <- !d + 1
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  let _, sync_levels = Validate.achievable_rounds c in
+  {
+    ffs;
+    ff_index;
+    succ;
+    scc_id;
+    scc_sizes = Array.of_list (List.rev !scc_sizes);
+    self_loop;
+    depth = Array.fold_left max 0 (Array.sub scc_depth 0 !num_sccs);
+    sync_levels;
+  }
+
+let num_ffs t = Array.length t.ffs
+let num_sccs t = Array.length t.scc_sizes
+
+let largest_scc t = Array.fold_left max 0 t.scc_sizes
+
+let cyclic t i = t.scc_sizes.(t.scc_id.(i)) >= 2 || t.self_loop.(i)
+
+let nontrivial_sccs t =
+  let seen = Array.make (num_sccs t) false in
+  let count = ref 0 in
+  for i = 0 to num_ffs t - 1 do
+    if cyclic t i && not seen.(t.scc_id.(i)) then begin
+      seen.(t.scc_id.(i)) <- true;
+      incr count
+    end
+  done;
+  !count
+
+let depth t = if num_ffs t = 0 then 0 else t.depth
+
+let sync_level t ff =
+  match Hashtbl.find_opt t.ff_index ff with
+  | Some i -> t.sync_levels.(i)
+  | None -> invalid_arg "Sgraph.sync_level: not a flip-flop"
+
+let uninitializable t =
+  let out = ref [] in
+  for i = num_ffs t - 1 downto 0 do
+    if t.sync_levels.(i) = -1 then out := t.ffs.(i) :: !out
+  done;
+  !out
+
+let x_risk t =
+  (* Per cyclic SCC: does any member synchronize on round 0? If not, the
+     whole core must bootstrap through its own feedback. *)
+  let k = num_sccs t in
+  let cyclic_scc = Array.make k false in
+  let has_level0 = Array.make k false in
+  for i = 0 to num_ffs t - 1 do
+    let s = t.scc_id.(i) in
+    if cyclic t i then cyclic_scc.(s) <- true;
+    if t.sync_levels.(i) = 0 then has_level0.(s) <- true
+  done;
+  let out = ref [] in
+  for i = num_ffs t - 1 downto 0 do
+    let s = t.scc_id.(i) in
+    if t.sync_levels.(i) = -1 || (cyclic_scc.(s) && not has_level0.(s)) then
+      out := t.ffs.(i) :: !out
+  done;
+  !out

@@ -1,0 +1,44 @@
+(** S-graph: the flip-flop dependency structure of a sequential circuit.
+
+    The S-graph has one vertex per flip-flop and an edge [a -> b] when
+    flip-flop [a]'s output lies in the combinational back-cone of [b]'s
+    D input — i.e. [b]'s next state can depend on [a]'s current state.
+    Its SCC decomposition and depth summarize how hard the circuit is to
+    synchronize from the all-X reset state, and which flip-flops risk
+    feeding X values into a MISR signature indefinitely (the known
+    x5378-class gap: a self-feeding state core that logic simulation
+    never initializes). *)
+
+type t
+
+val analyze : Bist_circuit.Netlist.t -> t
+
+val num_ffs : t -> int
+val num_sccs : t -> int
+
+val largest_scc : t -> int
+(** Size of the largest SCC; 0 for a combinational circuit. *)
+
+val nontrivial_sccs : t -> int
+(** SCCs of size >= 2, plus single flip-flops that feed themselves. *)
+
+val depth : t -> int
+(** Longest chain of SCCs in the condensation — a lower bound on how
+    many "waves" of synchronization the state needs. 0 for a
+    combinational circuit, 1 when no flip-flop depends on another. *)
+
+val sync_level : t -> Bist_circuit.Netlist.node -> int
+(** For a flip-flop node: the synchronous round at which the
+    achievable-value fixpoint first gives it a binary value (0 = one
+    clock from reset), or [-1] if it provably never leaves X.
+    Raises [Invalid_argument] on a non-flip-flop node. *)
+
+val uninitializable : t -> Bist_circuit.Netlist.node list
+(** Flip-flops that provably never leave X (sync level -1). *)
+
+val x_risk : t -> Bist_circuit.Netlist.node list
+(** Flip-flops at risk of holding X indefinitely in practice: the
+    provably uninitializable ones, plus every member of a cyclic SCC
+    none of whose members synchronizes on round 0 — such a state core
+    must bootstrap itself through feedback, which random/expanded
+    sequences frequently fail to do (the MISR-contamination risk). *)

@@ -1,0 +1,56 @@
+(** Static untestability proofs for single stuck-at faults.
+
+    Three sound (no-false-positive) arguments, all purely structural:
+
+    - {b Unexcitable}: the achievable-value fixpoint ({!Bist_circuit.Validate.achievable})
+      shows the fault line can never carry the value opposite the stuck
+      value in the fault-free machine. Detection under three-valued
+      simulation requires a binary good-vs-faulty conflict at a primary
+      output, which can only originate at the fault site when the good
+      value there is exactly the complement of the stuck value — so the
+      fault is undetectable.
+
+    - {b Unobservable}: no fanout path (through any number of gates and
+      flip-flops) from the fault line reaches a primary output.
+
+    - {b Blocked}: every fanout path is cut by a gate with a {e blocking
+      side pin} — a side input that is provably a solid controlling
+      constant (always that binary value, never X), or provably always X.
+      A good-vs-faulty conflict cannot cross such a gate: a solid
+      controlling side forces both machines' outputs, and an always-X
+      side keeps at least one machine's output off the conflicting
+      binary value. The argument is only valid when the blocking side is
+      outside the fault's structural fanout cone (otherwise the faulty
+      machine could change the blocker itself); {!check} performs that
+      per-fault refinement automatically.
+
+    Verdicts are with respect to pessimistic three-valued simulation
+    from the all-X reset state — the detection semantics used everywhere
+    in this repository ({!Bist_fault.Fsim}). *)
+
+type reason = Unexcitable | Unobservable | Blocked
+
+val reason_name : reason -> string
+
+type t
+(** Per-circuit analysis state, computed once and queried per fault. *)
+
+val analyze : Bist_circuit.Netlist.t -> t
+
+val check : t -> Bist_fault.Fault.t -> reason option
+(** [Some r] means the fault is provably undetectable, for reason [r].
+    [None] means no proof was found (the fault may or may not be
+    testable). *)
+
+type prescreen = {
+  untestable : Bist_util.Bitset.t;
+      (** Fault ids (into the screened universe) proved untestable. *)
+  unexcitable : int;
+  unobservable : int;
+  blocked : int;
+}
+
+val prescreen_universe : Bist_fault.Universe.t -> prescreen
+
+val total : prescreen -> int
+(** Faults removed, all reasons combined. *)

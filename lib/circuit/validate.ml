@@ -53,7 +53,7 @@ let uncontrollable_ffs c =
    need contradictory PI values — so an empty final set is a reliable
    "this flip-flop can never leave X" signal, while a non-empty set is
    only a hint. *)
-let maybe_uninitializable_ffs c =
+let achievable_rounds c =
   let n = Netlist.size c in
   let can = Array.make n 0 in
   Array.iter (fun pi -> can.(pi) <- 0b11) (Netlist.inputs c);
@@ -92,7 +92,10 @@ let maybe_uninitializable_ffs c =
         fanins;
       if Netlist.kind c node = Gate.Xnor then swap !acc else !acc
   in
+  let dffs = Netlist.dffs c in
+  let rounds = Array.make (Array.length dffs) (-1) in
   let changed = ref true in
+  let round = ref 0 in
   while !changed do
     changed := false;
     Array.iter
@@ -103,15 +106,26 @@ let maybe_uninitializable_ffs c =
           changed := true
         end)
       (Netlist.topo_order c);
-    Array.iter
-      (fun ff ->
-        let v = can.(ff) lor can.((Netlist.fanins c ff).(0)) in
-        if v <> can.(ff) then begin
-          can.(ff) <- v;
+    (* Two-phase flip-flop update: every D set is read against the state
+       of the previous round, so [rounds] counts exact synchronous clock
+       rounds even when one flip-flop directly feeds another. *)
+    let next = Array.map (fun ff -> can.(ff) lor can.((Netlist.fanins c ff).(0))) dffs in
+    Array.iteri
+      (fun i ff ->
+        if next.(i) <> can.(ff) then begin
+          can.(ff) <- next.(i);
           changed := true
-        end)
-      (Netlist.dffs c)
+        end;
+        if rounds.(i) = -1 && can.(ff) <> 0 then rounds.(i) <- !round)
+      dffs;
+    incr round
   done;
+  (can, rounds)
+
+let achievable c = fst (achievable_rounds c)
+
+let maybe_uninitializable_ffs c =
+  let can = achievable c in
   Array.to_list (Netlist.dffs c) |> List.filter (fun ff -> can.(ff) = 0)
 
 let check c =

@@ -30,6 +30,21 @@ type report = {
 
 val check : Netlist.t -> report
 
+val achievable : Netlist.t -> int array
+(** The achievable-value fixpoint described above, exposed for the static
+    analyzers: per node, a 2-bit mask (bit 0 = "some input sequence can
+    drive a 0 onto this node", bit 1 = same for 1). The propagation is
+    optimistic, so the mask {e over-approximates} the truly achievable
+    set: a value absent from the mask is provably unachievable, a value
+    present is only plausible. An all-zero mask means the node can never
+    carry a binary value under three-valued simulation. *)
+
+val achievable_rounds : Netlist.t -> int array * int array
+(** [(masks, rounds)] where [masks] is {!achievable} and [rounds.(i)] is
+    the synchronous clock round at which flip-flop [(Netlist.dffs c).(i)]
+    first acquired a non-empty achievable set (0 = reachable from the
+    all-X state in one clock), or [-1] if it never does. *)
+
 val is_clean : report -> bool
 (** No findings in any category. *)
 

@@ -33,6 +33,8 @@ type circuit_result = {
   compaction_stats : Bist_tgen.Compaction.stats;
   runs : Bist_core.Scheme.run list;
   best : Bist_core.Scheme.run;
+  prescreen : Bist_analyze.Untestable.prescreen;
+  scoap : Bist_analyze.Scoap.summary;
 }
 
 let run_circuit ?(seed = 2026) ?budget (entry : Bist_bench.Registry.entry) =
@@ -73,6 +75,9 @@ let run_circuit ?(seed = 2026) ?budget (entry : Bist_bench.Registry.entry) =
     compaction_stats;
     runs;
     best;
+    prescreen = Bist_analyze.Untestable.prescreen_universe universe;
+    scoap =
+      Bist_analyze.Scoap.summarize (Bist_analyze.Scoap.compute circuit) universe;
   }
 
 type spread = { mean : float; min : float; max : float }

@@ -29,6 +29,9 @@ type circuit_result = {
   compaction_stats : Bist_tgen.Compaction.stats;
   runs : Bist_core.Scheme.run list;  (** One per [n], sweep order. *)
   best : Bist_core.Scheme.run;
+  prescreen : Bist_analyze.Untestable.prescreen;
+      (** Static untestability counts over the collapsed universe. *)
+  scoap : Bist_analyze.Scoap.summary;  (** Fault-cost distribution. *)
 }
 
 val run_circuit :

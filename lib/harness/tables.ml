@@ -77,6 +77,38 @@ let table5 results =
   "Table 5: comparison with T0 (test len = 8 n L applied at-speed)\n"
   ^ At.render t
 
+let prescreen_table results =
+  let t =
+    At.create
+      ~headers:
+        [ ("circuit", At.Left); ("faults", At.Right); ("unexc", At.Right);
+          ("unobs", At.Right); ("blocked", At.Right); ("untestable", At.Right);
+          ("%", At.Right); ("SCOAP med", At.Right); ("max fin", At.Right);
+          ("sat", At.Right) ]
+  in
+  List.iter
+    (fun (r : Experiment.circuit_result) ->
+      let p = r.prescreen in
+      let total = Bist_analyze.Untestable.total p in
+      let pct =
+        if r.scoap.Bist_analyze.Scoap.faults = 0 then 0.0
+        else
+          100.0 *. float_of_int total
+          /. float_of_int r.scoap.Bist_analyze.Scoap.faults
+      in
+      At.add_row t
+        [ r.name; fi r.scoap.Bist_analyze.Scoap.faults;
+          fi p.Bist_analyze.Untestable.unexcitable;
+          fi p.Bist_analyze.Untestable.unobservable;
+          fi p.Bist_analyze.Untestable.blocked; fi total;
+          Printf.sprintf "%.1f" pct;
+          fi r.scoap.Bist_analyze.Scoap.median_cost;
+          fi r.scoap.Bist_analyze.Scoap.max_finite_cost;
+          fi r.scoap.Bist_analyze.Scoap.saturated ])
+    results;
+  "Static prescreen (provably untestable faults) and SCOAP cost profile\n"
+  ^ At.render t
+
 let comparison results =
   let t =
     At.create

@@ -20,5 +20,11 @@ val table5 : Experiment.circuit_result list -> string
 val comparison : Experiment.circuit_result list -> string
 (** Measured-vs-paper table over the headline Table 5 ratios. *)
 
+val prescreen_table : Experiment.circuit_result list -> string
+(** Per-circuit static-analysis columns: untestable faults proved by the
+    {!Bist_analyze.Untestable} prescreen (by reason), their share of the
+    collapsed universe, and the {!Bist_analyze.Scoap} fault-cost profile
+    (median / max finite / saturated count). *)
+
 val averages : Experiment.circuit_result list -> float * float
 (** (avg total ratio, avg max ratio) — the paper reports 0.46 / 0.10. *)

@@ -138,3 +138,13 @@ let search ?(config = default_config) ~rng ~prefix circuit fault =
     evaluations = !evaluations;
     best_fitness;
   }
+
+let order_hardest_first scoap universe ids =
+  let cost = Array.map (fun id ->
+      Bist_analyze.Scoap.fault_cost scoap (Bist_fault.Universe.get universe id)) ids
+  in
+  let keyed = Array.mapi (fun i id -> (cost.(i), id)) ids in
+  Array.sort
+    (fun (ca, ia) (cb, ib) -> if ca <> cb then compare cb ca else compare ia ib)
+    keyed;
+  Array.iteri (fun i (_, id) -> ids.(i) <- id) keyed

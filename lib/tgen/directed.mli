@@ -40,3 +40,11 @@ val search :
   Bist_circuit.Netlist.t ->
   Bist_fault.Fault.t ->
   outcome
+
+val order_hardest_first :
+  Bist_analyze.Scoap.t -> Bist_fault.Universe.t -> int array -> unit
+(** Sort fault ids in place, most expensive {!Bist_analyze.Scoap.fault_cost}
+    first (ties by ascending id, so the order is deterministic). The
+    directed phase attacks targets in this order: hard faults profit
+    most from the genetic search, while easy stragglers tend to fall
+    out of the produced segments for free. *)

@@ -14,6 +14,7 @@ type config = {
   weighted_p : float list;
   sample_cap : int;
   directed_budget : int;
+  prescreen : bool;
 }
 
 let default_config circuit =
@@ -29,6 +30,7 @@ let default_config circuit =
     weighted_p = [ 0.2; 0.35; 0.5; 0.5; 0.65; 0.8 ];
     sample_cap = 1500;
     directed_budget = 0;
+    prescreen = true;
   }
 
 type stats = {
@@ -36,6 +38,7 @@ type stats = {
   segments_accepted : int;
   detected : int;
   total_faults : int;
+  statically_untestable : int;
 }
 
 let random_segment rng ~width ~length ~p_one ~hold =
@@ -73,8 +76,20 @@ let generate ?config ~rng universe =
   let circuit = Universe.circuit universe in
   let config = Option.value config ~default:(default_config circuit) in
   let width = Bist_circuit.Netlist.num_inputs circuit in
+  (* Faults the static prover marks untestable never enter the remaining
+     set: Procedure 1 would otherwise burn its patience budget chasing
+     faults no sequence can detect. Sound — the prover has no false
+     positives — and invisible in the final coverage numbers, which come
+     from a full fault simulation at the end. *)
+  let untestable =
+    if config.prescreen then
+      (Bist_analyze.Untestable.prescreen_universe universe)
+        .Bist_analyze.Untestable.untestable
+    else Bitset.create (Universe.size universe)
+  in
   let remaining = Bitset.create (Universe.size universe) in
   Bitset.fill remaining;
+  Bitset.diff_into remaining untestable;
   let t0 = ref (Tseq.empty width) in
   let rounds = ref 0 in
   let accepted = ref 0 in
@@ -128,6 +143,7 @@ let generate ?config ~rng universe =
   let embedded = Fsim.run ~stop_when_all_detected:true universe !t0 in
   Bitset.clear remaining;
   Bitset.fill remaining;
+  Bitset.diff_into remaining untestable;
   Bitset.diff_into remaining embedded.Fsim.detected;
   phase ~embed:true
     ~patience:(max 4 (config.patience / 2))
@@ -137,7 +153,11 @@ let generate ?config ~rng universe =
   if config.directed_budget > 0 then begin
     let attempts = ref 0 in
     let target_ids = Array.of_list (Bitset.elements remaining) in
-    Rng.shuffle_in_place rng target_ids;
+    (* Hardest targets first: SCOAP-expensive faults benefit most from
+       the genetic search, and the easy stragglers are often swept up for
+       free by the segments it produces. *)
+    let scoap = Bist_analyze.Scoap.compute circuit in
+    Directed.order_hardest_first scoap universe target_ids;
     Array.iter
       (fun id ->
         if
@@ -170,4 +190,5 @@ let generate ?config ~rng universe =
       segments_accepted = !accepted;
       detected = Bitset.cardinal final.Fsim.detected;
       total_faults = Universe.size universe;
+      statically_untestable = Bitset.cardinal untestable;
     } )

@@ -30,7 +30,14 @@ type config = {
       (** Number of still-undetected faults to attack with the
           genetic {!Directed} search after the random phases (0 disables
           the phase, the default — it is the expensive, high-yield
-          tail). *)
+          tail). Targets are attacked hardest-first by SCOAP cost
+          ({!Directed.order_hardest_first}). *)
+  prescreen : bool;
+      (** Run the {!Bist_analyze.Untestable} prover first and exclude
+          provably untestable faults from the generation targets (on by
+          default). Final coverage is unaffected — those faults were
+          undetectable — but the patience budget stops being spent on
+          them. *)
 }
 
 val default_config : Bist_circuit.Netlist.t -> config
@@ -41,6 +48,8 @@ type stats = {
   segments_accepted : int;
   detected : int;  (** Faults the final [T0] detects. *)
   total_faults : int;
+  statically_untestable : int;
+      (** Faults the prescreen proved untestable (0 when disabled). *)
 }
 
 val generate :

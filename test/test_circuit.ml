@@ -87,6 +87,45 @@ let test_parse_roundtrip () =
       (Array.to_list (Array.map (Netlist.name c2) (Netlist.fanins c2 n2)))
   done
 
+(* Writer/parser round-trip over a circuit that uses every Gate.kind,
+   spelled with the BUFF alias and bare/argful CONST forms on the way
+   in. The reparse of the written text must reproduce kinds and fanins
+   exactly (canonical spellings are fine). *)
+let test_roundtrip_all_kinds () =
+  let c =
+    Parser.parse_string ~name:"kinds"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(q)\n\
+       zero = CONST0\none = CONST1()\n\
+       bf = BUFF(a)\nnt = NOT(b)\n\
+       an = AND(bf, nt)\nna = NAND(a, b)\n\
+       orr = OR(an, zero)\nno = NOR(na, one)\n\
+       xo = XOR(orr, no)\nxn = XNOR(xo, a)\n\
+       q = DFF(xn)\ny = BUF(q)\n"
+  in
+  let kinds_used =
+    List.sort_uniq compare
+      (List.init (Netlist.size c) (fun n -> Netlist.kind c n))
+  in
+  Alcotest.(check int) "all 12 kinds present" 12 (List.length kinds_used);
+  Alcotest.(check bool) "BUFF parsed as Buf" true
+    (Netlist.kind c (Netlist.find_exn c "bf") = Gate.Buf);
+  let text = Bist_circuit.Bench_writer.to_string c in
+  let c2 = Parser.parse_string ~name:"kinds" text in
+  Alcotest.(check int) "same size" (Netlist.size c) (Netlist.size c2);
+  for n = 0 to Netlist.size c - 1 do
+    let n2 = Netlist.find_exn c2 (Netlist.name c n) in
+    Alcotest.(check bool)
+      ("kind of " ^ Netlist.name c n)
+      true
+      (Netlist.kind c n = Netlist.kind c2 n2);
+    Alcotest.(check (list string)) ("fanins of " ^ Netlist.name c n)
+      (Array.to_list (Array.map (Netlist.name c) (Netlist.fanins c n)))
+      (Array.to_list (Array.map (Netlist.name c2) (Netlist.fanins c2 n2)))
+  done;
+  (* and the rewrite is a fixpoint *)
+  Alcotest.(check string) "write . parse . write stable" text
+    (Bist_circuit.Bench_writer.to_string c2)
+
 let expect_parse_error text =
   match Parser.parse_string ~name:"bad" text with
   | _ -> Alcotest.fail "expected Parse_error"
@@ -218,6 +257,7 @@ let suite =
     Alcotest.test_case "gate names" `Quick test_gate_names;
     Alcotest.test_case "parse s27" `Quick test_parse_s27;
     Alcotest.test_case "writer roundtrip" `Quick test_parse_roundtrip;
+    Alcotest.test_case "writer roundtrip all kinds" `Quick test_roundtrip_all_kinds;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blanks;
     Alcotest.test_case "structural errors" `Quick test_structural_errors;

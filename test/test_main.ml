@@ -6,6 +6,7 @@ let () =
       ("circuit", Test_circuit.suite);
       ("parser-errors", Test_parser_errors.suite);
       ("validate", Test_validate.suite);
+      ("analyze", Test_analyze.suite);
       ("opt", Test_opt.suite);
       ("sim", Test_sim.suite);
       ("fault", Test_fault.suite);

@@ -27,6 +27,9 @@ let unknown_kind = "INPUT(a)\nb = NANDY(a, a)\nOUTPUT(b)\n"
 let dangling_fanin = "INPUT(a)\nb = AND(a, ghost)\nOUTPUT(b)\n"
 let dangling_output = "INPUT(a)\nb = NOT(a)\nOUTPUT(c)\n"
 let bad_char = "INPUT(a)\nb = NOT(a)\nOUTPUT(b)\n!!!\n"
+let const_with_args = "INPUT(a)\nz = CONST0(a)\nOUTPUT(z)\n"
+let input_rhs = "INPUT(a)\n\nb = INPUT(a)\nOUTPUT(b)\n"
+let self_feeding_const = "INPUT(a)\ny = AND(a, tie)\ntie = CONST0(tie)\nOUTPUT(y)\n"
 
 let suite =
   [
@@ -48,6 +51,12 @@ let suite =
       (check_error ~expected_line:3 ~substring:"undefined" dangling_output);
     Alcotest.test_case "garbage characters at line 4" `Quick
       (check_error ~expected_line:4 ~substring:"malformed" bad_char);
+    Alcotest.test_case "CONST0 with an argument at line 2" `Quick
+      (check_error ~expected_line:2 ~substring:"CONST0" const_with_args);
+    Alcotest.test_case "INPUT on the right-hand side at line 3" `Quick
+      (check_error ~expected_line:3 ~substring:"right-hand side" input_rhs);
+    Alcotest.test_case "self-feeding CONST at line 3" `Quick
+      (check_error ~expected_line:3 ~substring:"CONST0" self_feeding_const);
     Alcotest.test_case "valid circuit still parses" `Quick (fun () ->
         let c =
           P.parse_string ~name:"ok" "INPUT(a)\nb = DFF(c)\nc = NOR(a, b)\nOUTPUT(c)\n"
