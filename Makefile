@@ -1,4 +1,4 @@
-.PHONY: all build test lint check smoke bench clean
+.PHONY: all build test test-parallel lint check smoke bench bench-json clean
 
 all: build
 
@@ -8,6 +8,13 @@ build:
 test:
 	dune runtest
 
+# The same tier-1 suite with the domain pool active: BIST_JOBS=2 routes
+# every fault simulation through the sharded parallel path, whose
+# results are bit-identical by the DESIGN.md §8 invariant — so the
+# exact same 249 tests must pass unchanged.
+test-parallel:
+	BIST_JOBS=2 dune runtest --force
+
 # Static-analysis gate over every registry circuit. The warning budget
 # is pinned to the current known findings (x641 dangling/unobservable
 # cones, x820/x1488 redundant tie-offs, the x5378 uninitializable state
@@ -16,7 +23,7 @@ lint:
 	dune build bin/lint.exe
 	dune exec bin/lint.exe -- --quiet --max-warnings 8
 
-check: test lint
+check: test test-parallel lint
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault
@@ -26,6 +33,11 @@ smoke: test
 
 bench:
 	dune exec bench/main.exe -- --fast
+
+# Append a timed fault-table run record (sequential vs --jobs pool,
+# with a bit-identity check) to the committed perf trajectory.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_results.json
 
 clean:
 	dune clean

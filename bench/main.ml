@@ -7,7 +7,13 @@
    Part 2 (tables): regenerate Tables 3, 4 and 5, the measured-vs-paper
    comparison, and Figure 1 by running the full experiment pipeline over
    the evaluation suite. `--fast` restricts the suite to the circuits up
-   to x1488; `--micro-only` / `--tables-only` select one part. *)
+   to x1488; `--micro-only` / `--tables-only` select one part.
+
+   Part 3 (`--json PATH`): the recorded trajectory. Wall-times the
+   fault-table workloads sequentially and on a `--jobs`-wide domain pool,
+   verifies the two tables are bit-identical, and appends one run record
+   to the JSON array at PATH (see BENCH_results.json at the repo root) so
+   successive PRs accumulate a perf baseline to regress against. *)
 
 open Bechamel
 open Toolkit
@@ -202,13 +208,178 @@ let run_tables ~fast () =
   print_newline ();
   print_string (Bist_harness.Figure1.render_s27 ())
 
+(* Part 3: the recorded trajectory (`--json PATH`). *)
+
+module Pool = Bist_parallel.Pool
+module Fault_table = Bist_fault.Fault_table
+module Universe = Bist_fault.Universe
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Best of [repeats] wall times: the workloads are deterministic, so the
+   minimum is the least-noisy estimate on a shared host. *)
+let best_of ~repeats f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t, r = wall f in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+let tables_identical a b =
+  let ua = Fault_table.universe a in
+  Bist_util.Bitset.equal (Fault_table.detected a) (Fault_table.detected b)
+  && Array.for_all
+       (fun id -> Fault_table.udet a id = Fault_table.udet b id)
+       (Array.init (Universe.size ua) (fun i -> i))
+
+type json_record = {
+  bench : string;
+  circuit : string;
+  faults : int;
+  seq_len : int;
+  seconds_seq : float;
+  seconds_par : float;
+  identical : bool;
+}
+
+let json_workloads () =
+  let random_seq circuit len =
+    let rng = Bist_util.Rng.create 7 in
+    Bist_logic.Tseq.random_binary rng
+      ~width:(Bist_circuit.Netlist.num_inputs circuit)
+      ~length:len
+  in
+  let registry name len =
+    let circuit = (Option.get (Bist_bench.Registry.find name)).circuit () in
+    (Printf.sprintf "fault_table_%s" name, name,
+     Universe.collapsed circuit, random_seq circuit len)
+  in
+  [
+    ("fault_table_s27", "s27", s27_universe, s27_t0);
+    registry "x298" 256;
+    registry "x1488" 256;
+  ]
+
+let run_json ~jobs path =
+  let jobs = if jobs = 0 then Pool.default_jobs () else max 1 jobs in
+  let pool = if jobs > 1 then Some (Pool.create ~jobs ()) else None in
+  let sequential = Pool.create ~jobs:1 () in
+  let records =
+    List.map
+      (fun (bench, circuit, universe, seq) ->
+        let repeats = 3 in
+        let seconds_seq, table_seq =
+          best_of ~repeats (fun () ->
+              Fault_table.compute ~pool:sequential universe seq)
+        in
+        let seconds_par, table_par =
+          match pool with
+          | Some p ->
+            best_of ~repeats (fun () -> Fault_table.compute ~pool:p universe seq)
+          | None -> (seconds_seq, table_seq)
+        in
+        let r =
+          {
+            bench; circuit;
+            faults = Universe.size universe;
+            seq_len = Bist_logic.Tseq.length seq;
+            seconds_seq; seconds_par;
+            identical = tables_identical table_seq table_par;
+          }
+        in
+        Printf.printf
+          "  %-24s %5d faults  seq %8.4fs  jobs=%d %8.4fs  speedup %.2fx  %s\n%!"
+          r.bench r.faults r.seconds_seq jobs r.seconds_par
+          (r.seconds_seq /. r.seconds_par)
+          (if r.identical then "identical" else "MISMATCH");
+        r)
+      (json_workloads ())
+  in
+  let record_json =
+    let benches =
+      records
+      |> List.map (fun r ->
+             Printf.sprintf
+               "    { \"bench\": %S, \"circuit\": %S, \"faults\": %d, \
+                \"seq_len\": %d, \"seconds_seq\": %.6f, \"seconds_par\": %.6f, \
+                \"speedup\": %.4f, \"identical\": %b }"
+               r.bench r.circuit r.faults r.seq_len r.seconds_seq r.seconds_par
+               (r.seconds_seq /. r.seconds_par) r.identical)
+      |> String.concat ",\n"
+    in
+    Printf.sprintf
+      "  { \"schema\": \"bist-bench/1\",\n\
+      \    \"unix_time\": %.0f,\n\
+      \    \"cores\": %d,\n\
+      \    \"jobs\": %d,\n\
+      \    \"benches\": [\n%s\n    ] }"
+      (Unix.time ())
+      (Domain.recommended_domain_count ())
+      jobs benches
+  in
+  (* Append into the JSON array at [path] textually, so the trajectory
+     file stays a plain, diff-friendly list of run records. *)
+  let previous =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      let s = String.trim s in
+      if s = "" || s = "[]" then None
+      else if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']'
+      then Some (String.trim (String.sub s 1 (String.length s - 2)))
+      else failwith (path ^ ": not a JSON array; refusing to append")
+    end
+    else None
+  in
+  let body =
+    match previous with
+    | None -> record_json
+    | Some old -> old ^ ",\n" ^ record_json
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Printf.fprintf oc "[\n%s\n]\n" body);
+  Printf.printf "appended run record (%d benches) to %s\n" (List.length records) path;
+  if List.exists (fun r -> not r.identical) records then begin
+    prerr_endline "error: parallel fault table differs from sequential";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
-  if not (has "--tables-only") then begin
-    run_micro ();
-    print_newline ();
-    run_ablation_quality ();
-    print_newline ()
-  end;
-  if not (has "--micro-only") then run_tables ~fast:(has "--fast") ()
+  let value_of flag =
+    let rec go = function
+      | f :: v :: _ when f = flag -> Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  let jobs =
+    match value_of "--jobs" with
+    | Some v ->
+      (match int_of_string_opt v with
+      | Some j when j >= 0 -> j
+      | _ -> Printf.eprintf "error: --jobs expects a non-negative integer\n"; exit 2)
+    | None -> 0
+  in
+  match value_of "--json" with
+  | Some path -> run_json ~jobs path
+  | None ->
+    if not (has "--tables-only") then begin
+      run_micro ();
+      print_newline ();
+      run_ablation_quality ();
+      print_newline ()
+    end;
+    if not (has "--micro-only") then run_tables ~fast:(has "--fast") ()

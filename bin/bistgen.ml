@@ -41,6 +41,20 @@ let n_arg =
 
 let universe_of circuit = Bist_fault.Universe.collapsed circuit
 
+(* --jobs 0 (the printed default) means "auto": min(cores, 8). A width
+   of 1 yields no pool, i.e. the sequential path. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for fault simulation (0 = auto: min(cores, 8); 1 = \
+           sequential). Results are bit-identical for every value.")
+
+let pool_of_jobs jobs =
+  let jobs = if jobs = 0 then Bist_parallel.Pool.default_jobs () else jobs in
+  if jobs <= 1 then None else Some (Bist_parallel.Pool.create ~jobs ())
+
 (* stats *)
 
 let stats_cmd =
@@ -80,11 +94,11 @@ let seq_arg name doc =
   Arg.(required & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
 
 let faultsim_cmd =
-  let run spec seq_file table =
+  let run spec seq_file table jobs =
     let circuit = resolve_circuit spec in
     let universe = universe_of circuit in
     let seq = Bist_harness.Seq_io.load seq_file in
-    let tbl = Bist_fault.Fault_table.compute universe seq in
+    let tbl = Bist_fault.Fault_table.compute ?pool:(pool_of_jobs jobs) universe seq in
     Format.printf "detected %d / %d faults (coverage %.2f%%)@."
       (Bist_fault.Fault_table.num_detected tbl)
       (Bist_fault.Universe.size universe)
@@ -95,21 +109,25 @@ let faultsim_cmd =
     Arg.(value & flag & info [ "table" ] ~doc:"Print the per-time-unit detection table.")
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate a sequence")
-    Term.(const run $ circuit_arg $ seq_arg "seq" "Sequence file." $ table_flag)
+    Term.(const run $ circuit_arg $ seq_arg "seq" "Sequence file." $ table_flag
+          $ jobs_arg)
 
 (* tgen *)
 
 let tgen_cmd =
-  let run spec seed out trials directed =
+  let run spec seed out trials directed jobs =
     let circuit = resolve_circuit spec in
     let universe = universe_of circuit in
     let rng = Bist_util.Rng.create seed in
+    let pool = pool_of_jobs jobs in
     let config =
       { (Bist_tgen.Engine.default_config circuit) with
         Bist_tgen.Engine.directed_budget = directed }
     in
-    let t0, stats = Bist_tgen.Engine.generate ~config ~rng universe in
-    let t0, cstats = Bist_tgen.Compaction.compact ~max_trials:trials universe t0 in
+    let t0, stats = Bist_tgen.Engine.generate ~config ?pool ~rng universe in
+    let t0, cstats =
+      Bist_tgen.Compaction.compact ~max_trials:trials ?pool universe t0
+    in
     Format.printf
       "T0: %d vectors (raw %d), detects %d / %d faults (%.2f%%)@."
       (Bist_logic.Tseq.length t0) cstats.Bist_tgen.Compaction.initial_length
@@ -133,7 +151,8 @@ let tgen_cmd =
              ~doc:"Attack up to K surviving faults with the genetic directed search.")
   in
   Cmd.v (Cmd.info "tgen" ~doc:"Generate and compact a deterministic sequence T0")
-    Term.(const run $ circuit_arg $ seed_arg $ out_arg $ trials_arg $ directed_arg)
+    Term.(const run $ circuit_arg $ seed_arg $ out_arg $ trials_arg $ directed_arg
+          $ jobs_arg)
 
 (* expand *)
 

@@ -34,8 +34,12 @@ let resolve_circuits specs =
           exit 2)
       specs
 
-let run_campaign ~config (entry : Bist_bench.Registry.entry) =
-  Campaign.run ~config ~name:entry.name (entry.circuit ())
+let pool_of_jobs jobs =
+  let jobs = if jobs = 0 then Bist_parallel.Pool.default_jobs () else jobs in
+  if jobs <= 1 then None else Some (Bist_parallel.Pool.create ~jobs ())
+
+let run_campaign ~config ?pool (entry : Bist_bench.Registry.entry) =
+  Campaign.run ~config ?pool ~name:entry.name (entry.circuit ())
 
 let print_campaigns ~verbose campaigns =
   print_string (Bist_harness.Inject_report.summary campaigns);
@@ -90,7 +94,7 @@ let smoke seed count =
     1
   end
 
-let main circuits seed count defense n smoke_flag verbose =
+let main circuits seed count defense n smoke_flag verbose jobs =
   if count < 1 then begin
     Printf.eprintf "error: --count must be >= 1 (got %d)\n" count;
     exit 2
@@ -107,7 +111,10 @@ let main circuits seed count defense n smoke_flag verbose =
     if smoke_flag then smoke seed count
     else begin
       let config = { Campaign.default_config with seed; count; defense; n } in
-      let campaigns = List.map (run_campaign ~config) (resolve_circuits circuits) in
+      let pool = pool_of_jobs jobs in
+      let campaigns =
+        List.map (run_campaign ~config ?pool) (resolve_circuits circuits)
+      in
       print_campaigns ~verbose campaigns;
       let escaped = List.exists (fun (c : Campaign.t) -> c.escaped > 0) campaigns in
       if escaped then 1 else 0
@@ -144,6 +151,14 @@ let smoke_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-fault-kind breakdown.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the campaign trials (0 = auto: min(cores, 8); 1 \
+           = sequential). Campaign results are identical for every value.")
+
 let () =
   let info =
     Cmd.info "inject" ~version:"1.0.0"
@@ -154,4 +169,4 @@ let () =
        (Cmd.v info
           Term.(
             const main $ circuits_arg $ seed_arg $ count_arg $ defense_arg
-            $ n_arg $ smoke_arg $ verbose_arg)))
+            $ n_arg $ smoke_arg $ verbose_arg $ jobs_arg)))

@@ -8,8 +8,8 @@ type t = {
   detected : Bitset.t;
 }
 
-let compute universe seq =
-  let outcome = Fsim.run universe seq in
+let compute ?pool universe seq =
+  let outcome = Fsim.run ?pool universe seq in
   {
     universe;
     seq;

@@ -6,8 +6,10 @@
 
 type t
 
-val compute : Universe.t -> Bist_logic.Tseq.t -> t
-(** Simulate the sequence once and record first detection times. *)
+val compute : ?pool:Bist_parallel.Pool.t -> Universe.t -> Bist_logic.Tseq.t -> t
+(** Simulate the sequence once and record first detection times. [pool]
+    shards the simulation over domains with bit-identical results (see
+    {!Fsim.run}); the default is sequential unless [BIST_JOBS] is set. *)
 
 val universe : t -> Universe.t
 val sequence : t -> Bist_logic.Tseq.t

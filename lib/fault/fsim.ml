@@ -17,28 +17,25 @@ let install sim fault ~lane =
   | { site = Fault.Pin { gate; pin }; stuck } ->
     Packed_sim.add_pin_force sim ~gate ~pin ~mask stuck
 
-let run ?targets ?(stop_when_all_detected = false) universe seq =
+(* One sequential pass over a slice of the universe, writing detection
+   times positionally ([det_local.(i)] belongs to fault [ids.(i)]). The
+   simulator instance is created here, inside the worker, so parallel
+   shards never share mutable simulation state. A fault's detection time
+   does not depend on which other faults share its 63-lane pass, so any
+   slicing of the canonical id order yields the same times. *)
+let run_ids ~stop_when_all_detected universe seq ids =
   let circuit = Universe.circuit universe in
-  let n_faults = Universe.size universe in
-  let det_time = Array.make n_faults (-1) in
-  let detected = Bitset.create n_faults in
-  let target_ids =
-    match targets with
-    | None -> Array.init n_faults (fun i -> i)
-    | Some set -> Array.of_list (Bitset.elements set)
-  in
+  let k = Array.length ids in
+  let det_local = Array.make k (-1) in
   let sim = Packed_sim.create circuit in
-  let group = Array.make faults_per_pass (-1) in
-  let n_groups = (Array.length target_ids + faults_per_pass - 1) / faults_per_pass in
+  let n_groups = (k + faults_per_pass - 1) / faults_per_pass in
   for g = 0 to n_groups - 1 do
     let base = g * faults_per_pass in
-    let group_size = min faults_per_pass (Array.length target_ids - base) in
+    let group_size = min faults_per_pass (k - base) in
     Packed_sim.clear_forces sim;
     Packed_sim.reset sim;
     for j = 0 to group_size - 1 do
-      let id = target_ids.(base + j) in
-      group.(j) <- id;
-      install sim (Universe.get universe id) ~lane:(j + 1)
+      install sim (Universe.get universe ids.(base + j)) ~lane:(j + 1)
     done;
     (* [live] = lanes of not-yet-detected faults in this group. *)
     let live = ref (((1 lsl group_size) - 1) lsl 1) in
@@ -49,17 +46,30 @@ let run ?targets ?(stop_when_all_detected = false) universe seq =
       let newly = Packed_sim.po_diff_lanes sim land !live in
       if newly <> 0 then begin
         for j = 0 to group_size - 1 do
-          if newly land (1 lsl (j + 1)) <> 0 then begin
-            let id = group.(j) in
-            det_time.(id) <- !u;
-            Bitset.add detected id
-          end
+          if newly land (1 lsl (j + 1)) <> 0 then det_local.(base + j) <- !u
         done;
         live := !live land lnot newly
       end;
       incr u
     done
   done;
+  det_local
+
+let run ?pool ?targets ?(stop_when_all_detected = false) universe seq =
+  let n_faults = Universe.size universe in
+  let target_ids =
+    match targets with
+    | None -> Array.init n_faults (fun i -> i)
+    | Some set -> Array.of_list (Bitset.elements set)
+  in
+  let pool =
+    match pool with Some _ -> pool | None -> Bist_parallel.Pool.from_env ()
+  in
+  let det_time, detected =
+    Bist_parallel.Shard.detections ?pool ~size:n_faults
+      ~f:(run_ids ~stop_when_all_detected universe seq)
+      target_ids
+  in
   { universe; det_time; detected }
 
 let coverage outcome =

@@ -19,6 +19,7 @@ type outcome = {
 }
 
 val run :
+  ?pool:Bist_parallel.Pool.t ->
   ?targets:Bist_util.Bitset.t ->
   ?stop_when_all_detected:bool ->
   Universe.t ->
@@ -27,7 +28,13 @@ val run :
 (** Simulate every target fault (default: all faults of the universe)
     under the sequence. With [stop_when_all_detected] (default [false]) a
     63-fault group stops early once all its targets are detected — use it
-    when only the detected {e set} matters, not detection times. *)
+    when only the detected {e set} matters, not detection times.
+
+    With [pool] (default: {!Bist_parallel.Pool.from_env}, i.e.
+    sequential unless [BIST_JOBS >= 2] is exported) the target faults are
+    sharded over the pool's domains, one independent simulator per shard;
+    the outcome is bit-identical to the sequential one for every pool
+    width ({!Bist_parallel.Shard}). *)
 
 val coverage : outcome -> float
 (** Detected targets / universe size. *)

@@ -101,7 +101,7 @@ let classify ~golden (report : Session.report) fault =
     degraded;
   }
 
-let run ?(config = default_config) ~name circuit =
+let run ?(config = default_config) ?pool ~name circuit =
   let rng = Rng.create config.seed in
   let num_inputs = Netlist.num_inputs circuit in
   let seq_length = min config.seq_length (1 lsl min num_inputs 10) in
@@ -121,16 +121,27 @@ let run ?(config = default_config) ~name circuit =
     Fault_gen.faults rng ~count:config.count ~word_bits:num_inputs ~sequences
       ~misr_width
   in
+  (* Trials are independent sessions against immutable inputs (circuit,
+     sequences, golden report); the fault list is drawn from [rng] before
+     any of them runs, so no generator crosses a domain boundary and the
+     chunked parallel run reproduces the sequential trial list exactly. *)
+  let trial fault =
+    let injector = Injector.create fault in
+    let report =
+      Session.run_exn ?sync ~defense:config.defense ~injector ~capture:true
+        ~n:config.n circuit sequences
+    in
+    classify ~golden report fault
+  in
   let trials =
-    List.map
-      (fun fault ->
-        let injector = Injector.create fault in
-        let report =
-          Session.run_exn ?sync ~defense:config.defense ~injector ~capture:true
-            ~n:config.n circuit sequences
-        in
-        classify ~golden report fault)
-      faults
+    match pool with
+    | Some p when Bist_parallel.Pool.jobs p > 1 && List.length faults > 1 ->
+      Bist_parallel.Shard.partition ~chunks:(Bist_parallel.Pool.jobs p)
+        (Array.of_list faults)
+      |> Bist_parallel.Pool.map_chunks p (Array.map trial)
+      |> Array.to_list
+      |> List.concat_map Array.to_list
+    | _ -> List.map trial faults
   in
   let count o = List.length (List.filter (fun t -> t.outcome = o) trials) in
   {

@@ -58,8 +58,16 @@ type t = {
   escaped : int;
 }
 
-val run : ?config:config -> name:string -> Bist_circuit.Netlist.t -> t
-(** Deterministic for a given [config.seed]. *)
+val run :
+  ?config:config ->
+  ?pool:Bist_parallel.Pool.t ->
+  name:string ->
+  Bist_circuit.Netlist.t ->
+  t
+(** Deterministic for a given [config.seed], with or without a [pool]:
+    the faults are drawn before any trial runs, trials are independent
+    sessions, and parallel trial chunks are merged back in canonical
+    order. Default sequential. *)
 
 val by_kind : t -> (string * (int * int * int * int)) list
 (** Outcome counts [(corrected, detected, benign, escaped)] per fault

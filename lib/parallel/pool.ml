@@ -1,0 +1,134 @@
+module Rng = Bist_util.Rng
+
+type t = {
+  width : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (min (Domain.recommended_domain_count ()) 8)
+
+let jobs t = t.width
+
+(* Workers block on [nonempty] and run closures from the queue until the
+   pool is stopped. Closures never raise: [map_chunks] wraps the user
+   function and stores its exception instead. *)
+let worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if t.stopped then Mutex.unlock t.mutex
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        next ()
+      | None ->
+        Condition.wait t.nonempty t.mutex;
+        next ()
+  in
+  next ()
+
+let shutdown t =
+  if t.workers <> [] then begin
+    Mutex.lock t.mutex;
+    t.stopped <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let create ?jobs () =
+  let width =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let t =
+    {
+      width;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  if width > 1 then begin
+    t.workers <- List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    (* Leaked pools must not leave domains blocked in [Condition.wait]
+       when the main domain returns. *)
+    at_exit (fun () -> shutdown t)
+  end;
+  t
+
+let map_chunks t f arr =
+  let n = Array.length arr in
+  if t.workers = [] || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    (* First-index exception, so a multi-failure batch re-raises
+       deterministically. Protected by [t.mutex]. *)
+    let error = ref None in
+    let remaining = ref n in
+    let all_done = Condition.create () in
+    let task i () =
+      (try results.(i) <- Some (f arr.(i))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         (match !error with
+          | Some (j, _, _) when j < i -> ()
+          | _ -> error := Some (i, e, bt));
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast all_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    (* The caller is a worker too: drain what is left of the queue, then
+       wait for tasks still running on other domains. *)
+    let rec drain () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        drain ()
+      | None ->
+        while !remaining > 0 do
+          Condition.wait all_done t.mutex
+        done
+    in
+    drain ();
+    Mutex.unlock t.mutex;
+    match !error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_chunks_rng t ~rng f arr =
+  (* Children are split in input order before any task is dispatched, so
+     the streams each chunk sees do not depend on the pool width or on
+     scheduling, and no domain ever touches the parent generator. *)
+  let jobs = Array.map (fun x -> (Rng.split rng, x)) arr in
+  map_chunks t (fun (child, x) -> f child x) jobs
+
+let env_pool =
+  lazy
+    (match Sys.getenv_opt "BIST_JOBS" with
+    | None -> None
+    | Some s ->
+      (match int_of_string_opt (String.trim s) with
+      | Some j when j > 1 -> Some (create ~jobs:j ())
+      | Some _ | None -> None))
+
+let from_env () = Lazy.force env_pool

@@ -1,0 +1,60 @@
+(** A small fixed-size domain pool.
+
+    [create ~jobs] spawns [jobs - 1] long-lived worker domains; the
+    calling domain is the remaining worker, so [jobs] is the true
+    parallel width. With [jobs = 1] (and by default on hosts where
+    [Domain.recommended_domain_count () = 1]) no domains are spawned and
+    every [map_chunks] runs sequentially in the caller — the fallback
+    path is the plain [Array.map] it replaces.
+
+    The pool is built for the fault-simulation sharding pattern: one
+    caller at a time submits a batch of coarse chunks and blocks until
+    all of them finish. Submitting from several domains concurrently is
+    not supported. A pool is reusable across any number of successive
+    [map_chunks] calls, including after one of them raised. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] defaults to {!default_jobs}[ ()] and is clamped to at least 1.
+    An explicit [jobs > 1] is honoured even on a single-core host (the
+    domains then time-slice), so the parallel path stays testable
+    everywhere. *)
+
+val default_jobs : unit -> int
+(** [min (Domain.recommended_domain_count ()) 8] — the CLI default for
+    [--jobs]. *)
+
+val jobs : t -> int
+(** The parallel width the pool was created with (1 = sequential). *)
+
+val map_chunks : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_chunks t f chunks] applies [f] to every element, distributing
+    elements over the pool's domains, and returns the results in input
+    order. The caller participates in the work, then blocks until every
+    element is done. If one or more applications raise, every element
+    still runs to completion and the exception of the {e lowest} input
+    index is re-raised in the caller — deterministic regardless of
+    scheduling. *)
+
+val map_chunks_rng :
+  t -> rng:Bist_util.Rng.t -> (Bist_util.Rng.t -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!map_chunks} for chunk work that needs randomness: the parent
+    [rng] is {!Bist_util.Rng.split} once per chunk, {e in input order,
+    before any domain starts}, and each application receives its own
+    child generator. The parent is never touched by a worker domain, and
+    the result is therefore identical for every pool width. This is the
+    only sanctioned way to hand an [Rng] to pool work — sharing one
+    generator across domains is a data race. *)
+
+val from_env : unit -> t option
+(** The process-wide pool configured by the [BIST_JOBS] environment
+    variable, created lazily on first use: [Some pool] when
+    [BIST_JOBS >= 2], [None] otherwise (unset, 1, or unparsable). This
+    is the default pool of {!Bist_fault.Fsim.run} and friends, so
+    exporting [BIST_JOBS=2] routes an unmodified program — including the
+    test suite — through the parallel path. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent; a shut-down pool keeps
+    working sequentially. Pools also shut themselves down [at_exit]. *)

@@ -1,0 +1,44 @@
+(** Deterministic sharding of a fault universe over a {!Pool}.
+
+    The parallel fault simulator partitions the (canonically ordered)
+    fault-id array into contiguous chunks, runs one fully independent
+    simulation per chunk — each worker builds its own simulator instance,
+    so no mutable simulation state is shared between domains — and merges
+    the per-chunk detection times back into universe order.
+
+    Because chunks are disjoint slices of the canonical id order and a
+    fault's detection time does not depend on which other faults share
+    its simulation pass, the merged result is {e bit-identical} for every
+    chunk count, including 1. That invariant is the contract the property
+    tests pin down, and it is what lets [BIST_JOBS] be applied to any
+    existing workload without changing its output. *)
+
+type piece = {
+  ids : int array;  (** Chunk fault ids, a slice of the canonical order. *)
+  det_time : int array;
+      (** Chunk-local first-detection times aligned with [ids];
+          [-1] = undetected. *)
+}
+
+val partition : chunks:int -> 'a array -> 'a array array
+(** Split into at most [chunks] contiguous slices whose lengths differ by
+    at most one, preserving order; never returns an empty slice, so fewer
+    (possibly zero) slices come back when the input is shorter than
+    [chunks]. [chunks] is clamped to at least 1. *)
+
+val merge : size:int -> piece array -> int array * Bist_util.Bitset.t
+(** Scatter chunk-local detection times into a universe-sized
+    [det_time] array (default [-1]) and the matching detected set.
+    Pieces must hold disjoint ids below [size]; aligned [ids]/[det_time]
+    lengths are enforced. *)
+
+val detections :
+  ?pool:Pool.t ->
+  size:int ->
+  f:(int array -> int array) ->
+  int array ->
+  int array * Bist_util.Bitset.t
+(** [detections ?pool ~size ~f ids] runs [f] over chunks of [ids] —
+    [f chunk] must return chunk-local detection times aligned with
+    [chunk] — and merges. Without a pool, or with a sequential one, [f]
+    runs once on the whole of [ids]. *)

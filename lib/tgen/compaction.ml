@@ -9,8 +9,9 @@ type stats = {
   final_length : int;
 }
 
-let detected_set ?targets universe seq =
-  (Fsim.run ?targets ~stop_when_all_detected:true universe seq).Fsim.detected
+let detected_set ?pool ?targets universe seq =
+  (Fsim.run ?pool ?targets ~stop_when_all_detected:true universe seq)
+    .Fsim.detected
 
 (* Evenly-spaced sample of a fault set; a candidate that loses any
    sampled fault can be rejected without the full re-simulation. *)
@@ -37,9 +38,9 @@ let remove_block seq ~start ~len =
   else if stop >= n then Tseq.sub seq ~lo:0 ~hi:(start - 1)
   else Tseq.concat (Tseq.sub seq ~lo:0 ~hi:(start - 1)) (Tseq.sub seq ~lo:stop ~hi:(n - 1))
 
-let compact ?initial_block ?(max_trials = max_int) universe seq =
+let compact ?initial_block ?(max_trials = max_int) ?pool universe seq =
   let initial_length = Tseq.length seq in
-  let must_detect = detected_set universe seq in
+  let must_detect = detected_set ?pool universe seq in
   let must_sample = sample_of must_detect 800 in
   let trials = ref 0 in
   let accepted = ref 0 in
@@ -51,8 +52,10 @@ let compact ?initial_block ?(max_trials = max_int) universe seq =
   let keeps_coverage candidate =
     (* Two-stage check: the cheap sampled rejection filter first, the
        full target set only when the sample survives. *)
-    Bitset.subset must_sample (detected_set ~targets:must_sample universe candidate)
-    && Bitset.subset must_detect (detected_set ~targets:must_detect universe candidate)
+    Bitset.subset must_sample
+      (detected_set ?pool ~targets:must_sample universe candidate)
+    && Bitset.subset must_detect
+         (detected_set ?pool ~targets:must_detect universe candidate)
   in
   while !block >= 1 && !trials < max_trials do
     (* Back-to-front scan at the current granularity. *)

@@ -21,9 +21,12 @@ type stats = {
 val compact :
   ?initial_block:int ->
   ?max_trials:int ->
+  ?pool:Bist_parallel.Pool.t ->
   Bist_fault.Universe.t ->
   Bist_logic.Tseq.t ->
   Bist_logic.Tseq.t * stats
 (** [initial_block] defaults to 1/8 of the sequence length;
     [max_trials] (default unlimited) bounds the number of re-simulations
-    for large circuits. *)
+    for large circuits. [pool] parallelizes the per-trial re-simulations
+    without changing which omissions are accepted (sharded simulation is
+    bit-identical); default sequential unless [BIST_JOBS] is exported. *)

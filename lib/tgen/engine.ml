@@ -72,7 +72,7 @@ let sample_targets remaining cap =
     sample
   end
 
-let generate ?config ~rng universe =
+let generate ?config ?pool ~rng universe =
   let circuit = Universe.circuit universe in
   let config = Option.value config ~default:(default_config circuit) in
   let width = Bist_circuit.Netlist.num_inputs circuit in
@@ -113,8 +113,8 @@ let generate ?config ~rng universe =
         let seg = candidate config rng ~width in
         let scored = if embed then Tseq.concat !t0 seg else seg in
         let outcome =
-          Fsim.run ~targets:eval_targets ~stop_when_all_detected:true universe
-            scored
+          Fsim.run ?pool ~targets:eval_targets ~stop_when_all_detected:true
+            universe scored
         in
         let gain = Bitset.cardinal outcome.Fsim.detected in
         match !best with
@@ -129,8 +129,8 @@ let generate ?config ~rng universe =
         let full = Tseq.concat !t0 seg in
         let scored = if embed then full else seg in
         let outcome =
-          Fsim.run ~targets:remaining ~stop_when_all_detected:true universe
-            scored
+          Fsim.run ?pool ~targets:remaining ~stop_when_all_detected:true
+            universe scored
         in
         t0 := full;
         Bitset.diff_into remaining outcome.Fsim.detected
@@ -140,7 +140,7 @@ let generate ?config ~rng universe =
     ~candidates_per_round:config.candidates_per_round;
   (* Re-baseline against the concatenated T0 (embedding can only add
      detections), then refine with embedded scoring. *)
-  let embedded = Fsim.run ~stop_when_all_detected:true universe !t0 in
+  let embedded = Fsim.run ?pool ~stop_when_all_detected:true universe !t0 in
   Bitset.clear remaining;
   Bitset.fill remaining;
   Bitset.diff_into remaining untestable;
@@ -174,7 +174,7 @@ let generate ?config ~rng universe =
             incr accepted;
             let full = Tseq.concat !t0 seg in
             let detected =
-              (Fsim.run ~targets:remaining ~stop_when_all_detected:true
+              (Fsim.run ?pool ~targets:remaining ~stop_when_all_detected:true
                  universe full)
                 .Fsim.detected
             in
@@ -183,7 +183,7 @@ let generate ?config ~rng universe =
         end)
       target_ids
   end;
-  let final = Fsim.run universe !t0 in
+  let final = Fsim.run ?pool universe !t0 in
   ( !t0,
     {
       rounds = !rounds;

@@ -53,4 +53,13 @@ type stats = {
 }
 
 val generate :
-  ?config:config -> rng:Bist_util.Rng.t -> Bist_fault.Universe.t -> Bist_logic.Tseq.t * stats
+  ?config:config ->
+  ?pool:Bist_parallel.Pool.t ->
+  rng:Bist_util.Rng.t ->
+  Bist_fault.Universe.t ->
+  Bist_logic.Tseq.t * stats
+(** [pool] parallelizes every fault simulation inside the generation loop
+    (candidate scoring, re-baselining, the final coverage pass) without
+    changing the result: the sharded simulator is bit-identical to the
+    sequential one, and the [rng] stream is consumed only by the calling
+    domain. Defaults to sequential unless [BIST_JOBS] is exported. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "subseq_bist"
     [
       ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
       ("logic", Test_logic.suite);
       ("circuit", Test_circuit.suite);
       ("parser-errors", Test_parser_errors.suite);
