@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel lint check smoke bench bench-json clean
+.PHONY: all build test test-parallel lint trace-smoke check smoke bench bench-json clean
 
 all: build
 
@@ -23,7 +23,15 @@ lint:
 	dune build bin/lint.exe
 	dune exec bin/lint.exe -- --quiet --max-warnings 8
 
-check: test test-parallel lint
+# Observability gate: a traced s27 generation run must produce a
+# parseable Chrome trace-event document (validated by the from-scratch
+# JSON parser behind `bistgen trace-check`).
+trace-smoke:
+	dune build bin/bistgen.exe
+	dune exec bin/bistgen.exe -- tgen s27 --trace _build/trace-smoke.json -o /dev/null
+	dune exec bin/bistgen.exe -- trace-check _build/trace-smoke.json
+
+check: test test-parallel lint trace-smoke
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault

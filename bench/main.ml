@@ -246,6 +246,7 @@ type json_record = {
   seconds_seq : float;
   seconds_par : float;
   identical : bool;
+  phases : (string * float) list;  (** Per-phase seconds from an instrumented pass. *)
 }
 
 let json_workloads () =
@@ -266,10 +267,14 @@ let json_workloads () =
     registry "x1488" 256;
   ]
 
-let run_json ~jobs path =
+let run_json ~jobs ~trace ~stats path =
   let jobs = if jobs = 0 then Pool.default_jobs () else max 1 jobs in
   let pool = if jobs > 1 then Some (Pool.create ~jobs ()) else None in
   let sequential = Pool.create ~jobs:1 () in
+  (* One shared sink for the instrumented passes; the timed passes below
+     run with the null sink so the recorded seconds stay comparable with
+     the pre-obs trajectory. *)
+  let obs = Bist_obs.Obs.create ~trace:(trace <> None) () in
   let records =
     List.map
       (fun (bench, circuit, universe, seq) ->
@@ -284,6 +289,24 @@ let run_json ~jobs path =
             best_of ~repeats (fun () -> Fault_table.compute ~pool:p universe seq)
           | None -> (seconds_seq, table_seq)
         in
+        (* Phase-resolution pass: one extra instrumented run per workload
+           (untimed above). The shared sink accumulates across workloads,
+           so this record's phases are the delta of the cumulative span
+           totals around its run. *)
+        let phases =
+          let before = Bist_obs.Obs.span_seconds obs in
+          ignore
+            (Bist_obs.Obs.span obs ~cat:"bench" bench (fun () ->
+                 Fault_table.compute ~obs ?pool universe seq));
+          List.filter_map
+            (fun (name, total) ->
+              let prior =
+                Option.value ~default:0.0 (List.assoc_opt name before)
+              in
+              let d = total -. prior in
+              if d > 0.0 then Some (name, d) else None)
+            (Bist_obs.Obs.span_seconds obs)
+        in
         let r =
           {
             bench; circuit;
@@ -291,6 +314,7 @@ let run_json ~jobs path =
             seq_len = Bist_logic.Tseq.length seq;
             seconds_seq; seconds_par;
             identical = tables_identical table_seq table_par;
+            phases;
           }
         in
         Printf.printf
@@ -301,20 +325,33 @@ let run_json ~jobs path =
         r)
       (json_workloads ())
   in
+  (match trace with
+  | Some tpath ->
+    Bist_obs.Obs.write_trace obs tpath;
+    Printf.eprintf "wrote %s (%d trace events)\n" tpath
+      (Bist_obs.Obs.trace_events obs)
+  | None -> ());
+  if stats then prerr_string (Bist_obs.Obs.summary obs);
   let record_json =
     let benches =
       records
       |> List.map (fun r ->
+             let phases =
+               r.phases
+               |> List.map (fun (name, s) -> Printf.sprintf "%S: %.6f" name s)
+               |> String.concat ", "
+             in
              Printf.sprintf
                "    { \"bench\": %S, \"circuit\": %S, \"faults\": %d, \
                 \"seq_len\": %d, \"seconds_seq\": %.6f, \"seconds_par\": %.6f, \
-                \"speedup\": %.4f, \"identical\": %b }"
+                \"speedup\": %.4f, \"identical\": %b,\n\
+               \      \"phases\": { %s } }"
                r.bench r.circuit r.faults r.seq_len r.seconds_seq r.seconds_par
-               (r.seconds_seq /. r.seconds_par) r.identical)
+               (r.seconds_seq /. r.seconds_par) r.identical phases)
       |> String.concat ",\n"
     in
     Printf.sprintf
-      "  { \"schema\": \"bist-bench/1\",\n\
+      "  { \"schema\": \"bist-bench/2\",\n\
       \    \"unix_time\": %.0f,\n\
       \    \"cores\": %d,\n\
       \    \"jobs\": %d,\n\
@@ -369,13 +406,18 @@ let () =
     match value_of "--jobs" with
     | Some v ->
       (match int_of_string_opt v with
-      | Some j when j >= 0 -> j
-      | _ -> Printf.eprintf "error: --jobs expects a non-negative integer\n"; exit 2)
+      | Some j -> Bist_parallel.Pool.validate_jobs ~source:"--jobs" j
+      | None -> Printf.eprintf "error: --jobs expects an integer\n"; exit 2)
     | None -> 0
   in
   match value_of "--json" with
-  | Some path -> run_json ~jobs path
+  | Some path ->
+    run_json ~jobs ~trace:(value_of "--trace") ~stats:(has "--stats") path
   | None ->
+    if has "--trace" || has "--stats" then begin
+      Printf.eprintf "error: --trace/--stats apply to the --json trajectory run\n";
+      exit 2
+    end;
     if not (has "--tables-only") then begin
       run_micro ();
       print_newline ();

@@ -52,8 +52,50 @@ let jobs_arg =
            sequential). Results are bit-identical for every value.")
 
 let pool_of_jobs jobs =
+  let jobs = Bist_parallel.Pool.validate_jobs ~source:"--jobs" jobs in
   let jobs = if jobs = 0 then Bist_parallel.Pool.default_jobs () else jobs in
   if jobs <= 1 then None else Some (Bist_parallel.Pool.create ~jobs ())
+
+(* Observability: --trace buffers Chrome trace events, --stats prints the
+   per-phase summary. Without either flag the sink is Obs.null and the
+   instrumented hot paths cost one branch. *)
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run (load it in \
+           chrome://tracing or Perfetto).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the per-phase timing summary to stderr.")
+
+let with_obs ~trace ~stats f =
+  if trace = None && not stats then f Bist_obs.Obs.null
+  else begin
+    let obs = Bist_obs.Obs.create ~trace:(trace <> None) () in
+    let finish () =
+      (match trace with
+      | Some path ->
+        Bist_obs.Obs.write_trace obs path;
+        Format.eprintf "wrote %s (%d trace events)@." path
+          (Bist_obs.Obs.trace_events obs)
+      | None -> ());
+      if stats then prerr_string (Bist_obs.Obs.summary obs)
+    in
+    match f obs with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      (* The trace up to the failure is often exactly what's needed to
+         debug it; flush before re-raising. *)
+      finish ();
+      raise e
+  end
 
 (* stats *)
 
@@ -94,11 +136,15 @@ let seq_arg name doc =
   Arg.(required & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
 
 let faultsim_cmd =
-  let run spec seq_file table jobs =
+  let run spec seq_file table jobs trace stats =
     let circuit = resolve_circuit spec in
     let universe = universe_of circuit in
     let seq = Bist_harness.Seq_io.load seq_file in
-    let tbl = Bist_fault.Fault_table.compute ?pool:(pool_of_jobs jobs) universe seq in
+    let tbl =
+      with_obs ~trace ~stats (fun obs ->
+          Bist_fault.Fault_table.compute ~obs ?pool:(pool_of_jobs jobs) universe
+            seq)
+    in
     Format.printf "detected %d / %d faults (coverage %.2f%%)@."
       (Bist_fault.Fault_table.num_detected tbl)
       (Bist_fault.Universe.size universe)
@@ -110,12 +156,12 @@ let faultsim_cmd =
   in
   Cmd.v (Cmd.info "faultsim" ~doc:"Fault-simulate a sequence")
     Term.(const run $ circuit_arg $ seq_arg "seq" "Sequence file." $ table_flag
-          $ jobs_arg)
+          $ jobs_arg $ trace_arg $ stats_arg)
 
 (* tgen *)
 
 let tgen_cmd =
-  let run spec seed out trials directed jobs =
+  let run spec seed out trials directed jobs trace stats_flag =
     let circuit = resolve_circuit spec in
     let universe = universe_of circuit in
     let rng = Bist_util.Rng.create seed in
@@ -124,9 +170,16 @@ let tgen_cmd =
       { (Bist_tgen.Engine.default_config circuit) with
         Bist_tgen.Engine.directed_budget = directed }
     in
-    let t0, stats = Bist_tgen.Engine.generate ~config ?pool ~rng universe in
-    let t0, cstats =
-      Bist_tgen.Compaction.compact ~max_trials:trials ?pool universe t0
+    let t0, stats, cstats =
+      with_obs ~trace ~stats:stats_flag (fun obs ->
+          let t0, stats =
+            Bist_tgen.Engine.generate ~config ~obs ?pool ~rng universe
+          in
+          let t0, cstats =
+            Bist_tgen.Compaction.compact ~max_trials:trials ~obs ?pool universe
+              t0
+          in
+          (t0, stats, cstats))
     in
     Format.printf
       "T0: %d vectors (raw %d), detects %d / %d faults (%.2f%%)@."
@@ -152,7 +205,7 @@ let tgen_cmd =
   in
   Cmd.v (Cmd.info "tgen" ~doc:"Generate and compact a deterministic sequence T0")
     Term.(const run $ circuit_arg $ seed_arg $ out_arg $ trials_arg $ directed_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_arg $ stats_arg)
 
 (* expand *)
 
@@ -167,7 +220,7 @@ let expand_cmd =
 (* select *)
 
 let select_cmd =
-  let run spec t0_file n seed fast out =
+  let run spec t0_file n seed fast out trace stats =
     let circuit = resolve_circuit spec in
     let universe = universe_of circuit in
     let t0 = Bist_harness.Seq_io.load t0_file in
@@ -176,9 +229,11 @@ let select_cmd =
       else Bist_core.Procedure2.paper_strategy
     in
     let run_result =
-      match n with
-      | Some n -> Bist_core.Scheme.execute ~strategy ~seed ~n ~t0 universe
-      | None -> Bist_core.Scheme.best_n ~strategy ~seed ~t0 universe
+      with_obs ~trace ~stats (fun obs ->
+          match n with
+          | Some n ->
+            Bist_core.Scheme.execute ~strategy ~seed ~n ~t0 ~obs universe
+          | None -> Bist_core.Scheme.best_n ~strategy ~seed ~t0 ~obs universe)
     in
     let b = run_result in
     Format.printf
@@ -204,7 +259,38 @@ let select_cmd =
   in
   Cmd.v (Cmd.info "select" ~doc:"Run Procedure 1 + static compaction on T0")
     Term.(const run $ circuit_arg $ seq_arg "t0" "Deterministic sequence T0."
-          $ n_opt $ seed_arg $ fast_flag $ out_arg)
+          $ n_opt $ seed_arg $ fast_flag $ out_arg $ trace_arg $ stats_arg)
+
+(* trace-check *)
+
+let trace_check_cmd =
+  let run path =
+    match Bist_obs.Json_check.parse_file path with
+    | Error message ->
+      Printf.eprintf "error: %s: %s\n" path message;
+      exit 1
+    | Ok json ->
+      (match Bist_obs.Json_check.member "traceEvents" json with
+      | Some (Bist_obs.Json_check.List events) ->
+        Format.printf "%s: valid trace-event JSON (%d events)@." path
+          (List.length events)
+      | Some _ ->
+        Printf.eprintf "error: %s: \"traceEvents\" is not an array\n" path;
+        exit 1
+      | None ->
+        Printf.eprintf "error: %s: missing \"traceEvents\" member\n" path;
+        exit 1)
+  in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace JSON file written by --trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a --trace output file (JSON syntax + traceEvents array)")
+    Term.(const run $ path_arg)
 
 (* session *)
 
@@ -343,9 +429,24 @@ let () =
     Cmd.info "bistgen" ~version:"1.0.0"
       ~doc:"Built-in test sequence generation by loading and expansion of test subsequences"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ stats_cmd; lint_cmd; optimize_cmd; faultsim_cmd; tgen_cmd;
-            expand_cmd; select_cmd; session_cmd; baseline_cmd; vcd_cmd;
-            verilog_cmd; figure1_cmd ]))
+  let group =
+    Cmd.group info
+      [ stats_cmd; lint_cmd; optimize_cmd; faultsim_cmd; tgen_cmd;
+        expand_cmd; select_cmd; session_cmd; baseline_cmd; vcd_cmd;
+        verilog_cmd; figure1_cmd; trace_check_cmd ]
+  in
+  (* ~catch:false so typed domain errors reach us instead of cmdliner's
+     backtrace printer; each has a registered printer with the context
+     (file/line, fault name) a user needs. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  | exception
+      (( Bist_harness.Seq_io.Parse_error _
+       | Bist_circuit.Bench_parser.Parse_error _
+       | Bist_core.Procedure2.Undetected _
+       | Bist_core.Procedure1.Undetected_target _ ) as e) ->
+    Printf.eprintf "error: %s\n" (Printexc.to_string e);
+    exit 2

@@ -35,11 +35,27 @@ let resolve_circuits specs =
       specs
 
 let pool_of_jobs jobs =
+  let jobs = Bist_parallel.Pool.validate_jobs ~source:"--jobs" jobs in
   let jobs = if jobs = 0 then Bist_parallel.Pool.default_jobs () else jobs in
   if jobs <= 1 then None else Some (Bist_parallel.Pool.create ~jobs ())
 
-let run_campaign ~config ?pool (entry : Bist_bench.Registry.entry) =
-  Campaign.run ~config ?pool ~name:entry.name (entry.circuit ())
+let run_campaign ~config ~obs ?pool (entry : Bist_bench.Registry.entry) =
+  Campaign.run ~config ~obs ?pool ~name:entry.name (entry.circuit ())
+
+let with_obs ~trace ~stats f =
+  if trace = None && not stats then f Bist_obs.Obs.null
+  else begin
+    let obs = Bist_obs.Obs.create ~trace:(trace <> None) () in
+    let result = f obs in
+    (match trace with
+    | Some path ->
+      Bist_obs.Obs.write_trace obs path;
+      Printf.eprintf "wrote %s (%d trace events)\n" path
+        (Bist_obs.Obs.trace_events obs)
+    | None -> ());
+    if stats then prerr_string (Bist_obs.Obs.summary obs);
+    result
+  end
 
 let print_campaigns ~verbose campaigns =
   print_string (Bist_harness.Inject_report.summary campaigns);
@@ -94,7 +110,7 @@ let smoke seed count =
     1
   end
 
-let main circuits seed count defense n smoke_flag verbose jobs =
+let main circuits seed count defense n smoke_flag verbose jobs trace stats =
   if count < 1 then begin
     Printf.eprintf "error: --count must be >= 1 (got %d)\n" count;
     exit 2
@@ -113,7 +129,8 @@ let main circuits seed count defense n smoke_flag verbose jobs =
       let config = { Campaign.default_config with seed; count; defense; n } in
       let pool = pool_of_jobs jobs in
       let campaigns =
-        List.map (run_campaign ~config ?pool) (resolve_circuits circuits)
+        with_obs ~trace ~stats (fun obs ->
+            List.map (run_campaign ~config ~obs ?pool) (resolve_circuits circuits))
       in
       print_campaigns ~verbose campaigns;
       let escaped = List.exists (fun (c : Campaign.t) -> c.escaped > 0) campaigns in
@@ -159,14 +176,35 @@ let jobs_arg =
           "Worker domains for the campaign trials (0 = auto: min(cores, 8); 1 \
            = sequential). Campaign results are identical for every value.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the campaigns (load it in \
+           chrome://tracing or Perfetto).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the per-phase timing summary to stderr.")
+
 let () =
   let info =
     Cmd.info "inject" ~version:"1.0.0"
       ~doc:"Fault-injection campaigns and self-checking audit for the BIST hardware session"
   in
-  exit
-    (Cmd.eval'
-       (Cmd.v info
-          Term.(
-            const main $ circuits_arg $ seed_arg $ count_arg $ defense_arg
-            $ n_arg $ smoke_arg $ verbose_arg $ jobs_arg)))
+  let cmd =
+    Cmd.v info
+      Term.(
+        const main $ circuits_arg $ seed_arg $ count_arg $ defense_arg $ n_arg
+        $ smoke_arg $ verbose_arg $ jobs_arg $ trace_arg $ stats_arg)
+  in
+  match Cmd.eval' ~catch:false cmd with
+  | code -> exit code
+  | exception Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  | exception (Bist_harness.Seq_io.Parse_error _ as e) ->
+    Printf.eprintf "error: %s\n" (Printexc.to_string e);
+    exit 2

@@ -8,6 +8,12 @@ type pass =
   | Reverse_generation
   | Decreasing_prev_detections
 
+let pass_name = function
+  | Increasing_length -> "increasing_length"
+  | Decreasing_length -> "decreasing_length"
+  | Reverse_generation -> "reverse_generation"
+  | Decreasing_prev_detections -> "decreasing_prev_detections"
+
 let default_passes =
   [ Increasing_length; Decreasing_length; Reverse_generation; Decreasing_prev_detections ]
 
@@ -41,8 +47,8 @@ let order_for pass items =
   | Reverse_generation -> by (fun it -> -it.gen_index)
   | Decreasing_prev_detections -> by (fun it -> -it.prev_detections)
 
-let run ?(passes = default_passes) ?(operators = Ops.all_operators) ~n ~targets
-    universe seqs =
+let run ?(passes = default_passes) ?(operators = Ops.all_operators)
+    ?(obs = Bist_obs.Obs.null) ~n ~targets universe seqs =
   let items = List.mapi (fun i seq -> { seq; gen_index = i; active = true; prev_detections = 0 }) seqs in
   let time_units = ref 0 in
   let run_pass pass =
@@ -52,7 +58,8 @@ let run ?(passes = default_passes) ?(operators = Ops.all_operators) ~n ~targets
       time_units :=
         !time_units + (Tseq.length exp * ((Bitset.cardinal remaining + 61) / 62));
       let outcome =
-        Fsim.run ~targets:remaining ~stop_when_all_detected:true universe exp
+        Fsim.run ~obs ~targets:remaining ~stop_when_all_detected:true universe
+          exp
       in
       let detected = outcome.Fsim.detected in
       let count = Bitset.cardinal detected in
@@ -62,7 +69,13 @@ let run ?(passes = default_passes) ?(operators = Ops.all_operators) ~n ~targets
         it.prev_detections <- count
       end
     in
-    List.iter simulate (order_for pass items)
+    Bist_obs.Obs.span obs ~cat:"compaction" "postprocess.pass"
+      ~args:(fun () ->
+        [ ("order", pass_name pass);
+          ("active",
+           string_of_int
+             (List.length (List.filter (fun it -> it.active) items))) ])
+      (fun () -> List.iter simulate (order_for pass items))
   in
   List.iter run_pass passes;
   let kept =

@@ -18,6 +18,9 @@ type pass =
 
 val default_passes : pass list
 
+val pass_name : pass -> string
+(** Stable snake_case name, used by the trace spans and reports. *)
+
 type outcome = {
   kept : Bist_logic.Tseq.t list;  (** Survivors, in generation order. *)
   dropped : int;
@@ -27,10 +30,13 @@ type outcome = {
 val run :
   ?passes:pass list ->
   ?operators:Ops.operator list ->
+  ?obs:Bist_obs.Obs.t ->
   n:int ->
   targets:Bist_util.Bitset.t ->
   Bist_fault.Universe.t ->
   Bist_logic.Tseq.t list ->
   outcome
 (** [run ~n ~targets universe seqs] compacts [seqs] (given in generation
-    order) while preserving coverage of [targets]. *)
+    order) while preserving coverage of [targets]. [obs] records one
+    ["postprocess.pass"] span per pass, tagged with the ordering rule and
+    the number of sequences still active when the pass finished. *)

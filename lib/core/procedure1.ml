@@ -4,6 +4,19 @@ module Rng = Bist_util.Rng
 module Fsim = Bist_fault.Fsim
 module Fault_table = Bist_fault.Fault_table
 module Universe = Bist_fault.Universe
+module Obs = Bist_obs.Obs
+
+exception Undetected_target of { fault_id : int; fault : string; udet : int }
+
+let () =
+  Printexc.register_printer (function
+    | Undetected_target { fault_id; fault; udet } ->
+      Some
+        (Printf.sprintf
+           "Procedure1.run: target fault %s (id %d) was not re-detected by \
+            T0[0, %d] — the fault table and Procedure 2 disagree"
+           fault fault_id udet)
+    | _ -> None)
 
 type selected = {
   seq : Tseq.t;
@@ -36,9 +49,9 @@ let pick_target ~fault_order ~rng table targets =
     if Array.length ids = 0 then None else Some (Rng.choose rng ids)
 
 let run ?(strategy = Procedure2.paper_strategy) ?(operators = Ops.all_operators)
-    ?(fault_order = `Max_udet) ~rng ~n ~t0 universe =
+    ?(fault_order = `Max_udet) ?(obs = Obs.null) ~rng ~n ~t0 universe =
   let circuit = Universe.circuit universe in
-  let table = Fault_table.compute universe t0 in
+  let table = Fault_table.compute ~obs universe t0 in
   let t0_detected = Fault_table.detected table in
   let targets = Bitset.copy t0_detected in
   let time_units = ref 0 in
@@ -54,25 +67,39 @@ let run ?(strategy = Procedure2.paper_strategy) ?(operators = Ops.all_operators)
         | Some u -> u
         | None -> assert false (* targets only hold faults T0 detects *)
       in
-      let proc2 =
-        Procedure2.find ~strategy ~operators ~rng ~n ~t0 ~udet circuit fault
-      in
-      let exp = Ops.expand_with ~operators ~n proc2.Procedure2.subsequence in
-      time_units :=
-        !time_units + (Tseq.length exp * ((Bitset.cardinal targets + 61) / 62));
-      let outcome =
-        Fsim.run ~targets ~stop_when_all_detected:true universe exp
-      in
-      let newly = outcome.Fsim.detected in
-      (* Procedure 2 guarantees the expansion detects its seeding fault. *)
-      assert (Bitset.mem newly fid);
-      Bitset.diff_into targets newly;
-      time_units := !time_units + proc2.Procedure2.simulated_time_units;
-      selected :=
-        { seq = proc2.Procedure2.subsequence; target_fault = fid;
-          newly_detected = newly; proc2 }
-        :: !selected
+      Obs.span obs ~cat:"proc1" "proc1.target"
+        ~args:(fun () ->
+          [ ("fault", Bist_fault.Fault.name circuit fault);
+            ("fault_id", string_of_int fid); ("udet", string_of_int udet);
+            ("remaining", string_of_int (Bitset.cardinal targets)) ])
+        (fun () ->
+          let proc2 =
+            try
+              Procedure2.find ~strategy ~operators ~obs ~rng ~n ~t0 ~udet
+                circuit fault
+            with Procedure2.Undetected { fault; udet } ->
+              (* Enrich with the universe id: the table said T0 detects
+                 this fault at [udet], so this is an internal
+                 inconsistency worth naming precisely. *)
+              raise (Undetected_target { fault_id = fid; fault; udet })
+          in
+          let exp = Ops.expand_with ~operators ~n proc2.Procedure2.subsequence in
+          time_units :=
+            !time_units + (Tseq.length exp * ((Bitset.cardinal targets + 61) / 62));
+          let outcome =
+            Fsim.run ~obs ~targets ~stop_when_all_detected:true universe exp
+          in
+          let newly = outcome.Fsim.detected in
+          (* Procedure 2 guarantees the expansion detects its seeding fault. *)
+          assert (Bitset.mem newly fid);
+          Bitset.diff_into targets newly;
+          time_units := !time_units + proc2.Procedure2.simulated_time_units;
+          selected :=
+            { seq = proc2.Procedure2.subsequence; target_fault = fid;
+              newly_detected = newly; proc2 }
+            :: !selected)
   done;
+  Obs.count obs ~by:(List.length !selected) "proc1.sequences";
   {
     selected = List.rev !selected;
     t0_detected;

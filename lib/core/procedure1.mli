@@ -21,17 +21,27 @@ type result = {
   total_simulated_time_units : int;
 }
 
+exception Undetected_target of { fault_id : int; fault : string; udet : int }
+(** {!Procedure2.Undetected} enriched with the universe fault id: the
+    fault table claimed [T0] detects [fault_id] at [udet], but Procedure
+    2 could not reproduce the detection. Indicates an internal
+    inconsistency; the error names the fault so the failing run is
+    diagnosable. *)
+
 val run :
   ?strategy:Procedure2.strategy ->
   ?operators:Ops.operator list ->
   ?fault_order:[ `Max_udet | `Min_udet | `Random ] ->
+  ?obs:Bist_obs.Obs.t ->
   rng:Bist_util.Rng.t ->
   n:int ->
   t0:Bist_logic.Tseq.t ->
   Bist_fault.Universe.t ->
   result
 (** [fault_order] (default [`Max_udet], the paper's rule) exists for the
-    ablation study. *)
+    ablation study. [obs] records one ["proc1.target"] span per selected
+    sequence (tagged with the target fault and its [udet]) around the
+    Procedure-2 spans, plus the fault-simulation shard spans. *)
 
 val sequences : result -> Bist_logic.Tseq.t list
 

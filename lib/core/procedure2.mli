@@ -42,9 +42,18 @@ type outcome = {
           implementation-independent cost measure. *)
 }
 
+exception Undetected of { fault : string; udet : int }
+(** Raised when even [T0\[0, udet\]] fails to detect the target fault,
+    i.e. the caller's [udet] was not this fault's detection time.
+    [fault] is the human-readable {!Bist_fault.Fault.name}, so the error
+    names the fault that broke the run instead of a bare [Failure]. A
+    printer is registered with [Printexc]; {!Procedure1.run} re-raises it
+    enriched with the universe fault id. *)
+
 val find :
   ?strategy:strategy ->
   ?operators:Ops.operator list ->
+  ?obs:Bist_obs.Obs.t ->
   rng:Bist_util.Rng.t ->
   n:int ->
   t0:Bist_logic.Tseq.t ->
@@ -55,5 +64,9 @@ val find :
 (** [find ~rng ~n ~t0 ~udet circuit fault]. [strategy] defaults to
     {!paper_strategy}; [operators] (default all) selects the expansion
     pipeline. Raises [Invalid_argument] if [udet] is out of range,
-    [Failure] if even [T0\[0, udet\]] fails to detect the fault (meaning
-    [udet] was not this fault's detection time). *)
+    {!Undetected} if even [T0\[0, udet\]] fails to detect the fault.
+
+    [obs] records a ["proc2.widen"] span (window growth, phase 1) and a
+    ["proc2.omit"] span (vector omission, phase 2) per call, each tagged
+    with the fault name, plus a ["proc2.undetected"] counter when the
+    typed error fires. *)

@@ -51,25 +51,35 @@ let verify_coverage ~operators ~n universe targets seqs =
 
 let execute ?(strategy = Procedure2.paper_strategy)
     ?(operators = Ops.all_operators) ?(passes = Postprocess.default_passes)
-    ?(fault_order = `Max_udet) ?(verify = true) ~seed ~n ~t0 universe =
+    ?(fault_order = `Max_udet) ?(verify = true) ?(obs = Bist_obs.Obs.null)
+    ~seed ~n ~t0 universe =
   let rng = Bist_util.Rng.create seed in
+  let span name f = Bist_obs.Obs.span obs ~cat:"scheme" name f in
   let _, simulate_t0_seconds =
-    timed (fun () -> Bist_fault.Fault_table.compute universe t0)
+    timed (fun () ->
+        span "scheme.simulate_t0" (fun () ->
+            Bist_fault.Fault_table.compute ~obs universe t0))
   in
   let proc1, proc1_seconds =
     timed (fun () ->
-        Procedure1.run ~strategy ~operators ~fault_order ~rng ~n ~t0 universe)
+        span "scheme.proc1" (fun () ->
+            Procedure1.run ~strategy ~operators ~fault_order ~obs ~rng ~n ~t0
+              universe))
   in
   let before_seqs = Procedure1.sequences proc1 in
   let targets = proc1.Procedure1.t0_detected in
   let post, compaction_seconds =
     timed (fun () ->
-        Postprocess.run ~passes ~operators ~n ~targets universe before_seqs)
+        span "scheme.compaction" (fun () ->
+            Postprocess.run ~passes ~operators ~obs ~n ~targets universe
+              before_seqs))
   in
   let after_seqs = post.Postprocess.kept in
   let after = summary_of_sequences after_seqs in
   let coverage_verified =
-    (not verify) || verify_coverage ~operators ~n universe targets after_seqs
+    (not verify)
+    || span "scheme.verify" (fun () ->
+           verify_coverage ~operators ~n universe targets after_seqs)
   in
   {
     circuit_name = Bist_circuit.Netlist.circuit_name (Universe.circuit universe);
@@ -98,14 +108,14 @@ let better a b =
   then a
   else b
 
-let best_n ?(strategy = Procedure2.paper_strategy) ?(ns = [ 2; 4; 8; 16 ]) ~seed
-    ~t0 universe =
+let best_n ?(strategy = Procedure2.paper_strategy) ?(ns = [ 2; 4; 8; 16 ])
+    ?(obs = Bist_obs.Obs.null) ~seed ~t0 universe =
   match ns with
   | [] -> invalid_arg "Scheme.best_n: empty n list"
   | n0 :: rest ->
-    let first = execute ~strategy ~seed ~n:n0 ~t0 universe in
+    let first = execute ~strategy ~obs ~seed ~n:n0 ~t0 universe in
     List.fold_left
-      (fun best n -> better best (execute ~strategy ~seed ~n ~t0 universe))
+      (fun best n -> better best (execute ~strategy ~obs ~seed ~n ~t0 universe))
       first rest
 
 let ratio_total run =

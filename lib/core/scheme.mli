@@ -30,13 +30,18 @@ val execute :
   ?passes:Postprocess.pass list ->
   ?fault_order:[ `Max_udet | `Min_udet | `Random ] ->
   ?verify:bool ->
+  ?obs:Bist_obs.Obs.t ->
   seed:int ->
   n:int ->
   t0:Bist_logic.Tseq.t ->
   Bist_fault.Universe.t ->
   run
 (** Run Procedure 1 then static compaction. [verify] (default [true])
-    re-simulates the final set to check coverage against [T0]. *)
+    re-simulates the final set to check coverage against [T0]. [obs]
+    wraps the driver phases in ["scheme.simulate_t0"], ["scheme.proc1"],
+    ["scheme.compaction"] and ["scheme.verify"] spans, with the
+    per-target, per-pass and per-shard spans of the callees nested
+    inside. *)
 
 val better : run -> run -> run
 (** The paper's best-[n] rule: smaller maximum stored length, then
@@ -45,6 +50,7 @@ val better : run -> run -> run
 val best_n :
   ?strategy:Procedure2.strategy ->
   ?ns:int list ->
+  ?obs:Bist_obs.Obs.t ->
   seed:int ->
   t0:Bist_logic.Tseq.t ->
   Bist_fault.Universe.t ->

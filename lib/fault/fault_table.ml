@@ -8,14 +8,21 @@ type t = {
   detected : Bitset.t;
 }
 
-let compute ?pool universe seq =
-  let outcome = Fsim.run ?pool universe seq in
-  {
-    universe;
-    seq;
-    det_time = outcome.Fsim.det_time;
-    detected = outcome.Fsim.detected;
-  }
+let compute ?(obs = Bist_obs.Obs.null) ?pool universe seq =
+  Bist_obs.Obs.span obs ~cat:"fsim" "fault_table.compute"
+    ~args:(fun () ->
+      [ ("circuit",
+         Bist_circuit.Netlist.circuit_name (Universe.circuit universe));
+        ("faults", string_of_int (Universe.size universe));
+        ("seq_len", string_of_int (Tseq.length seq)) ])
+    (fun () ->
+      let outcome = Fsim.run ~obs ?pool universe seq in
+      {
+        universe;
+        seq;
+        det_time = outcome.Fsim.det_time;
+        detected = outcome.Fsim.detected;
+      })
 
 let universe t = t.universe
 let sequence t = t.seq

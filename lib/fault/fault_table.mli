@@ -6,10 +6,17 @@
 
 type t
 
-val compute : ?pool:Bist_parallel.Pool.t -> Universe.t -> Bist_logic.Tseq.t -> t
+val compute :
+  ?obs:Bist_obs.Obs.t ->
+  ?pool:Bist_parallel.Pool.t ->
+  Universe.t ->
+  Bist_logic.Tseq.t ->
+  t
 (** Simulate the sequence once and record first detection times. [pool]
     shards the simulation over domains with bit-identical results (see
-    {!Fsim.run}); the default is sequential unless [BIST_JOBS] is set. *)
+    {!Fsim.run}); the default is sequential unless [BIST_JOBS] is set.
+    [obs] wraps the run in a ["fault_table.compute"] span and records
+    the per-shard spans of {!Fsim.run}. *)
 
 val universe : t -> Universe.t
 val sequence : t -> Bist_logic.Tseq.t

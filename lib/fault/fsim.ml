@@ -1,6 +1,7 @@
 module Tseq = Bist_logic.Tseq
 module Bitset = Bist_util.Bitset
 module Packed_sim = Bist_sim.Packed_sim
+module Obs = Bist_obs.Obs
 
 type outcome = {
   universe : Universe.t;
@@ -55,7 +56,8 @@ let run_ids ~stop_when_all_detected universe seq ids =
   done;
   det_local
 
-let run ?pool ?targets ?(stop_when_all_detected = false) universe seq =
+let run ?(obs = Obs.null) ?pool ?targets ?(stop_when_all_detected = false)
+    universe seq =
   let n_faults = Universe.size universe in
   let target_ids =
     match targets with
@@ -65,10 +67,18 @@ let run ?pool ?targets ?(stop_when_all_detected = false) universe seq =
   let pool =
     match pool with Some _ -> pool | None -> Bist_parallel.Pool.from_env ()
   in
+  (* The shard closure runs on the pool's worker domains, so each span
+     lands on its own trace track (tid = domain id): parallel shard
+     utilisation is readable straight off the timeline. *)
+  let f ids =
+    Obs.span obs ~cat:"fsim" "fsim.shard"
+      ~args:(fun () ->
+        [ ("faults", string_of_int (Array.length ids));
+          ("seq_len", string_of_int (Tseq.length seq)) ])
+      (fun () -> run_ids ~stop_when_all_detected universe seq ids)
+  in
   let det_time, detected =
-    Bist_parallel.Shard.detections ?pool ~size:n_faults
-      ~f:(run_ids ~stop_when_all_detected universe seq)
-      target_ids
+    Bist_parallel.Shard.detections ?pool ~size:n_faults ~f target_ids
   in
   { universe; det_time; detected }
 

@@ -19,6 +19,7 @@ type outcome = {
 }
 
 val run :
+  ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
   ?targets:Bist_util.Bitset.t ->
   ?stop_when_all_detected:bool ->
@@ -34,7 +35,11 @@ val run :
     sequential unless [BIST_JOBS >= 2] is exported) the target faults are
     sharded over the pool's domains, one independent simulator per shard;
     the outcome is bit-identical to the sequential one for every pool
-    width ({!Bist_parallel.Shard}). *)
+    width ({!Bist_parallel.Shard}).
+
+    [obs] (default {!Bist_obs.Obs.null}, a no-op) records one
+    ["fsim.shard"] span per shard, tagged with the executing domain's id
+    and the shard's fault count. *)
 
 val coverage : outcome -> float
 (** Detected targets / universe size. *)

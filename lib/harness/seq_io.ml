@@ -1,5 +1,18 @@
 module Tseq = Bist_logic.Tseq
 
+exception Parse_error of { line : int; message : string }
+
+let parse_error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; message } when line > 0 ->
+      Some (Printf.sprintf "sequence parse error at line %d: %s" line message)
+    | Parse_error { message; _ } ->
+      Some (Printf.sprintf "sequence parse error: %s" message)
+    | _ -> None)
+
 let strip line =
   let line =
     match String.index_opt line '#' with
@@ -16,14 +29,25 @@ let parse_lines lines =
         if line = "" then None
         else
           match Bist_logic.Vector.of_string line with
-          | v -> Some v
-          | exception Invalid_argument msg ->
-            failwith (Printf.sprintf "line %d: %s" lineno msg))
+          | v -> Some (lineno, v)
+          | exception Invalid_argument msg -> parse_error lineno "%s" msg)
       lines
   in
   match vectors with
-  | [] -> failwith "sequence file contains no vectors"
-  | vs -> Tseq.of_vectors (Array.of_list vs)
+  | [] -> parse_error 0 "sequence file contains no vectors"
+  | (_, first) :: _ as vs ->
+    (* Report ragged lines here, with the offending line number, instead
+       of letting [Tseq.of_vectors] raise a positionless
+       [Invalid_argument]. *)
+    let width = Bist_logic.Vector.width first in
+    List.iter
+      (fun (lineno, v) ->
+        let w = Bist_logic.Vector.width v in
+        if w <> width then
+          parse_error lineno "vector has %d symbols, expected %d (from the first vector)"
+            w width)
+      vs;
+    Tseq.of_vectors (Array.of_list (List.map snd vs))
 
 let numbered text =
   List.mapi (fun i line -> (i + 1, line)) (String.split_on_char '\n' text)

@@ -4,8 +4,16 @@
     comment; blank lines are ignored. This is the interchange format of
     the [bistgen] command-line tool. *)
 
+exception Parse_error of { line : int; message : string }
+(** Raised on malformed input, mirroring
+    {!Bist_circuit.Bench_parser.Parse_error}: [line] is the 1-based line
+    of the offending vector, or [0] when the error is not tied to a line
+    (an input with no vectors at all). A printer is registered with
+    [Printexc], but the CLIs catch it and report without a backtrace. *)
+
 val parse : string -> Bist_logic.Tseq.t
-(** Parse file contents. Raises [Failure] with a line diagnostic. *)
+(** Parse file contents. Raises {!Parse_error} on a bad vector symbol, a
+    ragged vector width, or an input with no vectors. *)
 
 val load : string -> Bist_logic.Tseq.t
 (** Read a file. *)

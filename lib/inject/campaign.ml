@@ -101,7 +101,9 @@ let classify ~golden (report : Session.report) fault =
     degraded;
   }
 
-let run ?(config = default_config) ?pool ~name circuit =
+let run ?(config = default_config) ?(obs = Bist_obs.Obs.null) ?pool ~name
+    circuit =
+  let module Obs = Bist_obs.Obs in
   let rng = Rng.create config.seed in
   let num_inputs = Netlist.num_inputs circuit in
   let seq_length = min config.seq_length (1 lsl min num_inputs 10) in
@@ -114,8 +116,11 @@ let run ?(config = default_config) ?pool ~name circuit =
   in
   let misr_width = Misr.reg_width (Misr.create ~width:(Netlist.num_outputs circuit)) in
   let golden =
-    Session.run_exn ?sync ~defense:config.defense ~capture:true ~n:config.n
-      circuit sequences
+    Obs.span obs ~cat:"campaign" "campaign.golden"
+      ~args:(fun () -> [ ("circuit", name) ])
+      (fun () ->
+        Session.run_exn ?sync ~defense:config.defense ~capture:true ~n:config.n
+          circuit sequences)
   in
   let faults =
     Fault_gen.faults rng ~count:config.count ~word_bits:num_inputs ~sequences
@@ -133,16 +138,25 @@ let run ?(config = default_config) ?pool ~name circuit =
     in
     classify ~golden report fault
   in
+  (* Each chunk runs inside one span on whichever domain picks it up, so
+     the trace shows campaign trials interleaving across domains. *)
+  let trial_chunk chunk =
+    Obs.span obs ~cat:"campaign" "campaign.trials"
+      ~args:(fun () ->
+        [ ("circuit", name); ("trials", string_of_int (Array.length chunk)) ])
+      (fun () -> Array.map trial chunk)
+  in
   let trials =
     match pool with
     | Some p when Bist_parallel.Pool.jobs p > 1 && List.length faults > 1 ->
       Bist_parallel.Shard.partition ~chunks:(Bist_parallel.Pool.jobs p)
         (Array.of_list faults)
-      |> Bist_parallel.Pool.map_chunks p (Array.map trial)
+      |> Bist_parallel.Pool.map_chunks p trial_chunk
       |> Array.to_list
       |> List.concat_map Array.to_list
-    | _ -> List.map trial faults
+    | _ -> Array.to_list (trial_chunk (Array.of_list faults))
   in
+  Obs.count obs ~by:(List.length trials) "campaign.trials";
   let count o = List.length (List.filter (fun t -> t.outcome = o) trials) in
   {
     circuit_name = name;

@@ -60,6 +60,7 @@ type t = {
 
 val run :
   ?config:config ->
+  ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
   name:string ->
   Bist_circuit.Netlist.t ->
@@ -67,7 +68,11 @@ val run :
 (** Deterministic for a given [config.seed], with or without a [pool]:
     the faults are drawn before any trial runs, trials are independent
     sessions, and parallel trial chunks are merged back in canonical
-    order. Default sequential. *)
+    order. Default sequential.
+
+    [obs] records a ["campaign.golden"] span for the clean oracle run
+    and one ["campaign.trials"] span per trial chunk, tagged with the
+    executing domain, plus a ["campaign.trials"] counter. *)
 
 val by_kind : t -> (string * (int * int * int * int)) list
 (** Outcome counts [(corrected, detected, benign, escaped)] per fault

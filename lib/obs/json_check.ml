@@ -1,0 +1,208 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_failure of int * string
+
+let fail pos msg = raise (Parse_failure (pos, msg))
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail st.pos (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail st.pos (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st.pos (Printf.sprintf "invalid literal (expected %s)" word)
+
+let hex_digit pos c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | c -> fail pos (Printf.sprintf "invalid hex digit %C" c)
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st.pos "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> fail st.pos "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then
+            fail st.pos "truncated \\u escape";
+          let code = ref 0 in
+          for _ = 1 to 4 do
+            code := (!code * 16) + hex_digit st.pos st.src.[st.pos];
+            advance st
+          done;
+          (* Validation, not transcoding: keep the code point as UTF-8
+             without attempting surrogate-pair reassembly. *)
+          let u =
+            match Uchar.of_int !code with
+            | u when Uchar.is_valid !code -> u
+            | _ | (exception Invalid_argument _) -> Uchar.rep
+          in
+          Buffer.add_utf_8_uchar buf u
+        | c -> fail (st.pos - 1) (Printf.sprintf "invalid escape \\%C" c)));
+      go ()
+    | Some c when Char.code c < 0x20 ->
+      fail st.pos "unescaped control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let accept f =
+    match peek st with Some c when f c -> advance st; true | _ -> false
+  in
+  let digits () =
+    let any = ref false in
+    while accept (function '0' .. '9' -> true | _ -> false) do
+      any := true
+    done;
+    !any
+  in
+  ignore (accept (fun c -> c = '-') : bool);
+  if not (digits ()) then fail st.pos "invalid number";
+  if accept (fun c -> c = '.') && not (digits ()) then
+    fail st.pos "digits expected after decimal point";
+  if accept (function 'e' | 'E' -> true | _ -> false) then begin
+    ignore (accept (function '+' | '-' -> true | _ -> false) : bool);
+    if not (digits ()) then fail st.pos "digits expected in exponent"
+  end;
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Number f
+  | None -> fail start (Printf.sprintf "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st.pos "value expected, found end of input"
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws st;
+        let key = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          members ((key, v) :: acc)
+        | Some '}' ->
+          advance st;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> fail st.pos "expected ',' or '}' in object"
+      in
+      members []
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          List (List.rev (v :: acc))
+        | _ -> fail st.pos "expected ',' or ']' in array"
+      in
+      items []
+    end
+  | Some '"' -> String (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st.pos (Printf.sprintf "unexpected character %C" c)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos < String.length src then
+      Error (Printf.sprintf "offset %d: trailing content after JSON value" st.pos)
+    else Ok v
+  | exception Parse_failure (pos, msg) ->
+    Error (Printf.sprintf "offset %d: %s" pos msg)
+
+let parse_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

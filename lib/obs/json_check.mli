@@ -1,0 +1,24 @@
+(** Minimal JSON parser, used to validate emitted trace documents.
+
+    Implements RFC 8259 structure (objects, arrays, strings with escape
+    sequences, numbers, [true]/[false]/[null]) with no external
+    dependency. Built for validation — [make trace-smoke] and the
+    well-formedness tests — not for speed; duplicate object keys are
+    accepted and kept in order. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** The whole input must be one JSON value (plus whitespace); the error
+    string carries the byte offset of the failure. *)
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on a non-object or a missing key. *)

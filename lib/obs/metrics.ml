@@ -1,0 +1,146 @@
+let bucket_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0; infinity |]
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  bucket_counts : int array;
+}
+
+type t = {
+  mutex : Mutex.t;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr t ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.add t.counters name (ref by))
+
+let set_gauge t name v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.add t.gauges name (ref v))
+
+let bucket_of v =
+  let rec go i =
+    if i >= Array.length bucket_bounds - 1 || v <= bucket_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let observe t name v =
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.hists name with
+        | Some h -> h
+        | None ->
+          let h =
+            {
+              count = 0;
+              sum = 0.0;
+              min_v = infinity;
+              max_v = neg_infinity;
+              bucket_counts = Array.make (Array.length bucket_bounds) 0;
+            }
+          in
+          Hashtbl.add t.hists name h;
+          h
+      in
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min_v then h.min_v <- v;
+      if v > h.max_v then h.max_v <- v;
+      let b = bucket_of v in
+      h.bucket_counts.(b) <- h.bucket_counts.(b) + 1)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (float * int) list;
+}
+
+let mean h = h.sum /. float_of_int h.count
+
+let snapshot_hist (h : hist) : histogram =
+  {
+    count = h.count;
+    sum = h.sum;
+    min = h.min_v;
+    max = h.max_v;
+    buckets =
+      List.init (Array.length bucket_bounds) (fun i ->
+          (bucket_bounds.(i), h.bucket_counts.(i)));
+  }
+
+let counter t name =
+  locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.counters name))
+
+let gauge t name =
+  locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
+
+let histogram t name =
+  locked t (fun () -> Option.map snapshot_hist (Hashtbl.find_opt t.hists name))
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = locked t (fun () -> sorted_bindings t.counters ( ! ))
+let gauges t = locked t (fun () -> sorted_bindings t.gauges ( ! ))
+let histograms t = locked t (fun () -> sorted_bindings t.hists snapshot_hist)
+
+let render t =
+  let module T = Bist_util.Ascii_table in
+  let buf = Buffer.create 256 in
+  let counters = counters t and gauges = gauges t and hists = histograms t in
+  if counters <> [] then begin
+    let tbl = T.create ~headers:[ ("counter", T.Left); ("value", T.Right) ] in
+    List.iter (fun (k, v) -> T.add_row tbl [ k; string_of_int v ]) counters;
+    Buffer.add_string buf (T.render tbl)
+  end;
+  if gauges <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    let tbl = T.create ~headers:[ ("gauge", T.Left); ("value", T.Right) ] in
+    List.iter (fun (k, v) -> T.add_row tbl [ k; Printf.sprintf "%g" v ]) gauges;
+    Buffer.add_string buf (T.render tbl)
+  end;
+  if hists <> [] then begin
+    if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+    let tbl =
+      T.create
+        ~headers:
+          [ ("histogram", T.Left); ("count", T.Right); ("sum", T.Right);
+            ("mean", T.Right); ("min", T.Right); ("max", T.Right) ]
+    in
+    List.iter
+      (fun (k, h) ->
+        T.add_row tbl
+          [ k; string_of_int h.count; Printf.sprintf "%.6g" h.sum;
+            Printf.sprintf "%.6g" (mean h); Printf.sprintf "%.6g" h.min;
+            Printf.sprintf "%.6g" h.max ])
+      hists;
+    Buffer.add_string buf (T.render tbl)
+  end;
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Monotonic counters, gauges and histograms.
+
+    A registry keyed by metric name. All operations are O(1) amortized,
+    protected by one mutex, and safe to call from worker domains.
+
+    Histograms record count / sum / min / max plus decade buckets
+    ([<= 1e-6], [<= 1e-5], ..., [<= 10], [> 10]) — coarse, but enough to
+    tell a thousand 10 µs simulations from one 10 ms one, which is the
+    question the per-phase summary exists to answer. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter (default [by:1]). Raises [Invalid_argument] on a
+    negative increment — counters are monotonic. *)
+
+val set_gauge : t -> string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample into a histogram. *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty. *)
+  max : float;  (** [neg_infinity] when empty. *)
+  buckets : (float * int) list;
+      (** [(upper_bound, samples <= upper_bound)] per bucket, cumulative
+          counts excluded — each sample lands in exactly one bucket. The
+          last bucket's bound is [infinity]. *)
+}
+
+val mean : histogram -> float
+(** [sum / count]; [nan] when empty. *)
+
+val counter : t -> string -> int option
+val gauge : t -> string -> float option
+val histogram : t -> string -> histogram option
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * histogram) list
+
+val render : t -> string
+(** Counters, gauges and histogram summaries as {!Bist_util.Ascii_table}
+    tables; the empty string when nothing was recorded. *)

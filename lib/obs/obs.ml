@@ -1,0 +1,129 @@
+type sink = {
+  clock : unit -> float;
+  start : float;
+  trace : Trace.t option;
+  metrics : Metrics.t;
+  spans : Metrics.t; (* span durations, separate namespace from user metrics *)
+}
+
+type t = sink option
+
+let null = None
+
+let create ?(clock = Unix.gettimeofday) ?(trace = false) () =
+  Some
+    {
+      clock;
+      start = clock ();
+      trace = (if trace then Some (Trace.create ()) else None);
+      metrics = Metrics.create ();
+      spans = Metrics.create ();
+    }
+
+let enabled t = Option.is_some t
+
+let span t ?(cat = "bist") ?args name f =
+  match t with
+  | None -> f ()
+  | Some s ->
+    let t_in = s.clock () in
+    let record error =
+      let t_out = s.clock () in
+      let dur = t_out -. t_in in
+      Metrics.observe s.spans name dur;
+      match s.trace with
+      | None -> ()
+      | Some trace ->
+        let args = match args with None -> [] | Some f -> f () in
+        let args = match error with None -> args | Some e -> ("error", e) :: args in
+        Trace.add trace ~name ~cat
+          ~ts_us:((t_in -. s.start) *. 1e6)
+          ~dur_us:(dur *. 1e6)
+          ~tid:(Domain.self () :> int)
+          ~args
+    in
+    (match f () with
+    | v ->
+      record None;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      record (Some (Printexc.to_string e));
+      Printexc.raise_with_backtrace e bt)
+
+let count t ?by name =
+  match t with None -> () | Some s -> Metrics.incr s.metrics ?by name
+
+let gauge t name v =
+  match t with None -> () | Some s -> Metrics.set_gauge s.metrics name v
+
+let observe t name v =
+  match t with None -> () | Some s -> Metrics.observe s.metrics name v
+
+let metrics t = Option.map (fun s -> s.metrics) t
+
+let span_seconds t =
+  match t with
+  | None -> []
+  | Some s ->
+    Metrics.histograms s.spans
+    |> List.map (fun (name, h) -> (name, h.Metrics.sum))
+
+let trace_events t =
+  match t with
+  | None | Some { trace = None; _ } -> 0
+  | Some { trace = Some tr; _ } -> Trace.length tr
+
+let empty_trace = "{\"traceEvents\": [\n\n], \"displayTimeUnit\": \"ms\"}\n"
+
+let trace_json t =
+  match t with
+  | None | Some { trace = None; _ } -> empty_trace
+  | Some { trace = Some tr; _ } -> Trace.to_json tr
+
+let write_trace t path =
+  match t with
+  | None | Some { trace = None; _ } ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc empty_trace)
+  | Some { trace = Some tr; _ } -> Trace.write_file tr path
+
+let summary t =
+  match t with
+  | None -> ""
+  | Some s ->
+    let module T = Bist_util.Ascii_table in
+    let buf = Buffer.create 512 in
+    let spans = Metrics.histograms s.spans in
+    if spans <> [] then begin
+      let busiest =
+        List.fold_left (fun acc (_, h) -> Float.max acc h.Metrics.sum) 0.0 spans
+      in
+      let tbl =
+        T.create
+          ~headers:
+            [ ("phase", T.Left); ("calls", T.Right); ("total s", T.Right);
+              ("mean ms", T.Right); ("max ms", T.Right); ("rel", T.Right) ]
+      in
+      List.iter
+        (fun (name, h) ->
+          T.add_row tbl
+            [ name;
+              string_of_int h.Metrics.count;
+              Printf.sprintf "%.4f" h.Metrics.sum;
+              Printf.sprintf "%.3f" (1e3 *. Metrics.mean h);
+              Printf.sprintf "%.3f" (1e3 *. h.Metrics.max);
+              (if busiest > 0.0 then
+                 Printf.sprintf "%.0f%%" (100.0 *. h.Metrics.sum /. busiest)
+               else "-") ])
+        spans;
+      Buffer.add_string buf (T.render tbl)
+    end;
+    let rest = Metrics.render s.metrics in
+    if rest <> "" then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf rest
+    end;
+    Buffer.contents buf

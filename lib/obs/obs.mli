@@ -1,0 +1,69 @@
+(** The observability sink threaded through the generation pipeline.
+
+    A sink is either {!null} — every operation is a no-op behind a single
+    enabled check, so instrumented hot paths cost one branch and stay
+    bit-identical — or an enabled sink that aggregates {!Metrics} and,
+    optionally, buffers a Chrome {!Trace}.
+
+    Instrumented functions take [?obs:Obs.t] defaulting to {!null};
+    callers that want visibility pass a sink created here and render it
+    afterwards ({!summary}, {!write_trace}). Sinks are safe to share
+    across the worker domains of a {!Bist_parallel.Pool}: span events
+    record the recording domain's id as the trace [tid], which is how
+    parallel shard utilisation becomes visible in the viewer. *)
+
+type t
+
+val null : t
+(** The disabled sink: spans run their body directly, metrics calls do
+    nothing, no memory is retained. *)
+
+val create : ?clock:(unit -> float) -> ?trace:bool -> unit -> t
+(** An enabled sink. [clock] (default [Unix.gettimeofday]) returns
+    seconds and exists so tests can inject a deterministic clock;
+    [trace] (default [false]) additionally buffers Chrome trace events
+    for {!trace_json}/{!write_trace}. *)
+
+val enabled : t -> bool
+
+val span :
+  t ->
+  ?cat:string ->
+  ?args:(unit -> (string * string) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span t name f] times [f ()], records the duration under [name]
+    (per-name count/total/max feed {!summary} and {!span_seconds}) and,
+    when tracing, appends a complete trace event tagged with the current
+    domain id. [args] is evaluated {e after} [f] returns, only on an
+    enabled sink — so it can report results computed by the span body,
+    and costs nothing when observability is off. If [f] raises, the span
+    is recorded with an ["error"] arg and the exception is re-raised. *)
+
+val count : t -> ?by:int -> string -> unit
+val gauge : t -> string -> float -> unit
+val observe : t -> string -> float -> unit
+(** Metric forwarders; no-ops on {!null}. *)
+
+val metrics : t -> Metrics.t option
+(** The sink's metric registry; [None] for {!null}. *)
+
+val span_seconds : t -> (string * float) list
+(** Cumulative seconds per span name, sorted by name — the per-phase
+    numbers appended to the bench trajectory records. Empty for {!null}. *)
+
+val trace_events : t -> int
+(** Number of buffered trace events (0 without tracing). *)
+
+val trace_json : t -> string
+(** The Chrome trace document; a valid empty trace for non-tracing
+    sinks. *)
+
+val write_trace : t -> string -> unit
+
+val summary : t -> string
+(** The per-phase summary: one row per span name (calls, total seconds,
+    mean/max milliseconds, share of the busiest phase), then any
+    counters, gauges and histograms recorded beside the spans. Empty for
+    {!null}. *)

@@ -1,0 +1,84 @@
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+}
+
+let create () = { mutex = Mutex.create (); events = []; count = 0 }
+
+let add t ~name ~cat ~ts_us ~dur_us ~tid ~args =
+  let e = { name; cat; ts_us; dur_us; tid; args } in
+  Mutex.lock t.mutex;
+  t.events <- e :: t.events;
+  t.count <- t.count + 1;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.count in
+  Mutex.unlock t.mutex;
+  n
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_json e =
+  let args =
+    match e.args with
+    | [] -> ""
+    | args ->
+      let fields =
+        args
+        |> List.map (fun (k, v) ->
+               Printf.sprintf "\"%s\": \"%s\"" (escape_json k) (escape_json v))
+        |> String.concat ", "
+      in
+      Printf.sprintf ", \"args\": {%s}" fields
+  in
+  Printf.sprintf
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \
+     \"dur\": %.3f, \"pid\": 0, \"tid\": %d%s}"
+    (escape_json e.name) (escape_json e.cat) e.ts_us e.dur_us e.tid args
+
+let to_json t =
+  Mutex.lock t.mutex;
+  let events = List.rev t.events in
+  Mutex.unlock t.mutex;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (event_json e))
+    events;
+  Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents buf
+
+let write_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json t))

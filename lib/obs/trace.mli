@@ -1,0 +1,37 @@
+(** Chrome trace-event buffer.
+
+    Collects complete-duration events (["ph": "X"]) and renders the JSON
+    object format understood by [chrome://tracing] and Perfetto:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Timestamps and
+    durations are in microseconds, per the trace-event spec.
+
+    The buffer is safe to append to from several domains at once; events
+    from worker domains carry their [Domain.self ()] id as the [tid], so
+    the viewer lays parallel shards out on separate tracks. *)
+
+type t
+
+val create : unit -> t
+
+val add :
+  t ->
+  name:string ->
+  cat:string ->
+  ts_us:float ->
+  dur_us:float ->
+  tid:int ->
+  args:(string * string) list ->
+  unit
+(** Append one complete event. [ts_us] is relative to the sink's start. *)
+
+val length : t -> int
+(** Number of events recorded so far. *)
+
+val to_json : t -> string
+(** The full trace document, events in the order they were recorded. *)
+
+val write_file : t -> string -> unit
+
+val escape_json : string -> string
+(** JSON string-literal escaping (quotes, backslashes, control
+    characters), without the surrounding quotes. Exposed for tests. *)

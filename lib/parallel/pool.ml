@@ -122,13 +122,43 @@ let map_chunks_rng t ~rng f arr =
   let jobs = Array.map (fun x -> (Rng.split rng, x)) arr in
   map_chunks t (fun (child, x) -> f child x) jobs
 
+let max_jobs = 64
+
+let warn fmt = Printf.eprintf ("warning: " ^^ fmt ^^ "\n%!")
+
+(* Misconfiguration must be loud and bounded: a typo in BIST_JOBS (or a
+   script passing -1) used to silently fall back to sequential, and a
+   huge value would spawn a domain per unit of it. One warning line, then
+   either sequential or a clamped pool. *)
+let jobs_of_env_string s =
+  match int_of_string_opt (String.trim s) with
+  | None ->
+    warn "BIST_JOBS=%S is not an integer; running sequentially" s;
+    None
+  | Some j when j <= 0 ->
+    warn "BIST_JOBS=%d is not a positive worker count; running sequentially" j;
+    None
+  | Some 1 -> None
+  | Some j when j > max_jobs ->
+    warn "BIST_JOBS=%d exceeds the maximum of %d; clamping" j max_jobs;
+    Some max_jobs
+  | Some j -> Some j
+
+let validate_jobs ~source j =
+  if j < 0 then begin
+    warn "%s=%d is negative; using the automatic width" source j;
+    0
+  end
+  else if j > max_jobs then begin
+    warn "%s=%d exceeds the maximum of %d; clamping" source j max_jobs;
+    max_jobs
+  end
+  else j
+
 let env_pool =
   lazy
     (match Sys.getenv_opt "BIST_JOBS" with
     | None -> None
-    | Some s ->
-      (match int_of_string_opt (String.trim s) with
-      | Some j when j > 1 -> Some (create ~jobs:j ())
-      | Some _ | None -> None))
+    | Some s -> Option.map (fun j -> create ~jobs:j ()) (jobs_of_env_string s))
 
 let from_env () = Lazy.force env_pool

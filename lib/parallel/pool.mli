@@ -50,10 +50,30 @@ val map_chunks_rng :
 val from_env : unit -> t option
 (** The process-wide pool configured by the [BIST_JOBS] environment
     variable, created lazily on first use: [Some pool] when
-    [BIST_JOBS >= 2], [None] otherwise (unset, 1, or unparsable). This
+    [2 <= BIST_JOBS <= ]{!max_jobs}, [None] when unset or [1]. Invalid
+    values are never silently misread: a non-integer, zero or negative
+    setting warns once on stderr and runs sequentially, and a value
+    above {!max_jobs} warns and is clamped ({!jobs_of_env_string}). This
     is the default pool of {!Bist_fault.Fsim.run} and friends, so
     exporting [BIST_JOBS=2] routes an unmodified program — including the
     test suite — through the parallel path. *)
+
+val max_jobs : int
+(** Upper bound on a configured worker count (64): above it, extra
+    domains only add scheduling overhead, and a garbled setting like
+    [BIST_JOBS=2000] must not spawn 2000 domains. *)
+
+val jobs_of_env_string : string -> int option
+(** The [BIST_JOBS] validation rule, exposed for the CLIs and tests:
+    [None] means run sequentially (unset-like, [1], or rejected with a
+    stderr warning), [Some j] is a validated width in
+    [2 .. ]{!max_jobs}. *)
+
+val validate_jobs : source:string -> int -> int
+(** Validate a [--jobs] CLI value where [0] means "auto": negative
+    values warn and fall back to [0], values above {!max_jobs} warn and
+    clamp; anything in range passes through. [source] names the flag in
+    the warning line. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent; a shut-down pool keeps

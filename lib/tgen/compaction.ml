@@ -1,6 +1,7 @@
 module Tseq = Bist_logic.Tseq
 module Bitset = Bist_util.Bitset
 module Fsim = Bist_fault.Fsim
+module Obs = Bist_obs.Obs
 
 type stats = {
   trials : int;
@@ -9,8 +10,8 @@ type stats = {
   final_length : int;
 }
 
-let detected_set ?pool ?targets universe seq =
-  (Fsim.run ?pool ?targets ~stop_when_all_detected:true universe seq)
+let detected_set ?obs ?pool ?targets universe seq =
+  (Fsim.run ?obs ?pool ?targets ~stop_when_all_detected:true universe seq)
     .Fsim.detected
 
 (* Evenly-spaced sample of a fault set; a candidate that loses any
@@ -38,9 +39,13 @@ let remove_block seq ~start ~len =
   else if stop >= n then Tseq.sub seq ~lo:0 ~hi:(start - 1)
   else Tseq.concat (Tseq.sub seq ~lo:0 ~hi:(start - 1)) (Tseq.sub seq ~lo:stop ~hi:(n - 1))
 
-let compact ?initial_block ?(max_trials = max_int) ?pool universe seq =
+let compact ?initial_block ?(max_trials = max_int) ?(obs = Obs.null) ?pool
+    universe seq =
   let initial_length = Tseq.length seq in
-  let must_detect = detected_set ?pool universe seq in
+  let must_detect =
+    Obs.span obs ~cat:"compaction" "compaction.baseline" (fun () ->
+        detected_set ~obs ?pool universe seq)
+  in
   let must_sample = sample_of must_detect 800 in
   let trials = ref 0 in
   let accepted = ref 0 in
@@ -53,24 +58,36 @@ let compact ?initial_block ?(max_trials = max_int) ?pool universe seq =
     (* Two-stage check: the cheap sampled rejection filter first, the
        full target set only when the sample survives. *)
     Bitset.subset must_sample
-      (detected_set ?pool ~targets:must_sample universe candidate)
+      (detected_set ~obs ?pool ~targets:must_sample universe candidate)
     && Bitset.subset must_detect
-         (detected_set ?pool ~targets:must_detect universe candidate)
+         (detected_set ~obs ?pool ~targets:must_detect universe candidate)
   in
   while !block >= 1 && !trials < max_trials do
-    (* Back-to-front scan at the current granularity. *)
-    let start = ref (Tseq.length !current - !block) in
-    while !start >= 0 && !trials < max_trials do
-      let candidate = remove_block !current ~start:!start ~len:!block in
-      incr trials;
-      if Tseq.length candidate > 0 && keeps_coverage candidate then begin
-        incr accepted;
-        current := candidate
-      end;
-      start := !start - !block
-    done;
+    (* Back-to-front scan at the current granularity: one span per pass,
+       whose args report what the pass achieved (evaluated at exit). *)
+    let pass_block = !block in
+    let pass_trials = !trials and pass_accepted = !accepted in
+    Obs.span obs ~cat:"compaction" "compaction.pass"
+      ~args:(fun () ->
+        [ ("block", string_of_int pass_block);
+          ("trials", string_of_int (!trials - pass_trials));
+          ("accepted", string_of_int (!accepted - pass_accepted));
+          ("length", string_of_int (Tseq.length !current)) ])
+      (fun () ->
+        let start = ref (Tseq.length !current - !block) in
+        while !start >= 0 && !trials < max_trials do
+          let candidate = remove_block !current ~start:!start ~len:!block in
+          incr trials;
+          if Tseq.length candidate > 0 && keeps_coverage candidate then begin
+            incr accepted;
+            current := candidate
+          end;
+          start := !start - !block
+        done);
     block := if !block = 1 then 0 else !block / 2
   done;
+  Obs.count obs ~by:!trials "compaction.trials";
+  Obs.count obs ~by:!accepted "compaction.accepted";
   ( !current,
     {
       trials = !trials;

@@ -21,6 +21,7 @@ type stats = {
 val compact :
   ?initial_block:int ->
   ?max_trials:int ->
+  ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
   Bist_fault.Universe.t ->
   Bist_logic.Tseq.t ->
@@ -29,4 +30,9 @@ val compact :
     [max_trials] (default unlimited) bounds the number of re-simulations
     for large circuits. [pool] parallelizes the per-trial re-simulations
     without changing which omissions are accepted (sharded simulation is
-    bit-identical); default sequential unless [BIST_JOBS] is exported. *)
+    bit-identical); default sequential unless [BIST_JOBS] is exported.
+
+    [obs] records a ["compaction.baseline"] span for the initial
+    must-detect simulation and one ["compaction.pass"] span per block
+    granularity, whose args (evaluated when the pass ends) report the
+    block size, trials, accepted omissions and resulting length. *)

@@ -4,6 +4,7 @@ module Bitset = Bist_util.Bitset
 module Rng = Bist_util.Rng
 module Universe = Bist_fault.Universe
 module Fsim = Bist_fault.Fsim
+module Obs = Bist_obs.Obs
 
 type config = {
   segment_length : int;
@@ -72,7 +73,7 @@ let sample_targets remaining cap =
     sample
   end
 
-let generate ?config ?pool ~rng universe =
+let generate ?config ?(obs = Obs.null) ?pool ~rng universe =
   let circuit = Universe.circuit universe in
   let config = Option.value config ~default:(default_config circuit) in
   let width = Bist_circuit.Netlist.num_inputs circuit in
@@ -83,8 +84,9 @@ let generate ?config ?pool ~rng universe =
      from a full fault simulation at the end. *)
   let untestable =
     if config.prescreen then
-      (Bist_analyze.Untestable.prescreen_universe universe)
-        .Bist_analyze.Untestable.untestable
+      Obs.span obs ~cat:"engine" "engine.prescreen" (fun () ->
+          (Bist_analyze.Untestable.prescreen_universe universe)
+            .Bist_analyze.Untestable.untestable)
     else Bitset.create (Universe.size universe)
   in
   let remaining = Bitset.create (Universe.size universe) in
@@ -100,12 +102,7 @@ let generate ?config ?pool ~rng universe =
      faults that need more warm-up than one segment; sound either way by
      ternary monotonicity). *)
   let phase ~embed ~patience ~candidates_per_round =
-    let fruitless = ref 0 in
-    while
-      !fruitless < patience
-      && Tseq.length !t0 < config.max_length
-      && not (Bitset.is_empty remaining)
-    do
+    let round () =
       incr rounds;
       let eval_targets = sample_targets remaining config.sample_cap in
       let best = ref None in
@@ -113,7 +110,7 @@ let generate ?config ?pool ~rng universe =
         let seg = candidate config rng ~width in
         let scored = if embed then Tseq.concat !t0 seg else seg in
         let outcome =
-          Fsim.run ?pool ~targets:eval_targets ~stop_when_all_detected:true
+          Fsim.run ~obs ?pool ~targets:eval_targets ~stop_when_all_detected:true
             universe scored
         in
         let gain = Bitset.cardinal outcome.Fsim.detected in
@@ -122,68 +119,106 @@ let generate ?config ?pool ~rng universe =
         | _ -> if gain > 0 then best := Some (gain, seg)
       done;
       match !best with
-      | None -> incr fruitless
-      | Some (_, seg) ->
-        fruitless := 0;
+      | None -> None
+      | Some (gain, seg) ->
         incr accepted;
         let full = Tseq.concat !t0 seg in
         let scored = if embed then full else seg in
         let outcome =
-          Fsim.run ?pool ~targets:remaining ~stop_when_all_detected:true
+          Fsim.run ~obs ?pool ~targets:remaining ~stop_when_all_detected:true
             universe scored
         in
         t0 := full;
-        Bitset.diff_into remaining outcome.Fsim.detected
+        Bitset.diff_into remaining outcome.Fsim.detected;
+        Some gain
+    in
+    let fruitless = ref 0 in
+    while
+      !fruitless < patience
+      && Tseq.length !t0 < config.max_length
+      && not (Bitset.is_empty remaining)
+    do
+      let this_round = !rounds + 1 in
+      let outcome =
+        Obs.span obs ~cat:"engine" "engine.round"
+          ~args:(fun () ->
+            [ ("round", string_of_int this_round);
+              ("embed", string_of_bool embed);
+              ("remaining", string_of_int (Bitset.cardinal remaining)) ])
+          round
+      in
+      match outcome with
+      | None -> incr fruitless
+      | Some _ -> fruitless := 0
     done
   in
-  phase ~embed:false ~patience:config.patience
-    ~candidates_per_round:config.candidates_per_round;
+  Obs.span obs ~cat:"engine" "engine.selection"
+    ~args:(fun () -> [ ("embed", "false") ])
+    (fun () ->
+      phase ~embed:false ~patience:config.patience
+        ~candidates_per_round:config.candidates_per_round);
   (* Re-baseline against the concatenated T0 (embedding can only add
      detections), then refine with embedded scoring. *)
-  let embedded = Fsim.run ?pool ~stop_when_all_detected:true universe !t0 in
+  let embedded =
+    Obs.span obs ~cat:"engine" "engine.rebaseline" (fun () ->
+        Fsim.run ~obs ?pool ~stop_when_all_detected:true universe !t0)
+  in
   Bitset.clear remaining;
   Bitset.fill remaining;
   Bitset.diff_into remaining untestable;
   Bitset.diff_into remaining embedded.Fsim.detected;
-  phase ~embed:true
-    ~patience:(max 4 (config.patience / 2))
-    ~candidates_per_round:(max 3 (config.candidates_per_round / 2));
+  Obs.span obs ~cat:"engine" "engine.selection"
+    ~args:(fun () -> [ ("embed", "true") ])
+    (fun () ->
+      phase ~embed:true
+        ~patience:(max 4 (config.patience / 2))
+        ~candidates_per_round:(max 3 (config.candidates_per_round / 2)));
   (* Directed tail: attack a few of the surviving faults one by one with
      the genetic search, seeding each attempt after the full current T0. *)
-  if config.directed_budget > 0 then begin
-    let attempts = ref 0 in
-    let target_ids = Array.of_list (Bitset.elements remaining) in
-    (* Hardest targets first: SCOAP-expensive faults benefit most from
-       the genetic search, and the easy stragglers are often swept up for
-       free by the segments it produces. *)
-    let scoap = Bist_analyze.Scoap.compute circuit in
-    Directed.order_hardest_first scoap universe target_ids;
-    Array.iter
-      (fun id ->
-        if
-          !attempts < config.directed_budget
-          && Bitset.mem remaining id
-          && Tseq.length !t0 < config.max_length
-        then begin
-          incr attempts;
-          let fault = Universe.get universe id in
-          let outcome = Directed.search ~rng ~prefix:!t0 circuit fault in
-          match outcome.Directed.segment with
-          | None -> ()
-          | Some seg ->
-            incr accepted;
-            let full = Tseq.concat !t0 seg in
-            let detected =
-              (Fsim.run ?pool ~targets:remaining ~stop_when_all_detected:true
-                 universe full)
-                .Fsim.detected
-            in
-            t0 := full;
-            Bitset.diff_into remaining detected
-        end)
-      target_ids
-  end;
-  let final = Fsim.run ?pool universe !t0 in
+  if config.directed_budget > 0 then
+    Obs.span obs ~cat:"engine" "engine.directed"
+      ~args:(fun () ->
+        [ ("budget", string_of_int config.directed_budget);
+          ("remaining", string_of_int (Bitset.cardinal remaining)) ])
+      (fun () ->
+        let attempts = ref 0 in
+        let target_ids = Array.of_list (Bitset.elements remaining) in
+        (* Hardest targets first: SCOAP-expensive faults benefit most from
+           the genetic search, and the easy stragglers are often swept up
+           for free by the segments it produces. *)
+        let scoap = Bist_analyze.Scoap.compute circuit in
+        Directed.order_hardest_first scoap universe target_ids;
+        Array.iter
+          (fun id ->
+            if
+              !attempts < config.directed_budget
+              && Bitset.mem remaining id
+              && Tseq.length !t0 < config.max_length
+            then begin
+              incr attempts;
+              let fault = Universe.get universe id in
+              let outcome = Directed.search ~rng ~prefix:!t0 circuit fault in
+              match outcome.Directed.segment with
+              | None -> ()
+              | Some seg ->
+                incr accepted;
+                let full = Tseq.concat !t0 seg in
+                let detected =
+                  (Fsim.run ~obs ?pool ~targets:remaining
+                     ~stop_when_all_detected:true universe full)
+                    .Fsim.detected
+                in
+                t0 := full;
+                Bitset.diff_into remaining detected
+            end)
+          target_ids);
+  let final =
+    Obs.span obs ~cat:"engine" "engine.final_fsim" (fun () ->
+        Fsim.run ~obs ?pool universe !t0)
+  in
+  Obs.count obs ~by:!rounds "engine.rounds";
+  Obs.count obs ~by:!accepted "engine.segments_accepted";
+  Obs.gauge obs "engine.t0_length" (float_of_int (Tseq.length !t0));
   ( !t0,
     {
       rounds = !rounds;

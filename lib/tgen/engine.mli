@@ -54,6 +54,7 @@ type stats = {
 
 val generate :
   ?config:config ->
+  ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
   rng:Bist_util.Rng.t ->
   Bist_fault.Universe.t ->
@@ -62,4 +63,13 @@ val generate :
     (candidate scoring, re-baselining, the final coverage pass) without
     changing the result: the sharded simulator is bit-identical to the
     sequential one, and the [rng] stream is consumed only by the calling
-    domain. Defaults to sequential unless [BIST_JOBS] is exported. *)
+    domain. Defaults to sequential unless [BIST_JOBS] is exported.
+
+    [obs] (default {!Bist_obs.Obs.null}, one branch of overhead) records
+    ["engine.prescreen"], two ["engine.selection"] spans (standalone and
+    embedded scoring) with one ["engine.round"] span per greedy round
+    nested inside, ["engine.rebaseline"], ["engine.directed"] and
+    ["engine.final_fsim"], plus per-shard fault-simulation spans, the
+    ["engine.rounds"] / ["engine.segments_accepted"] counters and the
+    ["engine.t0_length"] gauge. The generated sequence is identical with
+    or without a sink: observability never touches the [rng] stream. *)

@@ -16,12 +16,12 @@ let test_seq_io_comments () =
 let test_seq_io_errors () =
   (match Seq_io.parse "01\n02\n" with
    | _ -> Alcotest.fail "expected failure"
-   | exception Failure msg ->
-     Alcotest.(check bool) "line number" true
-       (String.length msg > 0 && String.sub msg 0 6 = "line 2"));
+   | exception Seq_io.Parse_error { line; _ } ->
+     Alcotest.(check int) "line number" 2 line);
   match Seq_io.parse "# nothing\n" with
   | _ -> Alcotest.fail "expected failure"
-  | exception Failure _ -> ()
+  | exception Seq_io.Parse_error { line; _ } ->
+    Alcotest.(check int) "no content line" 0 line
 
 let test_seq_io_set_roundtrip () =
   let set = [ Tseq.of_strings [ "01"; "10" ]; Tseq.of_strings [ "11" ] ] in

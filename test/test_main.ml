@@ -17,5 +17,6 @@ let () =
       ("harness", Test_harness.suite);
       ("invariants", Test_invariants.suite);
       ("inject", Test_inject.suite);
+      ("obs", Test_obs.suite);
       ("diagnosis", Test_diagnosis.suite);
     ]
