@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel lint trace-smoke check smoke bench bench-json clean
+.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke check smoke bench bench-json clean
 
 all: build
 
@@ -11,7 +11,7 @@ test:
 # The same tier-1 suite with the domain pool active: BIST_JOBS=2 routes
 # every fault simulation through the sharded parallel path, whose
 # results are bit-identical by the DESIGN.md §8 invariant — so the
-# exact same 249 tests must pass unchanged.
+# exact same tests must pass unchanged.
 test-parallel:
 	BIST_JOBS=2 dune runtest --force
 
@@ -31,7 +31,19 @@ trace-smoke:
 	dune exec bin/bistgen.exe -- tgen s27 --trace _build/trace-smoke.json -o /dev/null
 	dune exec bin/bistgen.exe -- trace-check _build/trace-smoke.json
 
-check: test test-parallel lint trace-smoke
+# Parser robustness gate: thousands of seeded random mutations of the
+# registry's .bench sources must either parse or raise Parse_error —
+# any other exception is a crash the CLI would expose.
+fuzz-smoke:
+	dune exec test/test_main.exe -- test fuzz
+
+# Resilience gate (DESIGN.md §10): deadline- and SIGTERM-preempted runs,
+# resumed from their checkpoints, must reproduce the uninterrupted
+# result bit for bit; damaged or mismatched checkpoints must exit 2.
+interrupt-smoke:
+	./scripts/interrupt_smoke.sh
+
+check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault

@@ -361,18 +361,31 @@ let run_json ~jobs ~trace ~stats path =
       jobs benches
   in
   (* Append into the JSON array at [path] textually, so the trajectory
-     file stays a plain, diff-friendly list of run records. *)
+     file stays a plain, diff-friendly list of run records. The existing
+     file must parse as a JSON array before we touch it — a truncated or
+     hand-mangled trajectory is refused with its parse error instead of
+     being silently wrapped in fresh brackets — and the result goes
+     through the atomic temp-file + rename write, so a run killed
+     mid-append can never leave the trajectory truncated. *)
   let previous =
     if Sys.file_exists path then begin
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
+      let s =
+        match Bist_obs.Json_check.parse_file path with
+        | Ok (Bist_obs.Json_check.List _) ->
+          Bist_resilience.Atomic_io.read_file ~path
+        | Ok _ ->
+          Printf.eprintf "error: %s: not a JSON array; refusing to append\n"
+            path;
+          exit 2
+        | Error message ->
+          Printf.eprintf
+            "error: %s: %s — fix or remove the file before appending\n" path
+            message;
+          exit 2
+      in
       let s = String.trim s in
       if s = "" || s = "[]" then None
-      else if String.length s >= 2 && s.[0] = '[' && s.[String.length s - 1] = ']'
-      then Some (String.trim (String.sub s 1 (String.length s - 2)))
-      else failwith (path ^ ": not a JSON array; refusing to append")
+      else Some (String.trim (String.sub s 1 (String.length s - 2)))
     end
     else None
   in
@@ -381,10 +394,8 @@ let run_json ~jobs ~trace ~stats path =
     | None -> record_json
     | Some old -> old ^ ",\n" ^ record_json
   in
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> Printf.fprintf oc "[\n%s\n]\n" body);
+  Bist_resilience.Atomic_io.write_file ~path
+    (Printf.sprintf "[\n%s\n]\n" body);
   Printf.printf "appended run record (%d benches) to %s\n" (List.length records) path;
   if List.exists (fun r -> not r.identical) records then begin
     prerr_endline "error: parallel fault table differs from sequential";

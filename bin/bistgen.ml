@@ -97,6 +97,78 @@ let with_obs ~trace ~stats f =
       raise e
   end
 
+(* Preemption and checkpointing: --deadline bounds the wall-clock budget,
+   --checkpoint names where a preempted run serializes its progress,
+   --resume continues from such a file. SIGINT/SIGTERM are converted into
+   a cooperative cancellation when a checkpoint path is armed, so an
+   interrupted run exits 3 with a resumable file instead of dying. *)
+
+module Ctl = Bist_resilience.Ctl
+module Checkpoint = Bist_resilience.Checkpoint
+module Ckio = Bist_resilience.Checkpoint.Io
+
+exception
+  Preempted_run of { reason : Ctl.reason; checkpoint : string option }
+
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget in seconds. When it runs out the command \
+           stops at the next safe point, writes a checkpoint if \
+           $(b,--checkpoint) is set, and exits with code 3.")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Where to write the resumable snapshot if the run is preempted \
+           (deadline, SIGINT or SIGTERM). Written atomically; deleted on \
+           successful completion.")
+
+let resume_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by an earlier preempted run \
+           of the same command on the same circuit with the same \
+           parameters. The final result is bit-identical to an \
+           uninterrupted run.")
+
+let make_ctl ~deadline ~checkpoint =
+  match (deadline, checkpoint) with
+  | None, None -> None
+  | _ ->
+    (match deadline with
+    | Some s when s <= 0.0 ->
+      Printf.eprintf "error: --deadline must be positive (got %g)\n" s;
+      exit 2
+    | _ -> ());
+    let cancel = Bist_resilience.Cancel.create () in
+    let deadline = Option.map Bist_resilience.Deadline.after deadline in
+    (* Cancel.request is a single atomic store — async-signal-safe. The
+       handler is installed only when preemption is armed, so plain runs
+       keep the default die-on-signal behaviour. *)
+    if checkpoint <> None then begin
+      let handler =
+        Sys.Signal_handle (fun _ -> Bist_resilience.Cancel.request cancel)
+      in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler
+    end;
+    Some (Ctl.create ?deadline ~cancel ())
+
+let fingerprint_of circuit =
+  Bist_resilience.Crc32.string (Bist_circuit.Bench_writer.to_string circuit)
+
+let stop_reason_of ctl =
+  match ctl with
+  | Some c -> Option.value (Ctl.stop_reason c) ~default:Ctl.Cancelled
+  | None -> Ctl.Cancelled
+
 (* stats *)
 
 let stats_cmd =
@@ -160,25 +232,156 @@ let faultsim_cmd =
 
 (* tgen *)
 
+(* The tgen checkpoint payload: a parameter echo (seed, directed budget,
+   compaction trial budget — a resumed run must be re-invoked with the
+   same knobs, anything else is a typed Mismatch) followed by a stage tag
+   and that stage's snapshot. Stage 0 is generation (engine snapshot),
+   stage 1 is compaction (the finished engine stats plus the compaction
+   snapshot). *)
+
+type tgen_stage =
+  | Gen_stage of Bist_tgen.Engine.snapshot
+  | Compact_stage of Bist_tgen.Engine.stats * Bist_tgen.Compaction.snapshot
+
+let encode_tgen_payload ~seed ~directed ~trials stage =
+  let w = Ckio.writer () in
+  Ckio.u32 w seed;
+  Ckio.u32 w directed;
+  Ckio.u32 w trials;
+  (match stage with
+  | Gen_stage s ->
+    Ckio.u8 w 0;
+    Bist_tgen.Engine.encode_snapshot w s
+  | Compact_stage (stats, cs) ->
+    Ckio.u8 w 1;
+    Ckio.u32 w stats.Bist_tgen.Engine.rounds;
+    Ckio.u32 w stats.segments_accepted;
+    Ckio.u32 w stats.detected;
+    Ckio.u32 w stats.total_faults;
+    Ckio.u32 w stats.statically_untestable;
+    Bist_tgen.Compaction.encode_snapshot w cs);
+  Ckio.contents w
+
+let decode_tgen_payload ~seed ~directed ~trials payload =
+  let r = Ckio.reader payload in
+  let echo what expected =
+    let got = Ckio.r_u32 r in
+    if got <> expected then
+      raise
+        (Checkpoint.Mismatch
+           (Printf.sprintf
+              "checkpoint was written with %s %d, this run uses %d — \
+               re-invoke with the original parameters"
+              what got expected))
+  in
+  echo "--seed" seed;
+  echo "--directed" directed;
+  echo "--compact-trials" trials;
+  let stage =
+    match Ckio.r_u8 r with
+    | 0 -> Gen_stage (Bist_tgen.Engine.decode_snapshot r)
+    | 1 ->
+      let rounds = Ckio.r_u32 r in
+      let segments_accepted = Ckio.r_u32 r in
+      let detected = Ckio.r_u32 r in
+      let total_faults = Ckio.r_u32 r in
+      let statically_untestable = Ckio.r_u32 r in
+      let stats =
+        { Bist_tgen.Engine.rounds; segments_accepted; detected; total_faults;
+          statically_untestable }
+      in
+      Compact_stage (stats, Bist_tgen.Compaction.decode_snapshot r)
+    | tag ->
+      raise
+        (Checkpoint.Corrupt (Printf.sprintf "unknown tgen stage tag %d" tag))
+  in
+  Ckio.expect_end r;
+  stage
+
 let tgen_cmd =
-  let run spec seed out trials directed jobs trace stats_flag =
+  let run spec seed out trials directed jobs trace stats_flag deadline
+      checkpoint resume =
     let circuit = resolve_circuit spec in
+    let name = Bist_circuit.Netlist.circuit_name circuit in
+    let fingerprint = fingerprint_of circuit in
     let universe = universe_of circuit in
     let rng = Bist_util.Rng.create seed in
     let pool = pool_of_jobs jobs in
+    let ctl = make_ctl ~deadline ~checkpoint in
     let config =
       { (Bist_tgen.Engine.default_config circuit) with
         Bist_tgen.Engine.directed_budget = directed }
     in
     let t0, stats, cstats =
       with_obs ~trace ~stats:stats_flag (fun obs ->
-          let t0, stats =
-            Bist_tgen.Engine.generate ~config ~obs ?pool ~rng universe
+          let resumed =
+            match resume with
+            | None -> None
+            | Some path ->
+              Bist_obs.Obs.span obs ~cat:"checkpoint" "checkpoint.load"
+                ~args:(fun () -> [ ("path", path) ])
+                (fun () ->
+                  let header = Checkpoint.load path in
+                  Checkpoint.ensure ~kind:"tgen" ~circuit:name ~fingerprint
+                    header;
+                  Some
+                    (decode_tgen_payload ~seed ~directed ~trials
+                       header.Checkpoint.payload))
+          in
+          (* On preemption: serialize the stage we were in (if a path was
+             given), then unwind through with_obs so a --trace of the
+             truncated run is still flushed; main exits 3. *)
+          let preempt stage =
+            (match checkpoint with
+            | None -> ()
+            | Some path ->
+              Bist_obs.Obs.span obs ~cat:"checkpoint" "checkpoint.save"
+                ~args:(fun () -> [ ("path", path) ])
+                (fun () ->
+                  Checkpoint.save ~path
+                    { Checkpoint.kind = "tgen"; circuit = name; fingerprint;
+                      payload =
+                        encode_tgen_payload ~seed ~directed ~trials stage }));
+            raise (Preempted_run { reason = stop_reason_of ctl; checkpoint })
+          in
+          let generated, stats =
+            match resumed with
+            | Some (Compact_stage (stats, _)) -> (None, stats)
+            | (None | Some (Gen_stage _)) as r -> (
+              let engine_resume =
+                match r with Some (Gen_stage s) -> Some s | _ -> None
+              in
+              try
+                let t0, stats =
+                  Bist_tgen.Engine.generate ~config ~obs ?pool ?ctl
+                    ?resume:engine_resume ~rng universe
+                in
+                (Some t0, stats)
+              with Bist_tgen.Engine.Interrupted s -> preempt (Gen_stage s))
+          in
+          let compact_resume =
+            match resumed with
+            | Some (Compact_stage (_, cs)) -> Some cs
+            | _ -> None
+          in
+          let seq_in =
+            match (generated, compact_resume) with
+            | Some t0, _ -> t0
+            | None, Some cs -> cs.Bist_tgen.Compaction.seq
+            | None, None -> assert false
           in
           let t0, cstats =
-            Bist_tgen.Compaction.compact ~max_trials:trials ~obs ?pool universe
-              t0
+            try
+              Bist_tgen.Compaction.compact ~max_trials:trials ~obs ?pool ?ctl
+                ?resume:compact_resume universe seq_in
+            with Bist_tgen.Compaction.Interrupted cs ->
+              preempt (Compact_stage (stats, cs))
           in
+          (* A finished run must not leave a stale checkpoint behind — a
+             later --resume against it would silently redo work. *)
+          (match checkpoint with
+          | Some path when Sys.file_exists path -> Sys.remove path
+          | _ -> ());
           (t0, stats, cstats))
     in
     Format.printf
@@ -205,7 +408,8 @@ let tgen_cmd =
   in
   Cmd.v (Cmd.info "tgen" ~doc:"Generate and compact a deterministic sequence T0")
     Term.(const run $ circuit_arg $ seed_arg $ out_arg $ trials_arg $ directed_arg
-          $ jobs_arg $ trace_arg $ stats_arg)
+          $ jobs_arg $ trace_arg $ stats_arg $ deadline_arg $ checkpoint_arg
+          $ resume_arg)
 
 (* expand *)
 
@@ -447,6 +651,24 @@ let () =
       (( Bist_harness.Seq_io.Parse_error _
        | Bist_circuit.Bench_parser.Parse_error _
        | Bist_core.Procedure2.Undetected _
-       | Bist_core.Procedure1.Undetected_target _ ) as e) ->
+       | Bist_core.Procedure1.Undetected_target _
+       | Checkpoint.Corrupt _ | Checkpoint.Mismatch _ ) as e) ->
     Printf.eprintf "error: %s\n" (Printexc.to_string e);
     exit 2
+  | exception Preempted_run { reason; checkpoint } ->
+    (match checkpoint with
+    | Some path ->
+      Printf.eprintf
+        "preempted (%s): checkpoint written to %s — resume with --resume %s\n"
+        (Ctl.reason_name reason) path path
+    | None ->
+      Printf.eprintf
+        "preempted (%s): no --checkpoint path was given, progress discarded\n"
+        (Ctl.reason_name reason));
+    exit 3
+  | exception Ctl.Preempted reason ->
+    (* A phase without resumable state (faultsim, select) was preempted;
+       there is nothing to write, but the exit code still says why. *)
+    Printf.eprintf "preempted (%s): this phase keeps no resumable state\n"
+      (Ctl.reason_name reason);
+    exit 3

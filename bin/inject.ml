@@ -7,6 +7,12 @@
 open Cmdliner
 module Campaign = Bist_inject.Campaign
 module Session = Bist_hw.Session
+module Ctl = Bist_resilience.Ctl
+module Checkpoint = Bist_resilience.Checkpoint
+module Ckio = Bist_resilience.Checkpoint.Io
+
+exception
+  Preempted_run of { reason : Ctl.reason; checkpoint : string option }
 
 let defense_of_name = function
   | "hardened" -> Ok Session.hardened
@@ -39,8 +45,159 @@ let pool_of_jobs jobs =
   let jobs = if jobs = 0 then Bist_parallel.Pool.default_jobs () else jobs in
   if jobs <= 1 then None else Some (Bist_parallel.Pool.create ~jobs ())
 
-let run_campaign ~config ~obs ?pool (entry : Bist_bench.Registry.entry) =
-  Campaign.run ~config ~obs ?pool ~name:entry.name (entry.circuit ())
+let make_ctl ~deadline ~checkpoint =
+  match (deadline, checkpoint) with
+  | None, None -> None
+  | _ ->
+    (match deadline with
+    | Some s when s <= 0.0 ->
+      Printf.eprintf "error: --deadline must be positive (got %g)\n" s;
+      exit 2
+    | _ -> ());
+    let cancel = Bist_resilience.Cancel.create () in
+    let deadline = Option.map Bist_resilience.Deadline.after deadline in
+    if checkpoint <> None then begin
+      let handler =
+        Sys.Signal_handle (fun _ -> Bist_resilience.Cancel.request cancel)
+      in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler
+    end;
+    Some (Ctl.create ?deadline ~cancel ())
+
+(* The inject checkpoint covers the whole multi-circuit invocation: a
+   parameter echo (seed, count, defense name, n, the circuit list — a
+   resume must re-request the same campaign set), the finished campaigns
+   as (name, sync_found, trials) triples, and the in-flight circuit's
+   completed trials. The header's circuit field is the joined name list
+   and the fingerprint hashes every circuit's canonical bench text. *)
+
+let encode_inject_payload ~config ~defense_name ~names ~completed ~current =
+  let w = Ckio.writer () in
+  Ckio.u32 w config.Campaign.seed;
+  Ckio.u32 w config.Campaign.count;
+  Ckio.string w defense_name;
+  Ckio.u32 w config.Campaign.n;
+  Ckio.list w Ckio.string names;
+  Ckio.list w
+    (fun w (c : Campaign.t) ->
+      Ckio.string w c.circuit_name;
+      Ckio.bool w c.sync_found;
+      Campaign.encode_trials w c.trials)
+    completed;
+  Campaign.encode_trials w current;
+  Ckio.contents w
+
+let decode_inject_payload ~config ~defense_name ~names payload =
+  let r = Ckio.reader payload in
+  let echo_int what expected =
+    let got = Ckio.r_u32 r in
+    if got <> expected then
+      raise
+        (Checkpoint.Mismatch
+           (Printf.sprintf
+              "checkpoint was written with %s %d, this run uses %d — \
+               re-invoke with the original parameters"
+              what got expected))
+  in
+  echo_int "--seed" config.Campaign.seed;
+  echo_int "--count" config.Campaign.count;
+  let got_defense = Ckio.r_string r in
+  if got_defense <> defense_name then
+    raise
+      (Checkpoint.Mismatch
+         (Printf.sprintf "checkpoint was written with --defense %s, this run \
+                          uses %s" got_defense defense_name));
+  echo_int "--n" config.Campaign.n;
+  let got_names = Ckio.r_list r Ckio.r_string in
+  if got_names <> names then
+    raise
+      (Checkpoint.Mismatch
+         (Printf.sprintf "checkpoint covers circuits [%s], this run requests \
+                          [%s]"
+            (String.concat ", " got_names)
+            (String.concat ", " names)));
+  let completed =
+    Ckio.r_list r (fun r ->
+        let name = Ckio.r_string r in
+        let sync_found = Ckio.r_bool r in
+        let trials = Campaign.decode_trials r in
+        Campaign.rebuild ~name ~config ~sync_found trials)
+  in
+  let current = Campaign.decode_trials r in
+  Ckio.expect_end r;
+  if List.length completed > List.length names then
+    raise
+      (Checkpoint.Corrupt "checkpoint lists more finished campaigns than \
+                           circuits");
+  (completed, current)
+
+let run_campaigns ~config ~defense_name ~obs ?pool ~ctl ~checkpoint ~resume
+    entries =
+  let circuits =
+    List.map
+      (fun (e : Bist_bench.Registry.entry) -> (e.name, e.circuit ()))
+      entries
+  in
+  let names = List.map fst circuits in
+  let joined = String.concat "," names in
+  let fingerprint =
+    Bist_resilience.Crc32.string
+      (String.concat "\n"
+         (List.map
+            (fun (_, c) -> Bist_circuit.Bench_writer.to_string c)
+            circuits))
+  in
+  let completed0, current0 =
+    match resume with
+    | None -> ([], [])
+    | Some path ->
+      Bist_obs.Obs.span obs ~cat:"checkpoint" "checkpoint.load"
+        ~args:(fun () -> [ ("path", path) ])
+        (fun () ->
+          let header = Checkpoint.load path in
+          Checkpoint.ensure ~kind:"inject" ~circuit:joined ~fingerprint header;
+          decode_inject_payload ~config ~defense_name ~names
+            header.Checkpoint.payload)
+  in
+  let preempt ~completed ~current =
+    (match checkpoint with
+    | None -> ()
+    | Some path ->
+      Bist_obs.Obs.span obs ~cat:"checkpoint" "checkpoint.save"
+        ~args:(fun () -> [ ("path", path) ])
+        (fun () ->
+          Checkpoint.save ~path
+            { Checkpoint.kind = "inject"; circuit = joined; fingerprint;
+              payload =
+                encode_inject_payload ~config ~defense_name ~names ~completed
+                  ~current }));
+    raise
+      (Preempted_run
+         { reason =
+             (match ctl with
+             | Some c -> Option.value (Ctl.stop_reason c) ~default:Ctl.Cancelled
+             | None -> Ctl.Cancelled);
+           checkpoint })
+  in
+  let done_campaigns = ref completed0 in
+  let skip = List.length completed0 in
+  let pending = List.filteri (fun i _ -> i >= skip) circuits in
+  List.iteri
+    (fun i (name, circuit) ->
+      let resume_trials = if i = 0 then current0 else [] in
+      match
+        Campaign.run ~config ~obs ?pool ?ctl ~resume:resume_trials ~name
+          circuit
+      with
+      | c -> done_campaigns := !done_campaigns @ [ c ]
+      | exception Campaign.Interrupted trials ->
+        preempt ~completed:!done_campaigns ~current:trials)
+    pending;
+  (match checkpoint with
+  | Some path when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  !done_campaigns
 
 let with_obs ~trace ~stats f =
   if trace = None && not stats then f Bist_obs.Obs.null
@@ -110,7 +267,8 @@ let smoke seed count =
     1
   end
 
-let main circuits seed count defense n smoke_flag verbose jobs trace stats =
+let main circuits seed count defense n smoke_flag verbose jobs trace stats
+    deadline checkpoint resume =
   if count < 1 then begin
     Printf.eprintf "error: --count must be >= 1 (got %d)\n" count;
     exit 2
@@ -123,14 +281,18 @@ let main circuits seed count defense n smoke_flag verbose jobs trace stats =
   | Error msg ->
     Printf.eprintf "error: %s\n" msg;
     2
-  | Ok defense ->
+  | Ok defense_cfg ->
     if smoke_flag then smoke seed count
     else begin
-      let config = { Campaign.default_config with seed; count; defense; n } in
+      let config =
+        { Campaign.default_config with seed; count; defense = defense_cfg; n }
+      in
       let pool = pool_of_jobs jobs in
+      let ctl = make_ctl ~deadline ~checkpoint in
       let campaigns =
         with_obs ~trace ~stats (fun obs ->
-            List.map (run_campaign ~config ~obs ?pool) (resolve_circuits circuits))
+            run_campaigns ~config ~defense_name:defense ~obs ?pool ~ctl
+              ~checkpoint ~resume (resolve_circuits circuits))
       in
       print_campaigns ~verbose campaigns;
       let escaped = List.exists (fun (c : Campaign.t) -> c.escaped > 0) campaigns in
@@ -189,6 +351,33 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Print the per-phase timing summary to stderr.")
 
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget in seconds. When it runs out the campaigns \
+           stop at the next trial-wave boundary, write a checkpoint if \
+           $(b,--checkpoint) is set, and exit with code 3.")
+
+let checkpoint_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Where to write the resumable snapshot if the run is preempted \
+           (deadline, SIGINT or SIGTERM). Written atomically; deleted on \
+           successful completion. Not used by --smoke.")
+
+let resume_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a checkpoint written by an earlier preempted run \
+           with the same parameters and circuit list. The campaign \
+           results are identical to an uninterrupted run's.")
+
 let () =
   let info =
     Cmd.info "inject" ~version:"1.0.0"
@@ -198,13 +387,30 @@ let () =
     Cmd.v info
       Term.(
         const main $ circuits_arg $ seed_arg $ count_arg $ defense_arg $ n_arg
-        $ smoke_arg $ verbose_arg $ jobs_arg $ trace_arg $ stats_arg)
+        $ smoke_arg $ verbose_arg $ jobs_arg $ trace_arg $ stats_arg
+        $ deadline_arg $ checkpoint_arg $ resume_arg)
   in
   match Cmd.eval' ~catch:false cmd with
   | code -> exit code
   | exception Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 2
-  | exception (Bist_harness.Seq_io.Parse_error _ as e) ->
+  | exception
+      (( Bist_harness.Seq_io.Parse_error _
+       | Checkpoint.Corrupt _ | Checkpoint.Mismatch _ ) as e) ->
     Printf.eprintf "error: %s\n" (Printexc.to_string e);
     exit 2
+  | exception Preempted_run { reason; checkpoint } ->
+    (match checkpoint with
+    | Some path ->
+      Printf.eprintf
+        "preempted (%s): checkpoint written to %s — resume with --resume %s\n"
+        (Ctl.reason_name reason) path path
+    | None ->
+      Printf.eprintf
+        "preempted (%s): no --checkpoint path was given, progress discarded\n"
+        (Ctl.reason_name reason));
+    exit 3
+  | exception Ctl.Preempted reason ->
+    Printf.eprintf "preempted (%s)\n" (Ctl.reason_name reason);
+    exit 3

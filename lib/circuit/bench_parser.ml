@@ -102,13 +102,25 @@ let parse_string ~name text =
     { builder = Builder.create ~name; def_lines = Hashtbl.create 64; uses_rev = [] }
   in
   let lines = String.split_on_char '\n' text in
-  List.iteri (fun i line -> parse_line st (i + 1) line) lines;
+  (* [Builder] reports its own invariant violations as [Failure] —
+     correct for programmatic construction, but from the parser every
+     rejection of input text must be a [Parse_error]: callers (and the
+     fuzz gate) rely on malformed text never raising anything else. *)
+  List.iteri
+    (fun i line ->
+      try parse_line st (i + 1) line
+      with Failure message -> error (i + 1) "%s" message)
+    lines;
   List.iter
     (fun (signal, lineno, context) ->
       if not (Hashtbl.mem st.def_lines signal) then
         error lineno "%s references undefined signal %S" context signal)
     (List.rev st.uses_rev);
-  Builder.finalize st.builder
+  try Builder.finalize st.builder
+  with Failure message ->
+    (* Whole-netlist properties (a combinational loop, no outputs, ...)
+       have no single offending line; 0 marks "the file as a whole". *)
+    error 0 "%s" message
 
 let parse_file path =
   let ic = open_in_bin path in

@@ -14,13 +14,14 @@
 exception Parse_error of { line : int; message : string }
 
 val parse_string : name:string -> string -> Netlist.t
-(** [parse_string ~name text] parses a whole file's contents. The
+(** [parse_string ~name text] parses a whole file's contents. Malformed
+    input raises {!Parse_error} and nothing else — netlist-level
+    rejections (a combinational loop, an empty netlist) are reported
+    with line 0, meaning "the file as a whole". The
     [name] labels the circuit in reports.
     Raises {!Parse_error} — with the offending line number — on a syntax
     error, a duplicate signal definition, an unknown gate kind, or a
-    reference to an undefined signal (dangling fanin or OUTPUT); and
-    [Failure] on a circuit that is structurally invalid beyond that
-    (e.g. a combinational cycle). *)
+    reference to an undefined signal (dangling fanin or OUTPUT). *)
 
 val parse_file : string -> Netlist.t
 (** Reads the file; the circuit name is the basename without extension. *)

@@ -49,15 +49,18 @@ let pick_target ~fault_order ~rng table targets =
     if Array.length ids = 0 then None else Some (Rng.choose rng ids)
 
 let run ?(strategy = Procedure2.paper_strategy) ?(operators = Ops.all_operators)
-    ?(fault_order = `Max_udet) ?(obs = Obs.null) ~rng ~n ~t0 universe =
+    ?(fault_order = `Max_udet) ?(obs = Obs.null) ?ctl ~rng ~n ~t0 universe =
   let circuit = Universe.circuit universe in
-  let table = Fault_table.compute ~obs universe t0 in
+  let table = Fault_table.compute ~obs ?ctl universe t0 in
   let t0_detected = Fault_table.detected table in
   let targets = Bitset.copy t0_detected in
   let time_units = ref 0 in
   let selected = ref [] in
   let continue = ref true in
   while !continue do
+    (* Safe point between targets: the scheme built so far is complete
+       and nothing about the next target has been committed. *)
+    Bist_resilience.Ctl.poll ctl;
     match pick_target ~fault_order ~rng table targets with
     | None -> continue := false
     | Some fid ->
@@ -75,7 +78,7 @@ let run ?(strategy = Procedure2.paper_strategy) ?(operators = Ops.all_operators)
         (fun () ->
           let proc2 =
             try
-              Procedure2.find ~strategy ~operators ~obs ~rng ~n ~t0 ~udet
+              Procedure2.find ~strategy ~operators ~obs ?ctl ~rng ~n ~t0 ~udet
                 circuit fault
             with Procedure2.Undetected { fault; udet } ->
               (* Enrich with the universe id: the table said T0 detects

@@ -33,6 +33,7 @@ val run :
   ?operators:Ops.operator list ->
   ?fault_order:[ `Max_udet | `Min_udet | `Random ] ->
   ?obs:Bist_obs.Obs.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
   rng:Bist_util.Rng.t ->
   n:int ->
   t0:Bist_logic.Tseq.t ->
@@ -41,7 +42,13 @@ val run :
 (** [fault_order] (default [`Max_udet], the paper's rule) exists for the
     ablation study. [obs] records one ["proc1.target"] span per selected
     sequence (tagged with the target fault and its [udet]) around the
-    Procedure-2 spans, plus the fault-simulation shard spans. *)
+    Procedure-2 spans, plus the fault-simulation shard spans.
+
+    [ctl] (default: none) is polled between targets and forwarded to the
+    fault-table pass and {!Procedure2.find}; a demanded stop raises
+    {!Bist_resilience.Ctl.Preempted}. Procedure 1 itself is cheap (the
+    expensive [T0] generation checkpoints upstream), so it carries no
+    resumable snapshot — a preempted selection restarts. *)
 
 val sequences : result -> Bist_logic.Tseq.t list
 

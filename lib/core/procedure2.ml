@@ -36,13 +36,16 @@ type outcome = {
 }
 
 let find ?(strategy = paper_strategy) ?(operators = Ops.all_operators)
-    ?(obs = Obs.null) ~rng ~n ~t0 ~udet circuit fault =
+    ?(obs = Obs.null) ?ctl ~rng ~n ~t0 ~udet circuit fault =
   if udet < 0 || udet >= Tseq.length t0 then invalid_arg "Procedure2.find: udet out of range";
   let fault_name = Bist_fault.Fault.name circuit fault in
   let sims = ref 0 in
   let time_units = ref 0 in
   let single = Fsim.single circuit fault in
   let detects seq =
+    (* Every widen step and omission trial funnels through here, so one
+       poll covers both loops at simulation granularity. *)
+    Bist_resilience.Ctl.poll ctl;
     let exp = Ops.expand_with ~operators ~n seq in
     incr sims;
     time_units := !time_units + Tseq.length exp;

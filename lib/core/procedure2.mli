@@ -54,6 +54,7 @@ val find :
   ?strategy:strategy ->
   ?operators:Ops.operator list ->
   ?obs:Bist_obs.Obs.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
   rng:Bist_util.Rng.t ->
   n:int ->
   t0:Bist_logic.Tseq.t ->
@@ -69,4 +70,8 @@ val find :
     [obs] records a ["proc2.widen"] span (window growth, phase 1) and a
     ["proc2.omit"] span (vector omission, phase 2) per call, each tagged
     with the fault name, plus a ["proc2.undetected"] counter when the
-    typed error fires. *)
+    typed error fires.
+
+    [ctl] (default: none) is polled before every single-fault simulation
+    in both phases; a demanded stop raises
+    {!Bist_resilience.Ctl.Preempted} without leaving partial state. *)

@@ -9,6 +9,7 @@ type t
 val compute :
   ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
   Universe.t ->
   Bist_logic.Tseq.t ->
   t
@@ -16,7 +17,8 @@ val compute :
     shards the simulation over domains with bit-identical results (see
     {!Fsim.run}); the default is sequential unless [BIST_JOBS] is set.
     [obs] wraps the run in a ["fault_table.compute"] span and records
-    the per-shard spans of {!Fsim.run}. *)
+    the per-shard spans of {!Fsim.run}. [ctl] is forwarded to
+    {!Fsim.run} and may raise {!Bist_resilience.Ctl.Preempted}. *)
 
 val universe : t -> Universe.t
 val sequence : t -> Bist_logic.Tseq.t

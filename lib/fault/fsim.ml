@@ -24,13 +24,16 @@ let install sim fault ~lane =
    shards never share mutable simulation state. A fault's detection time
    does not depend on which other faults share its 63-lane pass, so any
    slicing of the canonical id order yields the same times. *)
-let run_ids ~stop_when_all_detected universe seq ids =
+let run_ids ?ctl ~stop_when_all_detected universe seq ids =
   let circuit = Universe.circuit universe in
   let k = Array.length ids in
   let det_local = Array.make k (-1) in
   let sim = Packed_sim.create circuit in
   let n_groups = (k + faults_per_pass - 1) / faults_per_pass in
   for g = 0 to n_groups - 1 do
+    (* Safe point between 63-fault groups: nothing partial is committed,
+       a preempted shard just raises out through the pool. *)
+    Bist_resilience.Ctl.poll ctl;
     let base = g * faults_per_pass in
     let group_size = min faults_per_pass (k - base) in
     Packed_sim.clear_forces sim;
@@ -56,7 +59,7 @@ let run_ids ~stop_when_all_detected universe seq ids =
   done;
   det_local
 
-let run ?(obs = Obs.null) ?pool ?targets ?(stop_when_all_detected = false)
+let run ?(obs = Obs.null) ?pool ?ctl ?targets ?(stop_when_all_detected = false)
     universe seq =
   let n_faults = Universe.size universe in
   let target_ids =
@@ -75,7 +78,7 @@ let run ?(obs = Obs.null) ?pool ?targets ?(stop_when_all_detected = false)
       ~args:(fun () ->
         [ ("faults", string_of_int (Array.length ids));
           ("seq_len", string_of_int (Tseq.length seq)) ])
-      (fun () -> run_ids ~stop_when_all_detected universe seq ids)
+      (fun () -> run_ids ?ctl ~stop_when_all_detected universe seq ids)
   in
   let det_time, detected =
     Bist_parallel.Shard.detections ?pool ~size:n_faults ~f target_ids

@@ -21,6 +21,7 @@ type outcome = {
 val run :
   ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
   ?targets:Bist_util.Bitset.t ->
   ?stop_when_all_detected:bool ->
   Universe.t ->
@@ -39,7 +40,14 @@ val run :
 
     [obs] (default {!Bist_obs.Obs.null}, a no-op) records one
     ["fsim.shard"] span per shard, tagged with the executing domain's id
-    and the shard's fault count. *)
+    and the shard's fault count.
+
+    [ctl] (default: none) is polled between 63-fault groups inside every
+    shard — including on worker domains — and raises
+    {!Bist_resilience.Ctl.Preempted} at that safe point. The caller that
+    owns resumable state (engine round, compaction trial) catches it and
+    re-raises its own snapshot-carrying [Interrupted]; nothing in this
+    module is left partially mutated. *)
 
 val coverage : outcome -> float
 (** Detected targets / universe size. *)

@@ -4,6 +4,8 @@ module Netlist = Bist_circuit.Netlist
 module Injector = Bist_hw.Injector
 module Session = Bist_hw.Session
 module Misr = Bist_hw.Misr
+module Ctl = Bist_resilience.Ctl
+module Checkpoint = Bist_resilience.Checkpoint
 
 type config = {
   seed : int;
@@ -101,8 +103,33 @@ let classify ~golden (report : Session.report) fault =
     degraded;
   }
 
-let run ?(config = default_config) ?(obs = Bist_obs.Obs.null) ?pool ~name
-    circuit =
+exception Interrupted of trial list
+
+let () =
+  Printexc.register_printer (function
+    | Interrupted trials ->
+      Some
+        (Printf.sprintf "Campaign.Interrupted (%d trials completed)"
+           (List.length trials))
+    | _ -> None)
+
+let finish ~name ~config ~sync_found trials =
+  let count o = List.length (List.filter (fun t -> t.outcome = o) trials) in
+  {
+    circuit_name = name;
+    config;
+    sync_found;
+    trials;
+    corrected = count Corrected;
+    detected = count Detected;
+    benign = count Benign;
+    escaped = count Escaped;
+  }
+
+let rebuild = finish
+
+let run ?(config = default_config) ?(obs = Bist_obs.Obs.null) ?pool ?ctl
+    ?(resume = []) ~name circuit =
   let module Obs = Bist_obs.Obs in
   let rng = Rng.create config.seed in
   let num_inputs = Netlist.num_inputs circuit in
@@ -146,28 +173,147 @@ let run ?(config = default_config) ?(obs = Bist_obs.Obs.null) ?pool ~name
         [ ("circuit", name); ("trials", string_of_int (Array.length chunk)) ])
       (fun () -> Array.map trial chunk)
   in
-  let trials =
-    match pool with
-    | Some p when Bist_parallel.Pool.jobs p > 1 && List.length faults > 1 ->
-      Bist_parallel.Shard.partition ~chunks:(Bist_parallel.Pool.jobs p)
-        (Array.of_list faults)
-      |> Bist_parallel.Pool.map_chunks p trial_chunk
-      |> Array.to_list
-      |> List.concat_map Array.to_list
-    | _ -> Array.to_list (trial_chunk (Array.of_list faults))
+  (* Resumed trials must be a prefix of this configuration's fault list —
+     anything else means the snapshot came from a different config. *)
+  let done_n = List.length resume in
+  if done_n > List.length faults then
+    raise
+      (Checkpoint.Mismatch
+         (Printf.sprintf
+            "campaign snapshot holds %d trials, the configuration generates \
+             only %d faults"
+            done_n (List.length faults)));
+  List.iteri
+    (fun i (t : trial) ->
+      if t.fault <> List.nth faults i then
+        raise
+          (Checkpoint.Mismatch
+             (Printf.sprintf
+                "campaign snapshot trial %d was injected with a different \
+                 fault than this configuration draws — wrong seed or config"
+                i)))
+    resume;
+  let remaining =
+    Array.of_list (List.filteri (fun i _ -> i >= done_n) faults)
   in
+  (* Trials run in waves; the boundary between waves is the safe point.
+     Each wave is chunked over the pool exactly like the full fault list
+     used to be, and since trials are independent and the fault list is
+     fixed up front, the wave size changes neither the trial list nor
+     its order — only how often preemption can land. *)
+  let wave_size =
+    match pool with
+    | Some p when Bist_parallel.Pool.jobs p > 1 ->
+      2 * Bist_parallel.Pool.jobs p
+    | _ -> 1
+  in
+  let completed = ref resume in
+  let pos = ref 0 in
+  while !pos < Array.length remaining do
+    (match ctl with
+    | Some c when Ctl.stop_reason c <> None -> raise (Interrupted !completed)
+    | _ -> ());
+    let len = min wave_size (Array.length remaining - !pos) in
+    let wave = Array.sub remaining !pos len in
+    let results =
+      match pool with
+      | Some p when Bist_parallel.Pool.jobs p > 1 && len > 1 ->
+        Bist_parallel.Shard.partition ~chunks:(Bist_parallel.Pool.jobs p) wave
+        |> Bist_parallel.Pool.map_chunks p trial_chunk
+        |> Array.to_list
+        |> List.concat_map Array.to_list
+      | _ -> Array.to_list (trial_chunk wave)
+    in
+    completed := !completed @ results;
+    (match ctl with None -> () | Some c -> Ctl.note_progress c);
+    pos := !pos + len
+  done;
+  let trials = !completed in
   Obs.count obs ~by:(List.length trials) "campaign.trials";
-  let count o = List.length (List.filter (fun t -> t.outcome = o) trials) in
-  {
-    circuit_name = name;
-    config;
-    sync_found = sync <> None;
-    trials;
-    corrected = count Corrected;
-    detected = count Detected;
-    benign = count Benign;
-    escaped = count Escaped;
-  }
+  finish ~name ~config ~sync_found:(sync <> None) trials
+
+(* Trial-list codec — the campaign section of an ["inject"] checkpoint. *)
+
+module Io = Checkpoint.Io
+
+let encode_fault w (f : Injector.fault) =
+  match f with
+  | Injector.Mem_flip { word; bit; phase } ->
+    Io.u8 w 0;
+    Io.u32 w word;
+    Io.u32 w bit;
+    Io.bool w (phase = `Load)
+  | Injector.Mem_stuck { word; bit; value } ->
+    Io.u8 w 1;
+    Io.u32 w word;
+    Io.u32 w bit;
+    Io.bool w value
+  | Injector.Addr_stuck { bit; value } ->
+    Io.u8 w 2;
+    Io.u32 w bit;
+    Io.bool w value
+  | Injector.Early_termination { dropped } ->
+    Io.u8 w 3;
+    Io.u32 w dropped
+  | Injector.Late_termination { extra } ->
+    Io.u8 w 4;
+    Io.u32 w extra
+  | Injector.Misr_corrupt { mask } ->
+    Io.u8 w 5;
+    Io.int w mask
+
+let decode_fault r : Injector.fault =
+  match Io.r_u8 r with
+  | 0 ->
+    let word = Io.r_u32 r in
+    let bit = Io.r_u32 r in
+    let phase = if Io.r_bool r then `Load else `Stored in
+    Injector.Mem_flip { word; bit; phase }
+  | 1 ->
+    let word = Io.r_u32 r in
+    let bit = Io.r_u32 r in
+    let value = Io.r_bool r in
+    Injector.Mem_stuck { word; bit; value }
+  | 2 ->
+    let bit = Io.r_u32 r in
+    let value = Io.r_bool r in
+    Injector.Addr_stuck { bit; value }
+  | 3 -> Injector.Early_termination { dropped = Io.r_u32 r }
+  | 4 -> Injector.Late_termination { extra = Io.r_u32 r }
+  | 5 -> Injector.Misr_corrupt { mask = Io.r_int r }
+  | tag ->
+    raise (Checkpoint.Corrupt (Printf.sprintf "unknown fault tag %d" tag))
+
+let encode_outcome w o =
+  Io.u8 w
+    (match o with Corrected -> 0 | Detected -> 1 | Benign -> 2 | Escaped -> 3)
+
+let decode_outcome r =
+  match Io.r_u8 r with
+  | 0 -> Corrected
+  | 1 -> Detected
+  | 2 -> Benign
+  | 3 -> Escaped
+  | tag ->
+    raise (Checkpoint.Corrupt (Printf.sprintf "unknown outcome tag %d" tag))
+
+let encode_trial w t =
+  encode_fault w t.fault;
+  encode_outcome w t.outcome;
+  Io.u32 w t.attempts;
+  Io.u32 w t.detections;
+  Io.bool w t.degraded
+
+let decode_trial r =
+  let fault = decode_fault r in
+  let outcome = decode_outcome r in
+  let attempts = Io.r_u32 r in
+  let detections = Io.r_u32 r in
+  let degraded = Io.r_bool r in
+  { fault; outcome; attempts; detections; degraded }
+
+let encode_trials w trials = Io.list w encode_trial trials
+let decode_trials r = Io.r_list r decode_trial
 
 let kinds = [ "mem-flip"; "mem-stuck"; "addr-stuck"; "early-term"; "late-term"; "misr-corrupt" ]
 

@@ -58,10 +58,18 @@ type t = {
   escaped : int;
 }
 
+exception Interrupted of trial list
+(** Raised out of {!run} when [ctl] demands a stop, carrying the trials
+    completed so far (in canonical fault order). Pass them back via
+    [?resume] to continue; everything else about a campaign is a
+    deterministic function of the config. *)
+
 val run :
   ?config:config ->
   ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
+  ?resume:trial list ->
   name:string ->
   Bist_circuit.Netlist.t ->
   t
@@ -70,9 +78,27 @@ val run :
     sessions, and parallel trial chunks are merged back in canonical
     order. Default sequential.
 
+    [ctl] (default: none) is polled between waves of trials (one trial
+    per wave sequentially, [2 * jobs] per wave on a pool); a demanded
+    stop raises {!Interrupted}, and each completed wave notes progress.
+    [resume] (default [[]]) skips trials already run; the resumed trials
+    are validated against the configuration's fault list and a
+    disagreement raises {!Bist_resilience.Checkpoint.Mismatch}. The
+    final campaign is identical to an uninterrupted run's.
+
     [obs] records a ["campaign.golden"] span for the clean oracle run
     and one ["campaign.trials"] span per trial chunk, tagged with the
     executing domain, plus a ["campaign.trials"] counter. *)
+
+val rebuild :
+  name:string -> config:config -> sync_found:bool -> trial list -> t
+(** Reassemble a completed campaign from its trial list without re-running
+    anything — used when loading a multi-circuit checkpoint whose earlier
+    circuits already finished. *)
+
+val encode_trials : Bist_resilience.Checkpoint.Io.writer -> trial list -> unit
+val decode_trials : Bist_resilience.Checkpoint.Io.reader -> trial list
+(** Raises {!Bist_resilience.Checkpoint.Corrupt} on malformed input. *)
 
 val by_kind : t -> (string * (int * int * int * int)) list
 (** Outcome counts [(corrected, detected, benign, escaped)] per fault

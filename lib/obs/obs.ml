@@ -84,10 +84,7 @@ let trace_json t =
 let write_trace t path =
   match t with
   | None | Some { trace = None; _ } ->
-    let oc = open_out_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () -> output_string oc empty_trace)
+    Bist_resilience.Atomic_io.write_file ~path empty_trace
   | Some { trace = Some tr; _ } -> Trace.write_file tr path
 
 let summary t =

@@ -77,8 +77,8 @@ let to_json t =
   Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents buf
 
+(* Atomic (temp + rename): a run killed while flushing its trace must
+   not leave a truncated, unparseable file where a previous good trace
+   may have been — whatever is at [path] always passes `trace-check`. *)
 let write_file t path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_json t))
+  Bist_resilience.Atomic_io.write_file ~path (to_json t)

@@ -31,6 +31,8 @@ val to_json : t -> string
 (** The full trace document, events in the order they were recorded. *)
 
 val write_file : t -> string -> unit
+(** Atomic (temp file + rename, {!Bist_resilience.Atomic_io}): a killed
+    run never leaves a truncated trace on disk. *)
 
 val escape_json : string -> string
 (** JSON string-literal escaping (quotes, backslashes, control

@@ -1,0 +1,45 @@
+(* Crash-safe file replacement: write to a temp file in the same
+   directory, fsync it, rename over the target, then fsync the directory
+   so the rename itself survives a crash. Readers therefore only ever see
+   the old content or the complete new content, never a prefix. *)
+
+let fsync_dir dir =
+  (* Best-effort: some filesystems refuse fsync on a directory fd; the
+     rename is already atomic for readers, the directory sync only
+     hardens against power loss. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write_file ~path content =
+  let dir = Filename.dirname path in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (match
+     let len = String.length content in
+     let written = ref 0 in
+     while !written < len do
+       written :=
+         !written + Unix.write_substring fd content !written (len - !written)
+     done;
+     Unix.fsync fd
+   with
+  | () -> Unix.close fd
+  | exception e ->
+    (try Unix.close fd with _ -> ());
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  (match Unix.rename tmp path with
+  | () -> ()
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  fsync_dir dir
+
+let read_file ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

@@ -1,0 +1,15 @@
+(** Atomic whole-file replacement (temp file + fsync + rename).
+
+    Every artifact a run may be killed while writing — checkpoints,
+    traces, the bench trajectory — goes through {!write_file}, so a file
+    on disk is always either the previous complete version or the new
+    complete version. *)
+
+val write_file : path:string -> string -> unit
+(** [write_file ~path content] atomically replaces [path] with
+    [content]. The temp file ([path.tmp.<pid>]) lives in the target's
+    directory so the rename never crosses filesystems; it is removed on
+    failure. Raises [Unix.Unix_error] on I/O failure. *)
+
+val read_file : path:string -> string
+(** Read a whole file into a string (convenience counterpart). *)

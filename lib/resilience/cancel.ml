@@ -1,0 +1,7 @@
+type t = bool Atomic.t
+
+let create () = Atomic.make false
+
+let request t = Atomic.set t true
+
+let requested t = Atomic.get t

@@ -1,0 +1,24 @@
+(** Cooperative cancellation tokens.
+
+    A token is a single atomic flag: {!request} flips it (idempotent,
+    safe from a signal handler or any domain), and workers observe it at
+    their next poll. This is how SIGINT/SIGTERM reach the generation
+    loops — the CLI's signal handler only calls {!request}; all the
+    actual unwinding happens cooperatively at safe points, so no
+    checkpoint is ever written from inside a signal handler and no
+    half-updated engine state is ever serialized.
+
+    Tokens cross {!Bist_parallel.Pool} domain boundaries freely: the
+    fault-simulation shards poll the same token the main domain arms. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, un-requested token. *)
+
+val request : t -> unit
+(** Arm the token. Idempotent; async-signal-safe (a single atomic
+    store). *)
+
+val requested : t -> bool
+(** Poll. A single atomic load. *)

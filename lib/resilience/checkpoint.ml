@@ -1,0 +1,221 @@
+exception Corrupt of string
+exception Mismatch of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "corrupt checkpoint: %s" msg)
+    | Mismatch msg -> Some (Printf.sprintf "checkpoint mismatch: %s" msg)
+    | _ -> None)
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+let mismatch fmt = Printf.ksprintf (fun msg -> raise (Mismatch msg)) fmt
+
+module Io = struct
+  type writer = Buffer.t
+
+  let writer () = Buffer.create 1024
+  let contents = Buffer.contents
+
+  let u8 w v =
+    if v < 0 || v > 0xFF then invalid_arg "Checkpoint.Io.u8: out of range";
+    Buffer.add_char w (Char.chr v)
+
+  let i64 w v = Buffer.add_int64_le w v
+
+  let int w v = i64 w (Int64.of_int v)
+
+  let u32 w v =
+    if v < 0 || v > 0xFFFF_FFFF then invalid_arg "Checkpoint.Io.u32: out of range";
+    Buffer.add_int32_le w (Int32.of_int v)
+
+  let bool w v = u8 w (if v then 1 else 0)
+
+  let string w s =
+    u32 w (String.length s);
+    Buffer.add_string w s
+
+  let list w f items =
+    u32 w (List.length items);
+    List.iter (f w) items
+
+  let option w f = function
+    | None -> u8 w 0
+    | Some v ->
+      u8 w 1;
+      f w v
+
+  type reader = { data : string; mutable pos : int }
+
+  let reader data = { data; pos = 0 }
+
+  let need r n =
+    if n < 0 || r.pos + n > String.length r.data then
+      corrupt "payload truncated at byte %d (needs %d more)" r.pos n
+
+  let r_u8 r =
+    need r 1;
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let r_i64 r =
+    need r 8;
+    let v = String.get_int64_le r.data r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let r_int r = Int64.to_int (r_i64 r)
+
+  let r_u32 r =
+    need r 4;
+    let v = Int32.to_int (String.get_int32_le r.data r.pos) land 0xFFFF_FFFF in
+    r.pos <- r.pos + 4;
+    v
+
+  let r_bool r =
+    match r_u8 r with
+    | 0 -> false
+    | 1 -> true
+    | v -> corrupt "invalid boolean byte %d" v
+
+  let r_string r =
+    let n = r_u32 r in
+    need r n;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let r_list r f =
+    let n = r_u32 r in
+    List.init n (fun _ -> f r)
+
+  let r_option r f =
+    match r_u8 r with
+    | 0 -> None
+    | 1 -> Some (f r)
+    | v -> corrupt "invalid option tag %d" v
+
+  let at_end r = r.pos = String.length r.data
+
+  let expect_end r =
+    if not (at_end r) then
+      corrupt "trailing garbage: %d unread bytes" (String.length r.data - r.pos)
+end
+
+(* Domain-type codecs shared by every snapshot payload. *)
+
+let rng (w : Io.writer) t = Array.iter (Io.i64 w) (Bist_util.Rng.export t)
+
+let r_rng r =
+  let words = Array.init 4 (fun _ -> Io.r_i64 r) in
+  match Bist_util.Rng.import words with
+  | t -> t
+  | exception Invalid_argument msg -> corrupt "%s" msg
+
+let bitset w (set : Bist_util.Bitset.t) =
+  Io.u32 w (Bist_util.Bitset.capacity set);
+  Io.u32 w (Bist_util.Bitset.cardinal set);
+  Bist_util.Bitset.iter (fun id -> Io.u32 w id) set
+
+let r_bitset r =
+  let capacity = Io.r_u32 r in
+  let count = Io.r_u32 r in
+  let set = Bist_util.Bitset.create capacity in
+  for _ = 1 to count do
+    let id = Io.r_u32 r in
+    if id >= capacity then corrupt "bitset member %d exceeds capacity %d" id capacity;
+    Bist_util.Bitset.add set id
+  done;
+  set
+
+let tseq w (seq : Bist_logic.Tseq.t) =
+  Io.u32 w (Bist_logic.Tseq.width seq);
+  Io.u32 w (Bist_logic.Tseq.length seq);
+  Bist_logic.Tseq.iter
+    (fun v -> Buffer.add_string w (Bist_logic.Vector.to_string v))
+    seq
+
+let r_tseq r =
+  let width = Io.r_u32 r in
+  let length = Io.r_u32 r in
+  Io.need r (width * length);
+  let vector _ =
+    let s = String.sub r.Io.data r.Io.pos width in
+    r.Io.pos <- r.Io.pos + width;
+    match Bist_logic.Vector.of_string s with
+    | v -> v
+    | exception Invalid_argument msg -> corrupt "bad vector: %s" msg
+  in
+  if length = 0 then Bist_logic.Tseq.empty width
+  else Bist_logic.Tseq.of_vectors (Array.init length vector)
+
+(* Container format:
+     magic "BISTCKPT" | u32 version | kind | circuit | u32 fingerprint
+     | payload | u32 crc32-of-everything-before
+   All multibyte fields little-endian; strings length-prefixed. *)
+
+let magic = "BISTCKPT"
+let version = 1
+
+type header = {
+  kind : string;
+  circuit : string;
+  fingerprint : int32;
+  payload : string;
+}
+
+let encode { kind; circuit; fingerprint; payload } =
+  let w = Io.writer () in
+  Buffer.add_string w magic;
+  Io.u32 w version;
+  Io.string w kind;
+  Io.string w circuit;
+  Io.u32 w (Int32.to_int fingerprint land 0xFFFF_FFFF);
+  Io.string w payload;
+  let body = Io.contents w in
+  let crc = Crc32.string body in
+  Io.u32 w (Int32.to_int crc land 0xFFFF_FFFF);
+  Io.contents w
+
+let decode data =
+  let n = String.length data in
+  if n < String.length magic + 8 then corrupt "file too short (%d bytes)" n;
+  if String.sub data 0 (String.length magic) <> magic then
+    corrupt "bad magic (not a checkpoint file)";
+  let stored_crc =
+    Int32.to_int (String.get_int32_le data (n - 4)) land 0xFFFF_FFFF
+  in
+  let computed =
+    Int32.to_int (Crc32.update 0l data ~pos:0 ~len:(n - 4)) land 0xFFFF_FFFF
+  in
+  if stored_crc <> computed then
+    corrupt "CRC mismatch (stored %08x, computed %08x) — truncated or bit-flipped"
+      stored_crc computed;
+  let r = Io.reader (String.sub data (String.length magic) (n - String.length magic - 4)) in
+  let v = Io.r_u32 r in
+  if v <> version then corrupt "unsupported version %d (this build reads %d)" v version;
+  let kind = Io.r_string r in
+  let circuit = Io.r_string r in
+  let fingerprint = Int32.of_int (Io.r_u32 r) in
+  let payload = Io.r_string r in
+  Io.expect_end r;
+  { kind; circuit; fingerprint; payload }
+
+let save ~path header = Atomic_io.write_file ~path (encode header)
+
+let load path =
+  match Atomic_io.read_file ~path with
+  | data -> decode data
+  | exception Sys_error msg -> corrupt "%s" msg
+
+let ensure ~kind ~circuit ~fingerprint header =
+  if header.kind <> kind then
+    mismatch "checkpoint is for a %S run, this is %S" header.kind kind;
+  if header.circuit <> circuit then
+    mismatch "checkpoint was taken on circuit %S, this run is on %S"
+      header.circuit circuit;
+  if header.fingerprint <> fingerprint then
+    mismatch
+      "circuit %S has changed since the checkpoint was taken (fingerprint %08lx, \
+       expected %08lx)"
+      circuit fingerprint header.fingerprint

@@ -1,0 +1,90 @@
+(** Versioned, CRC-32-checksummed snapshots of engine progress.
+
+    A checkpoint file is a single atomic write ({!Atomic_io}): magic,
+    format version, the producing phase's [kind] tag, the circuit's name
+    and fingerprint (CRC-32 of its canonical [.bench] text), an opaque
+    payload, and a trailing CRC-32 over everything before it. Loading
+    verifies the checksum before parsing a byte of content, so a
+    truncated, bit-flipped or foreign file is a typed {!Corrupt} error —
+    never an exception escape or a silently wrong resume — and a
+    checkpoint from a different circuit or phase is a typed {!Mismatch}.
+
+    Payloads are produced with the {!Io} codec by the phase that owns
+    the state (engine, compaction, campaign each expose
+    [encode_snapshot]/[decode_snapshot]); this module stores them
+    without interpreting them. *)
+
+exception Corrupt of string
+(** The file is not a readable checkpoint: truncation, checksum
+    mismatch, unsupported version, malformed payload. *)
+
+exception Mismatch of string
+(** The file is a valid checkpoint for a different run: wrong phase
+    kind, circuit name, or circuit fingerprint. *)
+
+(** Length-prefixed little-endian binary codec for snapshot payloads.
+    Readers bound-check every access and raise {!Corrupt} (never an
+    out-of-bounds exception) on malformed input. *)
+module Io : sig
+  type writer
+
+  val writer : unit -> writer
+  val contents : writer -> string
+  val u8 : writer -> int -> unit
+  val u32 : writer -> int -> unit
+  val i64 : writer -> int64 -> unit
+  val int : writer -> int -> unit
+  val bool : writer -> bool -> unit
+  val string : writer -> string -> unit
+  val list : writer -> (writer -> 'a -> unit) -> 'a list -> unit
+  val option : writer -> (writer -> 'a -> unit) -> 'a option -> unit
+
+  type reader = { data : string; mutable pos : int }
+
+  val reader : string -> reader
+  val need : reader -> int -> unit
+  val r_u8 : reader -> int
+  val r_u32 : reader -> int
+  val r_i64 : reader -> int64
+  val r_int : reader -> int
+  val r_bool : reader -> bool
+  val r_string : reader -> string
+  val r_list : reader -> (reader -> 'a) -> 'a list
+  val r_option : reader -> (reader -> 'a) -> 'a option
+  val at_end : reader -> bool
+  val expect_end : reader -> unit
+end
+
+(** {2 Shared domain-type codecs} *)
+
+val rng : Io.writer -> Bist_util.Rng.t -> unit
+val r_rng : Io.reader -> Bist_util.Rng.t
+
+val bitset : Io.writer -> Bist_util.Bitset.t -> unit
+val r_bitset : Io.reader -> Bist_util.Bitset.t
+
+val tseq : Io.writer -> Bist_logic.Tseq.t -> unit
+val r_tseq : Io.reader -> Bist_logic.Tseq.t
+
+(** {2 The container} *)
+
+type header = {
+  kind : string;  (** Producing phase: ["tgen"], ["inject"], ... *)
+  circuit : string;  (** Circuit name the run was on. *)
+  fingerprint : int32;  (** {!Crc32.string} of the canonical bench text. *)
+  payload : string;  (** Opaque phase-owned snapshot bytes. *)
+}
+
+val encode : header -> string
+val decode : string -> header
+(** Raises {!Corrupt}. *)
+
+val save : path:string -> header -> unit
+(** Atomic: temp file + fsync + rename ({!Atomic_io.write_file}). *)
+
+val load : string -> header
+(** Raises {!Corrupt} (including on an unreadable file). *)
+
+val ensure : kind:string -> circuit:string -> fingerprint:int32 -> header -> unit
+(** Validate a loaded header against the current run; raises
+    {!Mismatch} naming the offending field. *)

@@ -1,0 +1,14 @@
+(** From-scratch CRC-32 (IEEE 802.3, the zlib/PNG polynomial).
+
+    Checkpoint files append this checksum over everything that precedes
+    it, so a truncated or bit-flipped snapshot is rejected before any of
+    its content is trusted. Circuit fingerprints use the same function
+    over the canonical [.bench] text. *)
+
+val string : string -> int32
+(** CRC-32 of a whole string. [string "123456789" = 0xCBF43926l]. *)
+
+val update : int32 -> string -> pos:int -> len:int -> int32
+(** Incremental form: [update crc s ~pos ~len] extends [crc] with a
+    substring. [string s = update 0l s ~pos:0 ~len:(String.length s)].
+    Raises [Invalid_argument] on an out-of-bounds range. *)

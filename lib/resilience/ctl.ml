@@ -1,0 +1,43 @@
+type reason = Deadline_exceeded | Cancelled
+
+let reason_name = function
+  | Deadline_exceeded -> "deadline"
+  | Cancelled -> "cancelled"
+
+exception Preempted of reason
+
+let () =
+  Printexc.register_printer (function
+    | Preempted r -> Some (Printf.sprintf "Ctl.Preempted (%s)" (reason_name r))
+    | _ -> None)
+
+type t = {
+  deadline : Deadline.t option;
+  cancel : Cancel.t option;
+  progress : int Atomic.t;
+}
+
+let create ?deadline ?cancel () = { deadline; cancel; progress = Atomic.make 0 }
+
+let note_progress t = Atomic.incr t.progress
+
+let progress t = Atomic.get t.progress
+
+(* Cancellation always wins and fires immediately; a deadline only fires
+   once at least one safe point has been committed ([note_progress]), so
+   a resumed run whose per-step cost exceeds the whole budget still
+   advances by one step per attempt instead of livelocking on the same
+   checkpoint. *)
+let stop_reason t =
+  match t.cancel with
+  | Some c when Cancel.requested c -> Some Cancelled
+  | _ -> (
+    match t.deadline with
+    | Some d when Atomic.get t.progress > 0 && Deadline.expired d ->
+      Some Deadline_exceeded
+    | _ -> None)
+
+let check t =
+  match stop_reason t with None -> () | Some r -> raise (Preempted r)
+
+let poll = function None -> () | Some t -> check t

@@ -1,0 +1,50 @@
+(** The preemption control handle threaded through the pipeline.
+
+    A [Ctl.t] bundles an optional wall-clock {!Deadline} and an optional
+    {!Cancel} token. Every long-running phase takes [?ctl:Ctl.t]
+    (default: no control, zero overhead) and calls {!poll} at its safe
+    points — iteration boundaries where no partial mutation is in
+    flight. When the control says stop, {!Preempted} unwinds to the
+    nearest holder of resumable state, which converts it into a typed
+    [Interrupted] exception carrying a snapshot (engine, compaction,
+    campaign) or lets it propagate to the CLI (phases with nothing worth
+    resuming).
+
+    {2 The progress guarantee}
+
+    A deadline only preempts after {!note_progress} has been called at
+    least once, i.e. after one resumable step has been committed. A
+    chain of checkpoint-resume-checkpoint cycles therefore always
+    terminates: each attempt commits at least one new step, no matter
+    how small the budget. Cancellation is immediate — a SIGTERM must
+    stop the run even if it has not advanced. *)
+
+type reason = Deadline_exceeded | Cancelled
+
+exception Preempted of reason
+(** Raised by {!check}/{!poll} at a safe point. Carries no state by
+    design: state travels in each phase's own [Interrupted] exception. *)
+
+val reason_name : reason -> string
+(** ["deadline"] / ["cancelled"] — for messages and trace args. *)
+
+type t
+
+val create : ?deadline:Deadline.t -> ?cancel:Cancel.t -> unit -> t
+
+val note_progress : t -> unit
+(** Record that a resumable step was committed (atomic; any domain). *)
+
+val progress : t -> int
+(** Steps committed so far. *)
+
+val stop_reason : t -> reason option
+(** [Some Cancelled] as soon as the token is requested; [Some
+    Deadline_exceeded] once the deadline passed {e and} progress was
+    made; [None] otherwise. *)
+
+val check : t -> unit
+(** Raise {!Preempted} if {!stop_reason} is set. *)
+
+val poll : t option -> unit
+(** {!check} through the [?ctl] option; no-op on [None]. *)

@@ -1,0 +1,9 @@
+type t = { clock : unit -> float; expires_at : float }
+
+let after ?(clock = Unix.gettimeofday) seconds =
+  if not (seconds > 0.0) then invalid_arg "Deadline.after: budget must be positive";
+  { clock; expires_at = clock () +. seconds }
+
+let expired t = t.clock () >= t.expires_at
+
+let remaining t = Float.max 0.0 (t.expires_at -. t.clock ())

@@ -1,0 +1,20 @@
+(** Wall-clock budgets for long-running generation phases.
+
+    A deadline is a fixed expiry instant; the pipeline polls {!expired}
+    at safe points (round boundaries, trial boundaries, 63-fault
+    simulation groups) and preempts cleanly instead of being killed
+    mid-write. Polling is a clock read and a compare — cheap enough for
+    inner loops — and is safe from any domain. *)
+
+type t
+
+val after : ?clock:(unit -> float) -> float -> t
+(** [after seconds] expires that many seconds from now. [clock]
+    (default [Unix.gettimeofday]) exists so tests can drive a
+    deterministic clock and preempt at an exact poll count. Raises
+    [Invalid_argument] on a non-positive budget. *)
+
+val expired : t -> bool
+
+val remaining : t -> float
+(** Seconds left; [0.] once expired. *)

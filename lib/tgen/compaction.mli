@@ -18,11 +18,32 @@ type stats = {
   final_length : int;
 }
 
+type snapshot = {
+  seq : Bist_logic.Tseq.t;  (** Current (partially compacted) sequence. *)
+  must_detect : Bist_util.Bitset.t option;
+      (** The baseline detected set; [None] when preempted before the
+          baseline simulation committed (resume recomputes it). *)
+  block : int;  (** Current block granularity. *)
+  start : int;  (** Next omission start position (back-to-front). *)
+  trials : int;
+  accepted : int;
+  initial_length : int;
+}
+(** State at a trial boundary; resuming here replays the remaining trials
+    exactly as the uninterrupted run would (compaction consumes no
+    randomness, so the whole scan is a function of this record). *)
+
+exception Interrupted of snapshot
+(** Raised out of {!compact} when [ctl] demands a stop, carrying the last
+    committed trial boundary. *)
+
 val compact :
   ?initial_block:int ->
   ?max_trials:int ->
   ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
+  ?resume:snapshot ->
   Bist_fault.Universe.t ->
   Bist_logic.Tseq.t ->
   Bist_logic.Tseq.t * stats
@@ -32,7 +53,22 @@ val compact :
     without changing which omissions are accepted (sharded simulation is
     bit-identical); default sequential unless [BIST_JOBS] is exported.
 
+    [ctl] (default: none) is polled at every trial boundary and forwarded
+    to the inner fault simulations; a stop raises {!Interrupted} with the
+    boundary snapshot, and each committed trial notes progress
+    ({!Bist_resilience.Ctl.note_progress}). [resume] (default: none)
+    continues from a snapshot; the [seq] argument is then ignored in
+    favor of the snapshot's sequence, and the final [stats] count trials
+    across all the resumed legs.
+
     [obs] records a ["compaction.baseline"] span for the initial
     must-detect simulation and one ["compaction.pass"] span per block
     granularity, whose args (evaluated when the pass ends) report the
     block size, trials, accepted omissions and resulting length. *)
+
+val encode_snapshot : Bist_resilience.Checkpoint.Io.writer -> snapshot -> unit
+val decode_snapshot : Bist_resilience.Checkpoint.Io.reader -> snapshot
+(** Raises {!Bist_resilience.Checkpoint.Corrupt} on malformed input. *)
+
+val snapshot_equal : snapshot -> snapshot -> bool
+(** Structural equality, for codec round-trip tests. *)

@@ -52,10 +52,51 @@ type stats = {
       (** Faults the prescreen proved untestable (0 when disabled). *)
 }
 
+(** {2 Preemption and resume}
+
+    Generation can be interrupted at {e safe points} — boundaries where
+    the whole run state is a handful of values — and later resumed from a
+    snapshot of that state. The headline invariant, pinned by the test
+    suite: a run that is preempted any number of times and resumed from
+    each snapshot produces the same [T0] and the same statistics,
+    bit for bit, as one uninterrupted run with the same seed. *)
+
+type phase =
+  | Standalone  (** Greedy rounds, candidates scored from the all-X state. *)
+  | Rebaseline  (** About to re-simulate the concatenated [T0]. *)
+  | Embedded  (** Greedy rounds, candidates scored appended to [T0]. *)
+  | Directed_tail of { ids : int array; next : int; attempts : int }
+      (** Between directed attempts: [ids] is the hardest-first target
+          order fixed when the phase began (it cannot be recomputed —
+          [remaining] has shrunk since), [next] indexes the next target,
+          [attempts] counts search attempts spent so far. *)
+  | Finalize  (** About to run the final coverage simulation. *)
+
+type snapshot = {
+  phase : phase;
+  t0 : Bist_logic.Tseq.t;
+  remaining : Bist_util.Bitset.t;
+  untestable : Bist_util.Bitset.t;
+  rounds : int;
+  accepted : int;
+  fruitless : int;  (** Fruitless-round streak inside the current phase. *)
+  rng : Bist_util.Rng.t;
+}
+(** Everything [generate] needs to continue from a safe point. The
+    bitsets and rng are private copies — mutating them does not disturb a
+    snapshot already taken. *)
+
+exception Interrupted of snapshot
+(** Raised out of {!generate} when [ctl] demands a stop. The carried
+    snapshot describes the last committed safe point; serialize it with
+    {!encode_snapshot} and pass it back via [?resume] to continue. *)
+
 val generate :
   ?config:config ->
   ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
+  ?resume:snapshot ->
   rng:Bist_util.Rng.t ->
   Bist_fault.Universe.t ->
   Bist_logic.Tseq.t * stats
@@ -65,6 +106,22 @@ val generate :
     sequential one, and the [rng] stream is consumed only by the calling
     domain. Defaults to sequential unless [BIST_JOBS] is exported.
 
+    [ctl] (default: none) is polled at every safe point — round
+    boundaries, directed-attempt boundaries, the phase transitions — and
+    forwarded to the inner fault simulations so even a long simulation
+    responds promptly; a mid-simulation {!Bist_resilience.Ctl.Preempted}
+    is caught here and rewound to the enclosing boundary. When a stop is
+    demanded, {!Interrupted} is raised with the boundary snapshot.
+    Each committed safe point calls {!Bist_resilience.Ctl.note_progress},
+    so deadline-preempted runs always advance before stopping.
+
+    [resume] (default: none) continues from a snapshot instead of
+    starting fresh; [rng] is then ignored in favor of the snapshot's rng.
+    The snapshot must come from the same circuit and fault universe —
+    a size or width disagreement raises
+    {!Bist_resilience.Checkpoint.Mismatch} (callers should additionally
+    fingerprint the circuit, see [bin/bistgen]).
+
     [obs] (default {!Bist_obs.Obs.null}, one branch of overhead) records
     ["engine.prescreen"], two ["engine.selection"] spans (standalone and
     embedded scoring) with one ["engine.round"] span per greedy round
@@ -73,3 +130,15 @@ val generate :
     ["engine.rounds"] / ["engine.segments_accepted"] counters and the
     ["engine.t0_length"] gauge. The generated sequence is identical with
     or without a sink: observability never touches the [rng] stream. *)
+
+val encode_snapshot : Bist_resilience.Checkpoint.Io.writer -> snapshot -> unit
+(** Append the snapshot's binary form; the engine section of a ["tgen"]
+    checkpoint payload. *)
+
+val decode_snapshot : Bist_resilience.Checkpoint.Io.reader -> snapshot
+(** Inverse of {!encode_snapshot}. Raises
+    {!Bist_resilience.Checkpoint.Corrupt} on a malformed section (bad
+    phase tag, out-of-range cursor, truncation). *)
+
+val snapshot_equal : snapshot -> snapshot -> bool
+(** Structural equality, for codec round-trip tests. *)

@@ -37,6 +37,15 @@ let split t =
   let seed = Int64.to_int (bits64 t) land max_int in
   create seed
 
+let export t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let import words =
+  if Array.length words <> 4 then
+    invalid_arg "Rng.import: expected exactly 4 state words";
+  if Array.for_all (fun w -> w = 0L) words then
+    invalid_arg "Rng.import: the all-zero state is not a valid xoshiro state";
+  { s0 = words.(0); s1 = words.(1); s2 = words.(2); s3 = words.(3) }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling over the low 62 bits avoids modulo bias. *)

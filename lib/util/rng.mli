@@ -19,6 +19,15 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of [t]'s subsequent output. *)
 
+val export : t -> int64 array
+(** The four xoshiro256** state words, for checkpointing. [import]ing
+    them restores a generator that continues the exact stream. *)
+
+val import : int64 array -> t
+(** Rebuild a generator from {!export}ed state. Raises [Invalid_argument]
+    unless given exactly four words that are not all zero (the one state
+    xoshiro cannot leave). *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -19,4 +19,6 @@ let () =
       ("inject", Test_inject.suite);
       ("obs", Test_obs.suite);
       ("diagnosis", Test_diagnosis.suite);
+      ("resilience", Test_resilience.suite);
+      ("fuzz", Test_fuzz.suite);
     ]
