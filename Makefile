@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke check smoke bench bench-json clean
+.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke check smoke bench bench-json clean
 
 all: build
 
@@ -43,7 +43,15 @@ fuzz-smoke:
 interrupt-smoke:
 	./scripts/interrupt_smoke.sh
 
-check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke
+# Daemon robustness gate (DESIGN.md §11): a SIGKILLed worker's job
+# migrates to a fresh worker bit-identically, a full queue answers with
+# a typed rejection, hostile clients (truncated/garbage/slow frames)
+# leave the daemon serving, and a SIGTERMed daemon parks its queue and
+# recovers it on restart.
+daemon-smoke:
+	./scripts/daemon_smoke.sh
+
+check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault

@@ -1,0 +1,381 @@
+(* bistd: the crash-safe multi-tenant generation daemon and its client.
+   `serve` runs the daemon; `submit`, `ping`, `stats`, `shutdown` talk to
+   it; `chaos` is the fault-injection harness for the daemon itself —
+   truncated frames, garbage frames, pathologically slow clients — and
+   asserts the daemon keeps serving through all of them. *)
+
+open Cmdliner
+module Server = Bist_daemon.Server
+module Client = Bist_daemon.Client
+module Protocol = Bist_daemon.Protocol
+module Frame = Bist_daemon.Frame
+
+let err fmt = Printf.ksprintf (fun m -> Printf.eprintf "error: %s\n" m) fmt
+
+(* ---------------------------------------------------------------- serve *)
+
+let serve host port workers queue per_tenant interval grace spool port_file
+    verbose =
+  if workers < 1 then begin
+    err "--workers must be >= 1 (got %d)" workers;
+    exit 2
+  end;
+  if queue < 1 then begin
+    err "--queue must be >= 1 (got %d)" queue;
+    exit 2
+  end;
+  if interval <= 0.0 then begin
+    err "--interval must be positive (got %g)" interval;
+    exit 2
+  end;
+  let cfg =
+    { Server.default_config with
+      host; port; max_workers = workers; queue_capacity = queue;
+      per_tenant; checkpoint_interval = interval; term_grace = grace;
+      spool; verbose }
+  in
+  let on_ready ~port =
+    match port_file with
+    | None -> ()
+    | Some path ->
+      Bist_resilience.Atomic_io.write_file ~path (string_of_int port)
+  in
+  Server.run ~on_ready cfg;
+  0
+
+(* --------------------------------------------------------------- client *)
+
+let with_client host port f =
+  match Client.with_connection ~host ~port f with
+  | code -> code
+  | exception Unix.Unix_error (e, _, _) ->
+    err "cannot reach bistd at %s:%d: %s" host port (Unix.error_message e);
+    1
+  | exception Frame.Protocol_error msg ->
+    err "protocol: %s" msg;
+    1
+
+let spec_of_args job circuit seed directed trials vectors_file count n =
+  match job with
+  | "tgen" -> Protocol.Tgen { circuit; seed; directed; trials }
+  | "inject" -> Protocol.Inject { circuit; seed; count; n }
+  | "faultsim" -> (
+    match vectors_file with
+    | None ->
+      err "faultsim needs --vectors FILE";
+      exit 2
+    | Some path -> (
+      match Bist_resilience.Atomic_io.read_file ~path with
+      | vectors -> Protocol.Faultsim { circuit; vectors }
+      | exception Sys_error msg ->
+        err "%s" msg;
+        exit 2))
+  | other ->
+    err "unknown job kind %S (expected tgen, faultsim or inject)" other;
+    exit 2
+
+let submit host port job circuit seed directed trials vectors_file count n
+    tenant deadline wait output =
+  let spec = spec_of_args job circuit seed directed trials vectors_file count n in
+  (match deadline with
+  | Some d when d <= 0.0 ->
+    err "--deadline must be positive (got %g)" d;
+    exit 2
+  | _ -> ());
+  with_client host port (fun c ->
+      if wait then
+        match Client.submit_and_wait c ~tenant ?deadline spec with
+        | Result.Error (reason, message) ->
+          err "rejected (%s): %s" (Protocol.reject_reason_name reason) message;
+          1
+        | Result.Ok (id, Protocol.Result { output = text; _ }) ->
+          (match output with
+          | None -> print_string text
+          | Some path ->
+            Bist_resilience.Atomic_io.write_file ~path text;
+            Printf.eprintf "job %d done, wrote %s\n" id path);
+          0
+        | Result.Ok (id, Protocol.Failed { reason; _ }) ->
+          err "job %d failed: %s" id reason;
+          1
+        | Result.Ok (_, _) ->
+          err "protocol: unexpected reply to Wait";
+          1
+      else
+        match Client.request c (Protocol.Submit { tenant; deadline; spec }) with
+        | Protocol.Accepted { id } ->
+          Printf.printf "accepted job %d\n" id;
+          0
+        | Protocol.Rejected { reason; message } ->
+          err "rejected (%s): %s" (Protocol.reject_reason_name reason) message;
+          1
+        | _ ->
+          err "protocol: unexpected reply to Submit";
+          1)
+
+let ping host port =
+  with_client host port (fun c ->
+      match Client.request c Protocol.Ping with
+      | Protocol.Pong ->
+        print_endline "pong";
+        0
+      | _ ->
+        err "protocol: unexpected reply to Ping";
+        1)
+
+let stats host port =
+  with_client host port (fun c ->
+      match Client.request c Protocol.Stats with
+      | Protocol.Stats_report report ->
+        print_string report;
+        0
+      | _ ->
+        err "protocol: unexpected reply to Stats";
+        1)
+
+let shutdown host port =
+  with_client host port (fun c ->
+      match Client.request c Protocol.Shutdown with
+      | Protocol.Shutting_down ->
+        print_endline "draining";
+        0
+      | _ ->
+        err "protocol: unexpected reply to Shutdown";
+        1)
+
+(* ---------------------------------------------------------------- chaos *)
+
+(* Each chaos mode opens a raw socket and misbehaves on purpose, then
+   proves the daemon survived by completing a fresh Ping round-trip.
+   Exit 0 = the daemon tolerated the abuse; 1 = it did not. *)
+
+let raw_connect host port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  fd
+
+let write_all fd s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+  done
+
+let chaos_truncate host port =
+  (* Half a frame, then a hard close: the decoder must flag the
+     truncation and the daemon must drop only this client. *)
+  let fd = raw_connect host port in
+  let frame = Frame.encode (Protocol.encode_request Protocol.Ping) in
+  write_all fd (String.sub frame 0 (String.length frame - 2));
+  Unix.close fd
+
+let chaos_garbage host port =
+  (* A plausible length prefix fronting random bytes: every payload must
+     come back as a typed Error reply, never a crash or a hang. *)
+  let rng = Bist_util.Rng.create 0xC4A05 in
+  for _ = 1 to 16 do
+    let fd = raw_connect host port in
+    let len = 1 + Bist_util.Rng.int rng 64 in
+    let body =
+      String.init len (fun _ -> Char.chr (Bist_util.Rng.int rng 256))
+    in
+    write_all fd (Frame.encode body);
+    (match Frame.read_frame fd with
+    | Some reply -> (
+      match Protocol.decode_response reply with
+      | Protocol.Error _ -> ()
+      | _ -> failwith "chaos: garbage frame got a non-Error reply")
+    | None -> () (* daemon may close a hopeless client; also fine *)
+    | exception Frame.Protocol_error _ -> ());
+    Unix.close fd
+  done
+
+let chaos_slow host port =
+  (* A valid Ping delivered one byte at a time with delays: the daemon
+     must neither time us out incorrectly nor stall anyone else. *)
+  let fd = raw_connect host port in
+  let frame = Frame.encode (Protocol.encode_request Protocol.Ping) in
+  String.iter
+    (fun ch ->
+      write_all fd (String.make 1 ch);
+      Unix.sleepf 0.01)
+    frame;
+  (match Frame.read_frame fd with
+  | Some reply -> (
+    match Protocol.decode_response reply with
+    | Protocol.Pong -> ()
+    | _ -> failwith "chaos: slow ping got a non-Pong reply")
+  | None -> failwith "chaos: daemon closed on a slow but valid client");
+  Unix.close fd
+
+let chaos host port mode =
+  match
+    (match mode with
+    | "truncate" -> chaos_truncate host port
+    | "garbage" -> chaos_garbage host port
+    | "slow" -> chaos_slow host port
+    | "all" ->
+      chaos_truncate host port;
+      chaos_garbage host port;
+      chaos_slow host port
+    | other ->
+      err "unknown chaos mode %S (expected truncate, garbage, slow, all)" other;
+      exit 2);
+    (* The post-condition of every mode: the daemon still answers. *)
+    Client.with_connection ~host ~port (fun c ->
+        Client.request c Protocol.Ping)
+  with
+  | Protocol.Pong ->
+    Printf.printf "chaos %s: daemon survived\n" mode;
+    0
+  | _ ->
+    err "chaos %s: daemon replied, but not with Pong" mode;
+    1
+  | exception Failure msg ->
+    err "%s" msg;
+    1
+  | exception Unix.Unix_error (e, _, _) ->
+    err "chaos %s: daemon unreachable afterwards: %s" mode
+      (Unix.error_message e);
+    1
+  | exception Frame.Protocol_error msg ->
+    err "chaos %s: %s" mode msg;
+    1
+
+(* ------------------------------------------------------------ cmdliner *)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Daemon bind/connect address.")
+
+let port_arg ~default =
+  Arg.(value & opt int default
+       & info [ "port" ] ~docv:"PORT" ~doc:"Daemon TCP port (serve: 0 picks an ephemeral one).")
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int Server.default_config.Server.max_workers
+         & info [ "workers" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+  and queue =
+    Arg.(value & opt int Server.default_config.Server.queue_capacity
+         & info [ "queue" ] ~docv:"N" ~doc:"Bounded admission queue capacity.")
+  and per_tenant =
+    Arg.(value & opt (some int) None
+         & info [ "per-tenant" ] ~docv:"N"
+             ~doc:"Per-tenant queue quota (default: no quota).")
+  and interval =
+    Arg.(value & opt float Server.default_config.Server.checkpoint_interval
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Seconds between job checkpoints (the migration granule).")
+  and grace =
+    Arg.(value & opt float Server.default_config.Server.term_grace
+         & info [ "grace" ] ~docv:"SECS"
+             ~doc:"Seconds a SIGTERMed worker gets to checkpoint before SIGKILL.")
+  and spool =
+    Arg.(value & opt string Server.default_config.Server.spool
+         & info [ "spool" ] ~docv:"DIR"
+             ~doc:"Spool directory for checkpoints, results and the job manifest.")
+  and port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Write the bound port here once listening (for scripts using --port 0).")
+  and verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Log supervision events to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the daemon until SIGTERM/SIGINT or a shutdown request (second signal force-quits with exit 130)")
+    Term.(
+      const serve $ host_arg $ port_arg ~default:0 $ workers $ queue
+      $ per_tenant $ interval $ grace $ spool $ port_file $ verbose)
+
+let submit_cmd =
+  let job =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"KIND" ~doc:"Job kind: tgen, faultsim or inject.")
+  and circuit =
+    Arg.(value & pos 1 string "s27"
+         & info [] ~docv:"CIRCUIT" ~doc:"Registry or teaching circuit name.")
+  and seed =
+    Arg.(value & opt int 1999 & info [ "seed" ] ~docv:"SEED" ~doc:"Job seed.")
+  and directed =
+    Arg.(value & opt int 30
+         & info [ "directed" ] ~docv:"N" ~doc:"tgen: directed search budget.")
+  and trials =
+    Arg.(value & opt int 200
+         & info [ "trials" ] ~docv:"N" ~doc:"tgen: compaction trial budget.")
+  and vectors =
+    Arg.(value & opt (some string) None
+         & info [ "vectors" ] ~docv:"FILE"
+             ~doc:"faultsim: sequence file (one vector per line).")
+  and count =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"K" ~doc:"inject: faults per campaign.")
+  and n =
+    Arg.(value & opt int 2
+         & info [ "n" ] ~docv:"N" ~doc:"inject: expansion repetition count.")
+  and tenant =
+    Arg.(value & opt string "default"
+         & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant the job is accounted to.")
+  and deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECS" ~doc:"Per-job wall-clock budget.")
+  and wait =
+    Arg.(value & flag
+         & info [ "wait" ] ~doc:"Block until the job finishes and print its result.")
+  and output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"With --wait: write the result here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job; exits 1 with the typed reason if the daemon rejects it")
+    Term.(
+      const submit $ host_arg $ port_arg ~default:7427 $ job $ circuit $ seed
+      $ directed $ trials $ vectors $ count $ n $ tenant $ deadline $ wait
+      $ output)
+
+let ping_cmd =
+  Cmd.v (Cmd.info "ping" ~doc:"Round-trip liveness check")
+    Term.(const ping $ host_arg $ port_arg ~default:7427)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Print the daemon's per-tenant metrics summary")
+    Term.(const stats $ host_arg $ port_arg ~default:7427)
+
+let shutdown_cmd =
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Ask the daemon to drain: running jobs checkpoint and park")
+    Term.(const shutdown $ host_arg $ port_arg ~default:7427)
+
+let chaos_cmd =
+  let mode =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"MODE"
+             ~doc:"Abuse to inflict: truncate, garbage, slow, or all.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fault-injection harness for the daemon itself; exits 0 iff it survives")
+    Term.(const chaos $ host_arg $ port_arg ~default:7427 $ mode)
+
+let () =
+  let info =
+    Cmd.info "bistd" ~version:"1.0.0"
+      ~doc:"Crash-safe multi-tenant BIST generation daemon"
+  in
+  let group =
+    Cmd.group info
+      [ serve_cmd; submit_cmd; ping_cmd; stats_cmd; shutdown_cmd; chaos_cmd ]
+  in
+  match Cmd.eval' ~catch:false ~term_err:2 group with
+  | code -> exit code
+  | exception Unix.Unix_error (e, fn, arg) ->
+    err "%s: %s %s" fn (Unix.error_message e) arg;
+    exit 1
+  | exception Invalid_argument msg ->
+    err "%s" msg;
+    exit 2

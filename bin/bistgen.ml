@@ -151,10 +151,19 @@ let make_ctl ~deadline ~checkpoint =
     let deadline = Option.map Bist_resilience.Deadline.after deadline in
     (* Cancel.request is a single atomic store — async-signal-safe. The
        handler is installed only when preemption is armed, so plain runs
-       keep the default die-on-signal behaviour. *)
+       keep the default die-on-signal behaviour. A second signal while
+       the graceful cancel + checkpoint write is still in flight is a
+       force-quit: exit 130 immediately (Unix._exit skips at_exit, so a
+       wedged domain join cannot swallow the quit; the checkpoint stays
+       consistent because Atomic_io only ever renames complete files). *)
     if checkpoint <> None then begin
+      let signals = ref 0 in
       let handler =
-        Sys.Signal_handle (fun _ -> Bist_resilience.Cancel.request cancel)
+        Sys.Signal_handle
+          (fun _ ->
+            incr signals;
+            if !signals > 1 then Unix._exit 130
+            else Bist_resilience.Cancel.request cancel)
       in
       Sys.set_signal Sys.sigint handler;
       Sys.set_signal Sys.sigterm handler
@@ -232,71 +241,9 @@ let faultsim_cmd =
 
 (* tgen *)
 
-(* The tgen checkpoint payload: a parameter echo (seed, directed budget,
-   compaction trial budget — a resumed run must be re-invoked with the
-   same knobs, anything else is a typed Mismatch) followed by a stage tag
-   and that stage's snapshot. Stage 0 is generation (engine snapshot),
-   stage 1 is compaction (the finished engine stats plus the compaction
-   snapshot). *)
-
-type tgen_stage =
-  | Gen_stage of Bist_tgen.Engine.snapshot
-  | Compact_stage of Bist_tgen.Engine.stats * Bist_tgen.Compaction.snapshot
-
-let encode_tgen_payload ~seed ~directed ~trials stage =
-  let w = Ckio.writer () in
-  Ckio.u32 w seed;
-  Ckio.u32 w directed;
-  Ckio.u32 w trials;
-  (match stage with
-  | Gen_stage s ->
-    Ckio.u8 w 0;
-    Bist_tgen.Engine.encode_snapshot w s
-  | Compact_stage (stats, cs) ->
-    Ckio.u8 w 1;
-    Ckio.u32 w stats.Bist_tgen.Engine.rounds;
-    Ckio.u32 w stats.segments_accepted;
-    Ckio.u32 w stats.detected;
-    Ckio.u32 w stats.total_faults;
-    Ckio.u32 w stats.statically_untestable;
-    Bist_tgen.Compaction.encode_snapshot w cs);
-  Ckio.contents w
-
-let decode_tgen_payload ~seed ~directed ~trials payload =
-  let r = Ckio.reader payload in
-  let echo what expected =
-    let got = Ckio.r_u32 r in
-    if got <> expected then
-      raise
-        (Checkpoint.Mismatch
-           (Printf.sprintf
-              "checkpoint was written with %s %d, this run uses %d — \
-               re-invoke with the original parameters"
-              what got expected))
-  in
-  echo "--seed" seed;
-  echo "--directed" directed;
-  echo "--compact-trials" trials;
-  let stage =
-    match Ckio.r_u8 r with
-    | 0 -> Gen_stage (Bist_tgen.Engine.decode_snapshot r)
-    | 1 ->
-      let rounds = Ckio.r_u32 r in
-      let segments_accepted = Ckio.r_u32 r in
-      let detected = Ckio.r_u32 r in
-      let total_faults = Ckio.r_u32 r in
-      let statically_untestable = Ckio.r_u32 r in
-      let stats =
-        { Bist_tgen.Engine.rounds; segments_accepted; detected; total_faults;
-          statically_untestable }
-      in
-      Compact_stage (stats, Bist_tgen.Compaction.decode_snapshot r)
-    | tag ->
-      raise
-        (Checkpoint.Corrupt (Printf.sprintf "unknown tgen stage tag %d" tag))
-  in
-  Ckio.expect_end r;
-  stage
+(* The tgen checkpoint payload codec and the generate-then-compact stage
+   machine live in Bist_tgen.Run, shared verbatim with the bistd daemon
+   worker — one format, one resume semantics. *)
 
 let tgen_cmd =
   let run spec seed out trials directed jobs trace stats_flag deadline
@@ -305,13 +252,9 @@ let tgen_cmd =
     let name = Bist_circuit.Netlist.circuit_name circuit in
     let fingerprint = fingerprint_of circuit in
     let universe = universe_of circuit in
-    let rng = Bist_util.Rng.create seed in
+    let params = { Bist_tgen.Run.seed; directed; trials } in
     let pool = pool_of_jobs jobs in
     let ctl = make_ctl ~deadline ~checkpoint in
-    let config =
-      { (Bist_tgen.Engine.default_config circuit) with
-        Bist_tgen.Engine.directed_budget = directed }
-    in
     let t0, stats, cstats =
       with_obs ~trace ~stats:stats_flag (fun obs ->
           let resumed =
@@ -325,13 +268,24 @@ let tgen_cmd =
                   Checkpoint.ensure ~kind:"tgen" ~circuit:name ~fingerprint
                     header;
                   Some
-                    (decode_tgen_payload ~seed ~directed ~trials
+                    (Bist_tgen.Run.decode_payload params
                        header.Checkpoint.payload))
           in
           (* On preemption: serialize the stage we were in (if a path was
              given), then unwind through with_obs so a --trace of the
              truncated run is still flushed; main exits 3. *)
-          let preempt stage =
+          match
+            Bist_tgen.Run.execute ~obs ?pool ?ctl ?resume:resumed params
+              universe
+          with
+          | t0, stats, cstats ->
+            (* A finished run must not leave a stale checkpoint behind — a
+               later --resume against it would silently redo work. *)
+            (match checkpoint with
+            | Some path when Sys.file_exists path -> Sys.remove path
+            | _ -> ());
+            (t0, stats, cstats)
+          | exception Bist_tgen.Run.Interrupted stage ->
             (match checkpoint with
             | None -> ()
             | Some path ->
@@ -340,49 +294,8 @@ let tgen_cmd =
                 (fun () ->
                   Checkpoint.save ~path
                     { Checkpoint.kind = "tgen"; circuit = name; fingerprint;
-                      payload =
-                        encode_tgen_payload ~seed ~directed ~trials stage }));
-            raise (Preempted_run { reason = stop_reason_of ctl; checkpoint })
-          in
-          let generated, stats =
-            match resumed with
-            | Some (Compact_stage (stats, _)) -> (None, stats)
-            | (None | Some (Gen_stage _)) as r -> (
-              let engine_resume =
-                match r with Some (Gen_stage s) -> Some s | _ -> None
-              in
-              try
-                let t0, stats =
-                  Bist_tgen.Engine.generate ~config ~obs ?pool ?ctl
-                    ?resume:engine_resume ~rng universe
-                in
-                (Some t0, stats)
-              with Bist_tgen.Engine.Interrupted s -> preempt (Gen_stage s))
-          in
-          let compact_resume =
-            match resumed with
-            | Some (Compact_stage (_, cs)) -> Some cs
-            | _ -> None
-          in
-          let seq_in =
-            match (generated, compact_resume) with
-            | Some t0, _ -> t0
-            | None, Some cs -> cs.Bist_tgen.Compaction.seq
-            | None, None -> assert false
-          in
-          let t0, cstats =
-            try
-              Bist_tgen.Compaction.compact ~max_trials:trials ~obs ?pool ?ctl
-                ?resume:compact_resume universe seq_in
-            with Bist_tgen.Compaction.Interrupted cs ->
-              preempt (Compact_stage (stats, cs))
-          in
-          (* A finished run must not leave a stale checkpoint behind — a
-             later --resume against it would silently redo work. *)
-          (match checkpoint with
-          | Some path when Sys.file_exists path -> Sys.remove path
-          | _ -> ());
-          (t0, stats, cstats))
+                      payload = Bist_tgen.Run.encode_payload params stage }));
+            raise (Preempted_run { reason = stop_reason_of ctl; checkpoint }))
     in
     Format.printf
       "T0: %d vectors (raw %d), detects %d / %d faults (%.2f%%)@."
@@ -642,7 +555,7 @@ let () =
   (* ~catch:false so typed domain errors reach us instead of cmdliner's
      backtrace printer; each has a registered printer with the context
      (file/line, fault name) a user needs. *)
-  match Cmd.eval ~catch:false group with
+  match Cmd.eval ~catch:false ~term_err:2 group with
   | code -> exit code
   | exception Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;

@@ -57,8 +57,16 @@ let make_ctl ~deadline ~checkpoint =
     let cancel = Bist_resilience.Cancel.create () in
     let deadline = Option.map Bist_resilience.Deadline.after deadline in
     if checkpoint <> None then begin
+      (* First signal: cooperative preemption (checkpoint at the next
+         wave boundary, exit 3). Second: the user means now — force-quit
+         with the conventional 130, skipping at_exit. *)
+      let signals = ref 0 in
       let handler =
-        Sys.Signal_handle (fun _ -> Bist_resilience.Cancel.request cancel)
+        Sys.Signal_handle
+          (fun _ ->
+            incr signals;
+            if !signals > 1 then Unix._exit 130
+            else Bist_resilience.Cancel.request cancel)
       in
       Sys.set_signal Sys.sigint handler;
       Sys.set_signal Sys.sigterm handler
@@ -390,7 +398,7 @@ let () =
         $ smoke_arg $ verbose_arg $ jobs_arg $ trace_arg $ stats_arg
         $ deadline_arg $ checkpoint_arg $ resume_arg)
   in
-  match Cmd.eval' ~catch:false cmd with
+  match Cmd.eval' ~catch:false ~term_err:2 cmd with
   | code -> exit code
   | exception Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;

@@ -101,6 +101,8 @@ let () =
     Cmd.info "lint" ~version:"1.0.0"
       ~doc:"Static testability analysis and structural diagnostics for netlists"
   in
+  (* ~term_err:2 aligns usage errors with the repo-wide exit contract:
+     0 clean, 1 findings/over budget, 2 usage. *)
   exit
-    (Cmd.eval
+    (Cmd.eval ~term_err:2
        (Cmd.v info Term.(const run $ specs_arg $ json_flag $ max_warnings_arg $ quiet_flag)))

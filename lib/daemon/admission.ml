@@ -1,0 +1,53 @@
+type reason = Queue_full | Tenant_quota
+
+type 'a t = {
+  cap : int;
+  per_tenant : int;
+  mutable items : (string * 'a) list;  (** Front first. *)
+  counts : (string, int) Hashtbl.t;
+}
+
+let create ?per_tenant ~capacity () =
+  let per_tenant = Option.value per_tenant ~default:capacity in
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Admission.create: capacity %d < 1" capacity);
+  if per_tenant < 1 then
+    invalid_arg (Printf.sprintf "Admission.create: per_tenant %d < 1" per_tenant);
+  { cap = capacity; per_tenant; items = []; counts = Hashtbl.create 8 }
+
+let capacity t = t.cap
+let length t = List.length t.items
+
+let tenant_depth t tenant =
+  Option.value (Hashtbl.find_opt t.counts tenant) ~default:0
+
+let bump t tenant by =
+  let n = tenant_depth t tenant + by in
+  if n <= 0 then Hashtbl.remove t.counts tenant
+  else Hashtbl.replace t.counts tenant n
+
+let offer t ~tenant job =
+  if length t >= t.cap then Result.Error Queue_full
+  else if tenant_depth t tenant >= t.per_tenant then Result.Error Tenant_quota
+  else begin
+    t.items <- t.items @ [ (tenant, job) ];
+    bump t tenant 1;
+    Result.Ok ()
+  end
+
+let readmit t ~tenant job =
+  t.items <- (tenant, job) :: t.items;
+  bump t tenant 1
+
+let remove t pred =
+  let keep, drop = List.partition (fun (_, job) -> not (pred job)) t.items in
+  t.items <- keep;
+  List.iter (fun (tenant, _) -> bump t tenant (-1)) drop
+
+let take t =
+  match t.items with
+  | [] -> None
+  | ((tenant, _) as hd) :: rest ->
+    t.items <- rest;
+    bump t tenant (-1);
+    Some hd

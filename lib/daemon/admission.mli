@@ -1,0 +1,40 @@
+(** The bounded admission queue: backpressure with typed refusals.
+
+    The daemon admits at most [capacity] queued jobs, and at most
+    [per_tenant] of them from any single tenant — one chatty tenant
+    cannot occupy the whole queue and starve the rest. An offer that
+    would exceed either bound is refused with a typed {!reason} that the
+    server turns into a {!Protocol.Rejected} reply: the client learns
+    {e immediately} why its job was not admitted, instead of a hang, a
+    timeout, or a silent drop.
+
+    Jobs that were already admitted and lost their worker re-enter
+    through {!readmit}, which bypasses both bounds and queues at the
+    front: a migrated job must not be refused by pressure that arrived
+    after it, nor wait behind it. *)
+
+type reason = Queue_full | Tenant_quota
+
+type 'a t
+
+val create : ?per_tenant:int -> capacity:int -> unit -> 'a t
+(** [per_tenant] defaults to [capacity] (no per-tenant bound). Raises
+    [Invalid_argument] if either bound is < 1. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val tenant_depth : 'a t -> string -> int
+
+val offer : 'a t -> tenant:string -> 'a -> (unit, reason) result
+(** Admit at the back, or refuse with the bound that would break
+    ([Queue_full] wins when both would). *)
+
+val readmit : 'a t -> tenant:string -> 'a -> unit
+(** Re-queue a previously admitted job at the front, ignoring bounds. *)
+
+val take : 'a t -> (string * 'a) option
+(** Pop the front (tenant, job); [None] when empty. *)
+
+val remove : 'a t -> ('a -> bool) -> unit
+(** Drop every queued job matching the predicate (used when a job's
+    deadline expires before it was ever dispatched). *)

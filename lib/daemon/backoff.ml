@@ -1,0 +1,37 @@
+type policy = {
+  initial : float;
+  multiplier : float;
+  max_delay : float;
+  budget : int;
+}
+
+let default = { initial = 0.05; multiplier = 2.0; max_delay = 2.0; budget = 3 }
+
+let validate p =
+  if not (Float.is_finite p.initial && p.initial > 0.0) then
+    Result.Error (Printf.sprintf "backoff initial delay %g must be positive" p.initial)
+  else if not (Float.is_finite p.multiplier && p.multiplier >= 1.0) then
+    Result.Error (Printf.sprintf "backoff multiplier %g must be >= 1" p.multiplier)
+  else if not (Float.is_finite p.max_delay && p.max_delay >= p.initial) then
+    Result.Error
+      (Printf.sprintf "backoff max delay %g must be >= the initial %g" p.max_delay
+         p.initial)
+  else if p.budget < 0 then
+    Result.Error (Printf.sprintf "retry budget %d must be >= 0" p.budget)
+  else Result.Ok p
+
+let delay p ~attempt =
+  if attempt < 1 then
+    invalid_arg (Printf.sprintf "Backoff.delay: attempt %d < 1" attempt);
+  if attempt > p.budget then None
+  else begin
+    (* Iterated multiplication with an early cap: float powers of a
+       large attempt count must not overflow to infinity. *)
+    let d = ref p.initial in
+    let i = ref 1 in
+    while !i < attempt && !d < p.max_delay do
+      d := !d *. p.multiplier;
+      incr i
+    done;
+    Some (Float.min !d p.max_delay)
+  end

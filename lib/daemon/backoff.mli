@@ -1,0 +1,30 @@
+(** Retry policy for crashed workers: exponential backoff under a hard
+    retry budget.
+
+    A job whose worker dies is not retried immediately — a job that
+    crashes its worker deterministically (or a host under memory
+    pressure killing everything it runs) would otherwise hot-loop
+    through the worker slots and starve well-behaved jobs. Each retry
+    waits [initial * multiplier^(attempt-1)] seconds, capped at
+    [max_delay]; after [budget] failed attempts the job fails for good
+    with a typed reason. Delays are deterministic — the daemon's tests
+    drive them with a fake clock. *)
+
+type policy = {
+  initial : float;  (** Delay before the first retry, seconds. *)
+  multiplier : float;  (** Growth factor per further failure. *)
+  max_delay : float;  (** Delay ceiling, seconds. *)
+  budget : int;  (** Max retries; the job runs at most [budget + 1] times. *)
+}
+
+val default : policy
+(** 50 ms initial, doubling, 2 s cap, 3 retries. *)
+
+val validate : policy -> (policy, string) result
+(** Reject non-positive delays, a multiplier below 1, a negative
+    budget. *)
+
+val delay : policy -> attempt:int -> float option
+(** [delay p ~attempt] is the wait before retry number [attempt]
+    (1-based: [attempt] failures have happened), or [None] when the
+    budget is exhausted. Raises [Invalid_argument] on [attempt < 1]. *)

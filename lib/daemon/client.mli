@@ -1,0 +1,32 @@
+(** Blocking [bistd] client used by the CLI and the tests.
+
+    One connection, strict request/response: {!request} writes a single
+    frame and reads a single reply frame; {!submit_and_wait} pipelines
+    the [Submit]/[Wait] pair so the job cannot complete between them.
+    Any malformed reply raises {!Frame.Protocol_error}; a server that
+    closes the connection mid-exchange raises it too (a daemon crash
+    must surface as a typed error, not a hang or [End_of_file]). *)
+
+type t
+
+val connect : host:string -> port:int -> t
+(** Raises [Unix.Unix_error] if the daemon is not reachable. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> Protocol.response
+(** One round-trip. Raises {!Frame.Protocol_error} on a malformed or
+    truncated reply. *)
+
+val submit_and_wait :
+  t ->
+  tenant:string ->
+  ?deadline:float ->
+  Protocol.job_spec ->
+  (int * Protocol.response, Protocol.reject_reason * string) result
+(** Submit, then wait for the terminal reply ([Result] or [Failed]) of
+    the accepted job; [Error] carries a typed admission rejection. The
+    returned [int] is the job id. *)
+
+val with_connection : host:string -> port:int -> (t -> 'a) -> 'a
+(** Connect, run, always close. *)

@@ -1,0 +1,119 @@
+exception Protocol_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error msg -> Some (Printf.sprintf "protocol error: %s" msg)
+    | _ -> None)
+
+let max_payload = 16 * 1024 * 1024
+
+let bad fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then
+    bad "frame payload of %d bytes exceeds the %d-byte limit" n max_payload;
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* The length prefix is an unsigned 32-bit value; read it without sign
+   surprises on any platform. *)
+let length_of_prefix s pos =
+  let v = Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF in
+  if v > max_payload then
+    bad "frame length prefix %d exceeds the %d-byte limit" v max_payload;
+  v
+
+module Decoder = struct
+  type t = { buf : Buffer.t; mutable pos : int }
+
+  let create () = { buf = Buffer.create 256; pos = 0 }
+  let buffered t = Buffer.length t.buf - t.pos
+
+  (* Drop consumed bytes once they dominate the buffer, so a long-lived
+     connection doesn't grow without bound. *)
+  let compact t =
+    if t.pos > 4096 && t.pos * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.pos (buffered t) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  let peek_length t =
+    if buffered t < 4 then None
+    else begin
+      (* Byte-wise: [Buffer.contents] would copy the whole buffer on
+         every feed, quadratic against a byte-at-a-time slow client. *)
+      let byte i = Char.code (Buffer.nth t.buf (t.pos + i)) in
+      let v = byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24) in
+      if v > max_payload then
+        bad "frame length prefix %d exceeds the %d-byte limit" v max_payload;
+      Some v
+    end
+
+  let feed t s =
+    Buffer.add_string t.buf s;
+    (* Validate an already-visible prefix eagerly: an oversized frame is
+       rejected when its header arrives, not after megabytes of payload
+       have been buffered. *)
+    ignore (peek_length t : int option)
+
+  let next t =
+    match peek_length t with
+    | None -> None
+    | Some len ->
+      if buffered t < 4 + len then None
+      else begin
+        let payload = Buffer.sub t.buf (t.pos + 4) len in
+        t.pos <- t.pos + 4 + len;
+        compact t;
+        Some payload
+      end
+
+  let finish t =
+    if buffered t > 0 then
+      bad "connection closed mid-frame (%d stray byte(s))" (buffered t)
+end
+
+(* Blocking IO: loop over short reads/writes; EINTR restarts. *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b pos len with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let s = encode payload in
+  write_all fd (Bytes.of_string s) 0 (String.length s)
+
+let read_exactly fd n ~at_start =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  (try
+     while !got < n do
+       match Unix.read fd b !got (n - !got) with
+       | 0 ->
+         if !got = 0 && at_start then raise Exit
+         else bad "connection closed mid-frame (wanted %d more byte(s))" (n - !got)
+       | k -> got := !got + k
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done
+   with Exit -> ());
+  if !got = 0 && at_start && n > 0 then None else Some (Bytes.to_string b)
+
+let read_frame fd =
+  match read_exactly fd 4 ~at_start:true with
+  | None -> None
+  | Some prefix ->
+    let len = length_of_prefix prefix 0 in
+    if len = 0 then Some ""
+    else
+      (match read_exactly fd len ~at_start:false with
+      | Some payload -> Some payload
+      | None -> assert false)

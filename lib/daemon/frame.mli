@@ -1,0 +1,60 @@
+(** Length-prefixed framing for the [bistd] wire protocol.
+
+    A frame is a 4-byte little-endian payload length followed by the
+    payload bytes. The codec enforces the same discipline as the
+    {!Bist_resilience.Checkpoint.Io} readers: every malformed input — a
+    length prefix above {!max_payload}, a connection that ends mid-frame
+    — is the typed {!Protocol_error}, never an [Invalid_argument], an
+    out-of-bounds access or a silent short read. The daemon turns a
+    {!Protocol_error} into a typed error reply (or a closed connection)
+    and keeps serving everyone else; anything else escaping this module
+    would be a crash. *)
+
+exception Protocol_error of string
+(** The only exception this module raises on malformed input. *)
+
+val max_payload : int
+(** Upper bound on a frame payload (16 MiB). A length prefix above it is
+    rejected before any allocation, so a garbage prefix like
+    [0xFFFFFFFF] cannot become a memory bomb. *)
+
+val encode : string -> string
+(** [encode payload] is the wire form: 4-byte LE length, then the
+    payload. Raises {!Protocol_error} if the payload exceeds
+    {!max_payload}. *)
+
+(** Incremental decoder for the daemon's non-blocking reads: bytes
+    arrive in arbitrary slices (a slow client may deliver one byte at a
+    time) and complete frames are surfaced as they form. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> unit
+  (** Append received bytes. Raises {!Protocol_error} as soon as a
+      length prefix above {!max_payload} is visible — before waiting for
+      (or buffering) the oversized payload. *)
+
+  val next : t -> string option
+  (** The next complete payload, or [None] until more bytes arrive. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet returned by {!next}. *)
+
+  val finish : t -> unit
+  (** Declare end-of-stream. Raises {!Protocol_error} if a partial frame
+      is pending — a truncated frame is a protocol violation, not a
+      silent drop. *)
+end
+
+(** {2 Blocking helpers}
+
+    The client side (and tests) speak frames over a blocking socket. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame, looping over short writes. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one complete frame; [None] on a clean EOF at a frame boundary.
+    Raises {!Protocol_error} on EOF mid-frame or a bad length prefix. *)

@@ -1,0 +1,209 @@
+module Io = Bist_resilience.Checkpoint.Io
+
+type job_spec =
+  | Tgen of { circuit : string; seed : int; directed : int; trials : int }
+  | Faultsim of { circuit : string; vectors : string }
+  | Inject of { circuit : string; seed : int; count : int; n : int }
+
+let spec_name = function
+  | Tgen _ -> "tgen"
+  | Faultsim _ -> "faultsim"
+  | Inject _ -> "inject"
+
+let spec_circuit = function
+  | Tgen { circuit; _ } | Faultsim { circuit; _ } | Inject { circuit; _ } ->
+    circuit
+
+type request =
+  | Ping
+  | Submit of { tenant : string; deadline : float option; spec : job_spec }
+  | Status of { id : int }
+  | Wait of { id : int }
+  | Stats
+  | Shutdown
+
+type reject_reason = Queue_full | Tenant_quota | Draining
+
+let reject_reason_name = function
+  | Queue_full -> "queue_full"
+  | Tenant_quota -> "tenant_quota"
+  | Draining -> "draining"
+
+type response =
+  | Pong
+  | Accepted of { id : int }
+  | Rejected of { reason : reject_reason; message : string }
+  | Job_status of { id : int; state : string; attempts : int }
+  | Result of { id : int; output : string }
+  | Failed of { id : int; reason : string }
+  | Stats_report of string
+  | Shutting_down
+  | Error of { message : string }
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Frame.Protocol_error m)) fmt
+
+(* Every decoder runs under this wrapper: the Io readers raise
+   Checkpoint.Corrupt on truncation / malformed bytes, which is this
+   layer's Protocol_error. Nothing else may escape. *)
+let decoding f payload =
+  try
+    let r = Io.reader payload in
+    if Io.at_end r then bad "empty frame";
+    let kind = Io.r_u8 r in
+    let v = f kind r in
+    Io.expect_end r;
+    v
+  with Bist_resilience.Checkpoint.Corrupt msg -> bad "%s" msg
+
+let w_float w f = Io.i64 w (Int64.bits_of_float f)
+let r_float r = Int64.float_of_bits (Io.r_i64 r)
+
+(* job_spec *)
+
+let encode_spec w = function
+  | Tgen { circuit; seed; directed; trials } ->
+    Io.u8 w 0;
+    Io.string w circuit;
+    Io.u32 w seed;
+    Io.u32 w directed;
+    Io.u32 w trials
+  | Faultsim { circuit; vectors } ->
+    Io.u8 w 1;
+    Io.string w circuit;
+    Io.string w vectors
+  | Inject { circuit; seed; count; n } ->
+    Io.u8 w 2;
+    Io.string w circuit;
+    Io.u32 w seed;
+    Io.u32 w count;
+    Io.u32 w n
+
+let decode_spec r =
+  match Io.r_u8 r with
+  | 0 ->
+    let circuit = Io.r_string r in
+    let seed = Io.r_u32 r in
+    let directed = Io.r_u32 r in
+    let trials = Io.r_u32 r in
+    Tgen { circuit; seed; directed; trials }
+  | 1 ->
+    let circuit = Io.r_string r in
+    let vectors = Io.r_string r in
+    Faultsim { circuit; vectors }
+  | 2 ->
+    let circuit = Io.r_string r in
+    let seed = Io.r_u32 r in
+    let count = Io.r_u32 r in
+    let n = Io.r_u32 r in
+    Inject { circuit; seed; count; n }
+  | k -> bad "unknown job kind %d" k
+
+(* requests *)
+
+let encode_request req =
+  let w = Io.writer () in
+  (match req with
+  | Ping -> Io.u8 w 0
+  | Submit { tenant; deadline; spec } ->
+    Io.u8 w 1;
+    Io.string w tenant;
+    Io.option w w_float deadline;
+    encode_spec w spec
+  | Status { id } ->
+    Io.u8 w 2;
+    Io.u32 w id
+  | Wait { id } ->
+    Io.u8 w 3;
+    Io.u32 w id
+  | Stats -> Io.u8 w 4
+  | Shutdown -> Io.u8 w 5);
+  Io.contents w
+
+let decode_request =
+  decoding (fun kind r ->
+      match kind with
+      | 0 -> Ping
+      | 1 ->
+        let tenant = Io.r_string r in
+        let deadline = Io.r_option r r_float in
+        let spec = decode_spec r in
+        (match deadline with
+        | Some d when not (Float.is_finite d && d > 0.0) ->
+          bad "submit deadline %g is not a positive finite number" d
+        | _ -> ());
+        Submit { tenant; deadline; spec }
+      | 2 -> Status { id = Io.r_u32 r }
+      | 3 -> Wait { id = Io.r_u32 r }
+      | 4 -> Stats
+      | 5 -> Shutdown
+      | k -> bad "unknown request kind %d" k)
+
+(* responses *)
+
+let reason_tag = function Queue_full -> 0 | Tenant_quota -> 1 | Draining -> 2
+
+let reason_of_tag = function
+  | 0 -> Queue_full
+  | 1 -> Tenant_quota
+  | 2 -> Draining
+  | t -> bad "unknown reject reason tag %d" t
+
+let encode_response resp =
+  let w = Io.writer () in
+  (match resp with
+  | Pong -> Io.u8 w 0
+  | Accepted { id } ->
+    Io.u8 w 1;
+    Io.u32 w id
+  | Rejected { reason; message } ->
+    Io.u8 w 2;
+    Io.u8 w (reason_tag reason);
+    Io.string w message
+  | Job_status { id; state; attempts } ->
+    Io.u8 w 3;
+    Io.u32 w id;
+    Io.string w state;
+    Io.u32 w attempts
+  | Result { id; output } ->
+    Io.u8 w 4;
+    Io.u32 w id;
+    Io.string w output
+  | Failed { id; reason } ->
+    Io.u8 w 5;
+    Io.u32 w id;
+    Io.string w reason
+  | Stats_report s ->
+    Io.u8 w 6;
+    Io.string w s
+  | Shutting_down -> Io.u8 w 7
+  | Error { message } ->
+    Io.u8 w 8;
+    Io.string w message);
+  Io.contents w
+
+let decode_response =
+  decoding (fun kind r ->
+      match kind with
+      | 0 -> Pong
+      | 1 -> Accepted { id = Io.r_u32 r }
+      | 2 ->
+        let reason = reason_of_tag (Io.r_u8 r) in
+        let message = Io.r_string r in
+        Rejected { reason; message }
+      | 3 ->
+        let id = Io.r_u32 r in
+        let state = Io.r_string r in
+        let attempts = Io.r_u32 r in
+        Job_status { id; state; attempts }
+      | 4 ->
+        let id = Io.r_u32 r in
+        let output = Io.r_string r in
+        Result { id; output }
+      | 5 ->
+        let id = Io.r_u32 r in
+        let reason = Io.r_string r in
+        Failed { id; reason }
+      | 6 -> Stats_report (Io.r_string r)
+      | 7 -> Shutting_down
+      | 8 -> Error { message = Io.r_string r }
+      | k -> bad "unknown response kind %d" k)

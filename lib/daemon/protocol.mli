@@ -1,0 +1,75 @@
+(** Typed request/response messages of the [bistd] wire protocol.
+
+    Messages travel one per {!Frame}; the first payload byte is the
+    message kind, the rest is a {!Bist_resilience.Checkpoint.Io} body.
+    Decoding is bounds-checked end to end: any malformed payload — a
+    garbage kind byte, a truncated body, trailing junk — raises
+    {!Frame.Protocol_error}, never anything else. That single-exception
+    contract is what the seeded-mutation fuzz suite enforces and what
+    lets the daemon answer garbage with a typed [Error] reply instead of
+    crashing.
+
+    The protocol is strict request/response over a connection: a client
+    sends one request frame and reads reply frames. Every request gets
+    exactly one reply, except [Wait], whose reply is deferred until the
+    awaited job completes. *)
+
+type job_spec =
+  | Tgen of { circuit : string; seed : int; directed : int; trials : int }
+      (** Generate + compact [T0]; the result payload is the sequence
+          text, byte-identical to [bistgen tgen -o FILE]. *)
+  | Faultsim of { circuit : string; vectors : string }
+      (** Fault-simulate the sequence (text form, one vector per line);
+          the result payload is the coverage summary line. *)
+  | Inject of { circuit : string; seed : int; count : int; n : int }
+      (** Run a hardened fault-injection campaign; the result payload is
+          the campaign summary table. *)
+
+val spec_name : job_spec -> string
+(** ["tgen"] / ["faultsim"] / ["inject"]. *)
+
+val spec_circuit : job_spec -> string
+
+type request =
+  | Ping
+  | Submit of { tenant : string; deadline : float option; spec : job_spec }
+      (** [deadline] is a per-job wall-clock budget in seconds. *)
+  | Status of { id : int }
+  | Wait of { id : int }
+  | Stats  (** Per-tenant metrics summary. *)
+  | Shutdown  (** Graceful drain: running jobs checkpoint and park. *)
+
+type reject_reason =
+  | Queue_full  (** The bounded admission queue is at capacity. *)
+  | Tenant_quota  (** This tenant already holds its queue share. *)
+  | Draining  (** The daemon is shutting down. *)
+
+val reject_reason_name : reject_reason -> string
+
+type response =
+  | Pong
+  | Accepted of { id : int }
+  | Rejected of { reason : reject_reason; message : string }
+      (** Typed backpressure: the job was {e not} admitted, and the
+          client is told exactly why instead of hanging or being
+          silently dropped. *)
+  | Job_status of { id : int; state : string; attempts : int }
+  | Result of { id : int; output : string }
+  | Failed of { id : int; reason : string }
+  | Stats_report of string
+  | Shutting_down
+  | Error of { message : string }
+      (** Protocol-level failure (malformed frame, unknown job id). *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+(** Decoders raise {!Frame.Protocol_error} on any malformed payload. *)
+
+val encode_spec : Bist_resilience.Checkpoint.Io.writer -> job_spec -> unit
+val decode_spec : Bist_resilience.Checkpoint.Io.reader -> job_spec
+(** The bare job-spec codec, reused by the daemon's crash-safe job
+    manifest. [decode_spec] raises {!Frame.Protocol_error} on a garbage
+    kind and {!Bist_resilience.Checkpoint.Corrupt} on truncation (the
+    manifest reader converts both into "start with an empty queue"). *)

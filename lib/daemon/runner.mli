@@ -1,0 +1,47 @@
+(** Job execution inside a [bistd] worker.
+
+    A runner turns a {!Protocol.job_spec} into its canonical output
+    text, checkpointing periodically so the job survives its worker: the
+    run is cut into legs of [interval] seconds (a
+    {!Bist_resilience.Deadline} per leg), and every leg boundary
+    atomically persists the phase snapshot to the job's checkpoint file.
+    A worker that is SIGKILLed mid-leg therefore loses at most one leg
+    of work; whichever worker picks the job up next resumes from the
+    file and — by the PR 5 round-boundary invariant — produces output
+    bit-identical to an uninterrupted run.
+
+    The output is a pure function of the spec: [tgen] output equals the
+    file written by [bistgen tgen -o], [faultsim] output is the coverage
+    summary line, [inject] output is the campaign summary table. That
+    purity is what makes migration testable byte-for-byte. *)
+
+exception Bad_job of string
+(** The spec can never run: unknown circuit, malformed vectors, invalid
+    parameters. Deterministic — retrying is pointless, so the daemon
+    fails the job permanently instead of burning its retry budget. *)
+
+type outcome =
+  | Finished of string  (** The job's canonical output text. *)
+  | Preempted
+      (** The cancel token fired (worker drain); the checkpoint file
+          holds the latest snapshot for whoever resumes the job. *)
+
+val run_job :
+  ?obs:Bist_obs.Obs.t ->
+  checkpoint:string ->
+  interval:float ->
+  cancel:Bist_resilience.Cancel.t ->
+  Protocol.job_spec ->
+  outcome
+(** Execute the spec with periodic checkpoints every [interval] seconds.
+    If [checkpoint] already exists it is validated (kind, circuit,
+    fingerprint, parameter echo) and resumed from; a corrupt or
+    mismatched file is deleted and the job restarts from scratch —
+    losing work, never correctness. [faultsim] keeps no resumable state
+    (a migrated simulation recomputes, deterministically). Raises
+    {!Bad_job} on an unrunnable spec. *)
+
+val run_once : ?obs:Bist_obs.Obs.t -> Protocol.job_spec -> string
+(** The uninterrupted oracle: same output, no checkpointing, no
+    preemption. The daemon smoke gate compares migrated jobs against
+    this. Raises {!Bad_job}. *)

@@ -1,0 +1,91 @@
+module Checkpoint = Bist_resilience.Checkpoint
+module Io = Checkpoint.Io
+
+type params = { seed : int; directed : int; trials : int }
+
+type stage =
+  | Generating of Engine.snapshot
+  | Compacting of Engine.stats * Compaction.snapshot
+
+exception Interrupted of stage
+
+let encode_payload p stage =
+  let w = Io.writer () in
+  Io.u32 w p.seed;
+  Io.u32 w p.directed;
+  Io.u32 w p.trials;
+  (match stage with
+  | Generating s ->
+    Io.u8 w 0;
+    Engine.encode_snapshot w s
+  | Compacting (stats, cs) ->
+    Io.u8 w 1;
+    Io.u32 w stats.Engine.rounds;
+    Io.u32 w stats.segments_accepted;
+    Io.u32 w stats.detected;
+    Io.u32 w stats.total_faults;
+    Io.u32 w stats.statically_untestable;
+    Compaction.encode_snapshot w cs);
+  Io.contents w
+
+let decode_payload p payload =
+  let r = Io.reader payload in
+  let echo what expected =
+    let got = Io.r_u32 r in
+    if got <> expected then
+      raise
+        (Checkpoint.Mismatch
+           (Printf.sprintf
+              "checkpoint was written with %s %d, this run uses %d — \
+               re-invoke with the original parameters"
+              what got expected))
+  in
+  echo "--seed" p.seed;
+  echo "--directed" p.directed;
+  echo "--compact-trials" p.trials;
+  let stage =
+    match Io.r_u8 r with
+    | 0 -> Generating (Engine.decode_snapshot r)
+    | 1 ->
+      let rounds = Io.r_u32 r in
+      let segments_accepted = Io.r_u32 r in
+      let detected = Io.r_u32 r in
+      let total_faults = Io.r_u32 r in
+      let statically_untestable = Io.r_u32 r in
+      let stats =
+        { Engine.rounds; segments_accepted; detected; total_faults;
+          statically_untestable }
+      in
+      Compacting (stats, Compaction.decode_snapshot r)
+    | tag ->
+      raise (Checkpoint.Corrupt (Printf.sprintf "unknown tgen stage tag %d" tag))
+  in
+  Io.expect_end r;
+  stage
+
+let execute ?(obs = Bist_obs.Obs.null) ?pool ?ctl ?resume p universe =
+  let circuit = Bist_fault.Universe.circuit universe in
+  let config =
+    { (Engine.default_config circuit) with Engine.directed_budget = p.directed }
+  in
+  let rng = Bist_util.Rng.create p.seed in
+  let t0, stats =
+    match resume with
+    | Some (Compacting (stats, cs)) -> (cs.Compaction.seq, stats)
+    | (None | Some (Generating _)) as r -> (
+      let engine_resume =
+        match r with Some (Generating s) -> Some s | _ -> None
+      in
+      try Engine.generate ~config ~obs ?pool ?ctl ?resume:engine_resume ~rng universe
+      with Engine.Interrupted s -> raise (Interrupted (Generating s)))
+  in
+  let compact_resume =
+    match resume with Some (Compacting (_, cs)) -> Some cs | _ -> None
+  in
+  let t0, cstats =
+    try
+      Compaction.compact ~max_trials:p.trials ~obs ?pool ?ctl
+        ?resume:compact_resume universe t0
+    with Compaction.Interrupted cs -> raise (Interrupted (Compacting (stats, cs)))
+  in
+  (t0, stats, cstats)

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# daemon-smoke: end-to-end gate for the bistd robustness contracts
+# (DESIGN.md §11).
+#
+#  1. Migration bit-identity: a job whose worker is SIGKILLed mid-run is
+#     resumed from its checkpoint on a fresh worker and its result is
+#     byte-identical to an uninterrupted run's.
+#  2. Typed backpressure: with the queue full, Submit is answered with a
+#     typed Rejected (exit 1 + reason on stderr), never a hang or drop.
+#  3. Chaos: truncated frames, garbage frames and a pathologically slow
+#     client leave the daemon serving everyone else.
+#  4. Daemon crash-safety: a SIGTERMed daemon parks its jobs (checkpoint
+#     + manifest) and exits 0; a restart on the same spool recovers and
+#     finishes them, still bit-identical.
+#
+# Run from the repo root (the Makefile does): ./scripts/daemon_smoke.sh
+
+set -u
+
+BISTD=_build/default/bin/bistd.exe
+
+say()  { printf 'daemon-smoke: %s\n' "$*"; }
+fail() { printf 'daemon-smoke: FAIL: %s\n' "$*" >&2; exit 1; }
+
+dune build bin/bistd.exe || fail "build failed"
+[ -x "$BISTD" ] || fail "missing $BISTD"
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# Long enough to SIGKILL mid-run (~3.5s), checkpointed every 100ms.
+job=(tgen x1488 --seed 7 --trials 2000)
+
+start_daemon() { # extra serve args...
+  "$BISTD" serve --port 0 --port-file "$work/port" --spool "$work/spool" \
+    --interval 0.1 -v "$@" >> "$work/daemon.log" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 50); do
+    [ -s "$work/port" ] && break
+    sleep 0.1
+  done
+  [ -s "$work/port" ] || fail "daemon did not announce a port"
+  port=$(cat "$work/port")
+  rm -f "$work/port"
+}
+
+# --- reference: an uninterrupted run ---------------------------------
+
+start_daemon --workers 1
+"$BISTD" submit "${job[@]}" --port "$port" --wait -o "$work/ref.seq" \
+  2>/dev/null || fail "reference job failed"
+"$BISTD" shutdown --port "$port" >/dev/null || fail "shutdown refused"
+wait "$daemon_pid" || fail "reference daemon exited non-zero"
+daemon_pid=""
+[ -s "$work/ref.seq" ] || fail "reference produced no output"
+rm -rf "$work/spool"
+say "reference run complete"
+
+# --- 1. SIGKILL a worker mid-job: migration must be bit-identical ----
+
+start_daemon --workers 1
+"$BISTD" submit "${job[@]}" --port "$port" --wait -o "$work/mig.seq" \
+  > "$work/mig.client" 2>&1 &
+client=$!
+pidfile="$work/spool/job-1.pid"
+for _ in $(seq 1 50); do
+  [ -s "$pidfile" ] && break
+  sleep 0.1
+done
+[ -s "$pidfile" ] || fail "worker pid file never appeared"
+sleep 0.5   # let a few checkpoint legs land
+kill -9 "$(cat "$pidfile")" 2>/dev/null || fail "could not SIGKILL the worker"
+wait "$client" || fail "migrated job failed: $(cat "$work/mig.client")"
+cmp -s "$work/ref.seq" "$work/mig.seq" \
+  || fail "migrated result differs from the uninterrupted run"
+"$BISTD" stats --port "$port" | grep -q "migrations.default *1" \
+  || fail "stats do not record the migration"
+say "SIGKILLed worker: job migrated, result bit-identical"
+
+# --- 2. full queue answers with a typed rejection --------------------
+
+# workers=1 is busy only briefly now; saturate the queue instead with a
+# fresh long job plus queue-capacity more, then one over.
+"$BISTD" shutdown --port "$port" >/dev/null; wait "$daemon_pid"; daemon_pid=""
+rm -rf "$work/spool"
+start_daemon --workers 1 --queue 1
+"$BISTD" submit "${job[@]}" --port "$port" >/dev/null || fail "submit 1 refused"
+sleep 0.3   # let it dispatch so the queue is empty again
+"$BISTD" submit "${job[@]}" --port "$port" >/dev/null || fail "submit 2 refused"
+"$BISTD" submit "${job[@]}" --port "$port" > "$work/rej.out" 2>&1
+st=$?
+[ "$st" -eq 1 ] || fail "overflow submit exited $st (expected 1)"
+grep -q "queue_full" "$work/rej.out" \
+  || fail "rejection lacks the typed reason: $(cat "$work/rej.out")"
+say "full queue: typed queue-full rejection"
+
+# --- 3. chaos: the daemon survives hostile clients -------------------
+
+"$BISTD" chaos all --port "$port" >/dev/null \
+  || fail "daemon did not survive chaos (truncate/garbage/slow)"
+"$BISTD" stats --port "$port" | grep -q "protocol_errors" \
+  || fail "protocol errors were not counted"
+say "chaos truncate/garbage/slow: daemon survived, errors typed + counted"
+
+# --- 4. SIGTERM the daemon mid-job: park, restart, recover -----------
+
+# Jobs 1+2 from the backpressure step are still in flight on this spool.
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "draining daemon exited non-zero"
+daemon_pid=""
+[ -f "$work/spool/manifest" ] || fail "drain left no manifest"
+start_daemon --workers 1
+grep -q "recovered job" "$work/daemon.log" \
+  || fail "restarted daemon recovered nothing"
+for _ in $(seq 1 200); do
+  [ -f "$work/spool/job-1.out" ] && [ -f "$work/spool/job-2.out" ] && break
+  sleep 0.1
+done
+[ -f "$work/spool/job-1.out" ] || fail "recovered job 1 never finished"
+[ -f "$work/spool/job-2.out" ] || fail "recovered job 2 never finished"
+cmp -s "$work/ref.seq" "$work/spool/job-1.out" \
+  || fail "recovered job 1 differs from the uninterrupted run"
+cmp -s "$work/ref.seq" "$work/spool/job-2.out" \
+  || fail "recovered job 2 differs from the uninterrupted run"
+"$BISTD" shutdown --port "$port" >/dev/null
+wait "$daemon_pid"; daemon_pid=""
+say "SIGTERMed daemon: jobs parked, recovered on restart, bit-identical"
+
+say "PASS"

@@ -152,4 +152,38 @@ done
 cmp -s "$inj_ref" "$out" || fail "inject: resumed report differs from uninterrupted run"
 say "inject s27+x298: identical report after $preempts deadline preemption(s)"
 
+# --- double signal is a force-quit (exit 130) ------------------------
+#
+# One signal asks for a cooperative checkpoint-and-exit-3; a second
+# means "now" and must exit 130 immediately, bistgen and inject alike.
+# SIGTERM then SIGINT back-to-back: both feed the same counting handler,
+# and unlike a repeated SIGTERM the pair cannot coalesce in the kernel,
+# so the second is already pending before the cooperative exit can run.
+
+double_signal() {
+  local label=$1; shift
+  local st=0 killed=0 delay pid
+  for delay in 0.30 0.15 0.05; do
+    "$@" >/dev/null 2>&1 &
+    pid=$!
+    sleep "$delay"
+    kill -TERM "$pid" 2>/dev/null
+    kill -INT "$pid" 2>/dev/null
+    wait "$pid"
+    st=$?
+    if [ "$st" -eq 130 ]; then killed=1; break; fi
+    # Finished (0/1) before the signals landed; retry with a shorter
+    # delay. Exit 3 would mean the force-quit lost to the cooperative
+    # path even with both signals pending — a real regression.
+    case $st in 0|1) ;; *) fail "$label: double signal exited $st" ;; esac
+  done
+  [ "$killed" -eq 1 ] || fail "$label: double signal never forced exit 130"
+  say "$label: double signal force-quits with exit 130"
+}
+
+double_signal "bistgen" "$BISTGEN" tgen x1488 --seed 7 -j 1 \
+  --compact-trials 5000 -o "$work/ds.seq" --checkpoint "$work/ds.ckpt"
+double_signal "inject" "$INJECT" x1488 --count 4000 --seed 5 -j 1 \
+  --checkpoint "$work/ds-inject.ckpt"
+
 say "PASS"

@@ -1,0 +1,363 @@
+(* The bistd daemon's building blocks, attacked from below.
+
+   The headline suite is the seeded-mutation frame fuzz: valid protocol
+   frames are truncated, length-corrupted and kind-scrambled, then fed
+   through the decoder exactly as the server feeds network bytes. Every
+   mutant must either decode or raise [Frame.Protocol_error] — any other
+   exception would crash the daemon instead of producing a typed [Error]
+   reply for one client. The rest covers the frame codec under
+   adversarial chunking, the protocol codec roundtrip, the backoff
+   policy, the bounded admission queue, and the worker runner's
+   checkpoint/resume equivalence. *)
+
+module Rng = Bist_util.Rng
+module Frame = Bist_daemon.Frame
+module Protocol = Bist_daemon.Protocol
+module Backoff = Bist_daemon.Backoff
+module Admission = Bist_daemon.Admission
+module Runner = Bist_daemon.Runner
+
+(* ------------------------------------------------------------- frames *)
+
+(* Split [s] into random chunks and feed them one by one: the decoder
+   must produce the same payloads no matter how the network fragments
+   the byte stream. *)
+let feed_in_chunks rng dec s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let out = ref [] in
+  let drain () =
+    let rec go () =
+      match Frame.Decoder.next dec with
+      | Some p ->
+        out := p :: !out;
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  while !pos < n do
+    let len = min (n - !pos) (1 + Rng.int rng 7) in
+    Frame.Decoder.feed dec (String.sub s !pos len);
+    pos := !pos + len;
+    drain ()
+  done;
+  List.rev !out
+
+let test_frame_roundtrip () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 50 do
+    let payloads =
+      List.init (1 + Rng.int rng 5) (fun _ ->
+          String.init (Rng.int rng 64) (fun _ -> Char.chr (Rng.int rng 256)))
+    in
+    let stream = String.concat "" (List.map Frame.encode payloads) in
+    let dec = Frame.Decoder.create () in
+    let got = feed_in_chunks rng dec stream in
+    Alcotest.(check (list string)) "payloads survive chunking" payloads got;
+    Frame.Decoder.finish dec
+  done
+
+let test_frame_oversized () =
+  let dec = Frame.Decoder.create () in
+  let prefix = Bytes.create 4 in
+  Bytes.set_int32_le prefix 0 0x7FFFFFFFl;
+  match Frame.Decoder.feed dec (Bytes.to_string prefix) with
+  | () -> Alcotest.fail "oversized length prefix was accepted"
+  | exception Frame.Protocol_error _ -> ()
+
+let test_frame_truncation_detected () =
+  let dec = Frame.Decoder.create () in
+  let frame = Frame.encode "hello" in
+  Frame.Decoder.feed dec (String.sub frame 0 (String.length frame - 1));
+  Alcotest.(check bool) "incomplete frame yields nothing" true
+    (Frame.Decoder.next dec = None);
+  match Frame.Decoder.finish dec with
+  | () -> Alcotest.fail "truncated stream passed finish"
+  | exception Frame.Protocol_error _ -> ()
+
+(* ----------------------------------------------------------- protocol *)
+
+let sample_requests =
+  [
+    Protocol.Ping;
+    Protocol.Submit
+      { tenant = "alice"; deadline = None;
+        spec = Protocol.Tgen { circuit = "s27"; seed = 7; directed = 30; trials = 150 } };
+    Protocol.Submit
+      { tenant = "bob"; deadline = Some 2.5;
+        spec = Protocol.Faultsim { circuit = "x298"; vectors = "1010\n0111\n" } };
+    Protocol.Submit
+      { tenant = ""; deadline = Some 0.125;
+        spec = Protocol.Inject { circuit = "s27"; seed = 5; count = 120; n = 2 } };
+    Protocol.Status { id = 3 };
+    Protocol.Wait { id = 99 };
+    Protocol.Stats;
+    Protocol.Shutdown;
+  ]
+
+let sample_responses =
+  [
+    Protocol.Pong;
+    Protocol.Accepted { id = 12 };
+    Protocol.Rejected
+      { reason = Protocol.Queue_full; message = "queue is full" };
+    Protocol.Rejected { reason = Protocol.Tenant_quota; message = "quota" };
+    Protocol.Rejected { reason = Protocol.Draining; message = "draining" };
+    Protocol.Job_status { id = 4; state = "running"; attempts = 1 };
+    Protocol.Result { id = 4; output = "0101\n1110\n" };
+    Protocol.Failed { id = 4; reason = "deadline exceeded" };
+    Protocol.Stats_report "counter value\n";
+    Protocol.Shutting_down;
+    Protocol.Error { message = "unknown request kind 42" };
+  ]
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun req ->
+      let got = Protocol.decode_request (Protocol.encode_request req) in
+      Alcotest.(check bool) "request roundtrips" true (got = req))
+    sample_requests;
+  List.iter
+    (fun resp ->
+      let got = Protocol.decode_response (Protocol.encode_response resp) in
+      Alcotest.(check bool) "response roundtrips" true (got = resp))
+    sample_responses
+
+(* The seeded-mutation fuzz gate. Mutants of valid frames — flipped
+   bytes, truncations, corrupted length prefixes, scrambled kind bytes,
+   random splices — must decode or raise [Frame.Protocol_error], never
+   anything else. *)
+
+let mutations = 400
+let fuzz_seed = 0xB15D
+
+let flip_byte rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+    Bytes.to_string b
+  end
+
+let truncate rng s =
+  if String.length s = 0 then s
+  else String.sub s 0 (Rng.int rng (String.length s))
+
+let corrupt_length rng s =
+  if String.length s < 4 then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set_int32_le b 0 (Int32.of_int (Rng.int rng 0x7FFFFFFF));
+    Bytes.to_string b
+  end
+
+let scramble_kind rng s =
+  if String.length s < 5 then s
+  else begin
+    let b = Bytes.of_string s in
+    Bytes.set b 4 (Char.chr (Rng.int rng 256));
+    Bytes.to_string b
+  end
+
+let splice rng a b =
+  let cut s = String.sub s 0 (Rng.int rng (String.length s + 1)) in
+  let tail s =
+    let i = Rng.int rng (String.length s + 1) in
+    String.sub s i (String.length s - i)
+  in
+  cut a ^ tail b
+
+let mutate rng corpus s =
+  match Rng.int rng 5 with
+  | 0 -> flip_byte rng s
+  | 1 -> truncate rng s
+  | 2 -> corrupt_length rng s
+  | 3 -> scramble_kind rng s
+  | _ -> splice rng s (Rng.choose rng corpus)
+
+let test_fuzz_frames () =
+  let corpus =
+    Array.of_list
+      (List.map (fun r -> Frame.encode (Protocol.encode_request r)) sample_requests
+      @ List.map (fun r -> Frame.encode (Protocol.encode_response r)) sample_responses)
+  in
+  let rng = Rng.create fuzz_seed in
+  let total = ref 0 and decoded = ref 0 and rejected = ref 0 in
+  for i = 1 to mutations do
+    incr total;
+    let base = Rng.choose rng corpus in
+    let text = ref base in
+    for _ = 1 to 1 + Rng.int rng 3 do
+      text := mutate rng corpus !text
+    done;
+    match
+      let dec = Frame.Decoder.create () in
+      Frame.Decoder.feed dec !text;
+      let rec drain () =
+        match Frame.Decoder.next dec with
+        | Some payload ->
+          (* A complete frame must then decode as one of the two message
+             directions or raise the typed error. *)
+          (try ignore (Protocol.decode_request payload)
+           with Frame.Protocol_error _ -> (
+             try ignore (Protocol.decode_response payload)
+             with Frame.Protocol_error _ -> ()));
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      Frame.Decoder.finish dec
+    with
+    | () -> incr decoded
+    | exception Frame.Protocol_error _ -> incr rejected
+    | exception exn ->
+      Alcotest.failf "mutant #%d escaped the codec with %s (%d bytes)" i
+        (Printexc.to_string exn) (String.length !text)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "ran %d mutants (>= 300)" !total)
+    true (!total >= 300);
+  Alcotest.(check bool) "some mutants were rejected" true (!rejected > 0);
+  Alcotest.(check bool) "some mutants still decoded" true (!decoded > 0)
+
+(* ------------------------------------------------------------ backoff *)
+
+let test_backoff_growth () =
+  let p = { Backoff.initial = 0.1; multiplier = 2.0; max_delay = 0.5; budget = 5 } in
+  let d a = Option.get (Backoff.delay p ~attempt:a) in
+  Alcotest.(check (float 1e-9)) "attempt 1" 0.1 (d 1);
+  Alcotest.(check (float 1e-9)) "attempt 2" 0.2 (d 2);
+  Alcotest.(check (float 1e-9)) "attempt 3" 0.4 (d 3);
+  Alcotest.(check (float 1e-9)) "attempt 4 capped" 0.5 (d 4);
+  Alcotest.(check (float 1e-9)) "attempt 5 capped" 0.5 (d 5);
+  Alcotest.(check bool) "budget exhausted" true
+    (Backoff.delay p ~attempt:6 = None);
+  Alcotest.(check bool) "attempt 0 rejected" true
+    (match Backoff.delay p ~attempt:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_backoff_validate () =
+  Alcotest.(check bool) "default validates" true
+    (Backoff.validate Backoff.default = Ok Backoff.default);
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) "bad policy rejected" true
+        (Result.is_error (Backoff.validate bad)))
+    [
+      { Backoff.default with initial = 0.0 };
+      { Backoff.default with multiplier = 0.5 };
+      { Backoff.default with max_delay = 0.0 };
+      { Backoff.default with budget = -1 };
+    ]
+
+(* ---------------------------------------------------------- admission *)
+
+let test_admission_bounds () =
+  let q = Admission.create ~per_tenant:2 ~capacity:3 () in
+  Alcotest.(check bool) "a1" true (Admission.offer q ~tenant:"a" 1 = Ok ());
+  Alcotest.(check bool) "a2" true (Admission.offer q ~tenant:"a" 2 = Ok ());
+  Alcotest.(check bool) "a3 hits quota" true
+    (Admission.offer q ~tenant:"a" 3 = Error Admission.Tenant_quota);
+  Alcotest.(check bool) "b1" true (Admission.offer q ~tenant:"b" 4 = Ok ());
+  Alcotest.(check bool) "b2 hits capacity" true
+    (Admission.offer q ~tenant:"b" 5 = Error Admission.Queue_full);
+  Alcotest.(check (option (pair string int))) "fifo" (Some ("a", 1))
+    (Admission.take q);
+  Alcotest.(check int) "tenant count decremented" 1 (Admission.tenant_depth q "a");
+  (* A migrated job re-enters at the front, past both bounds. *)
+  Alcotest.(check bool) "refill" true (Admission.offer q ~tenant:"b" 6 = Ok ());
+  Admission.readmit q ~tenant:"a" 1;
+  Alcotest.(check int) "readmit ignores capacity" 4 (Admission.length q);
+  Alcotest.(check (option (pair string int))) "readmitted job is first"
+    (Some ("a", 1)) (Admission.take q)
+
+let test_admission_remove () =
+  let q = Admission.create ~capacity:4 () in
+  List.iter (fun i -> ignore (Admission.offer q ~tenant:"t" i)) [ 1; 2; 3 ];
+  Admission.remove q (fun i -> i = 2);
+  Alcotest.(check int) "one removed" 2 (Admission.length q);
+  Alcotest.(check int) "count follows" 2 (Admission.tenant_depth q "t");
+  Alcotest.(check (option (pair string int))) "order kept" (Some ("t", 1))
+    (Admission.take q);
+  Alcotest.(check (option (pair string int))) "removed is gone" (Some ("t", 3))
+    (Admission.take q)
+
+(* ------------------------------------------------------------- runner *)
+
+let with_tmp f =
+  let path = Filename.temp_file "bistd-test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let spec_tgen = Protocol.Tgen { circuit = "s27"; seed = 7; directed = 30; trials = 150 }
+
+let test_runner_matches_oracle () =
+  (* A checkpointing run whose cancel token never fires must equal the
+     uninterrupted oracle byte for byte, even with a tiny interval
+     forcing many checkpoint legs. *)
+  let oracle = Runner.run_once spec_tgen in
+  with_tmp (fun checkpoint ->
+      Sys.remove checkpoint;
+      let cancel = Bist_resilience.Cancel.create () in
+      match Runner.run_job ~checkpoint ~interval:0.001 ~cancel spec_tgen with
+      | Runner.Finished out ->
+        Alcotest.(check string) "legs equal oracle" oracle out;
+        Alcotest.(check bool) "checkpoint cleaned up" false
+          (Sys.file_exists checkpoint)
+      | Runner.Preempted -> Alcotest.fail "preempted without a cancel request")
+
+let test_runner_resumes_after_preemption () =
+  let oracle = Runner.run_once spec_tgen in
+  with_tmp (fun checkpoint ->
+      Sys.remove checkpoint;
+      (* First leg: cancel immediately, so the run parks a checkpoint. *)
+      let cancel = Bist_resilience.Cancel.create () in
+      Bist_resilience.Cancel.request cancel;
+      (match Runner.run_job ~checkpoint ~interval:0.0001 ~cancel spec_tgen with
+      | Runner.Preempted ->
+        Alcotest.(check bool) "checkpoint parked" true (Sys.file_exists checkpoint)
+      | Runner.Finished _ -> Alcotest.fail "ran to completion despite cancel");
+      (* Second worker resumes the file and must match the oracle. *)
+      let cancel = Bist_resilience.Cancel.create () in
+      match Runner.run_job ~checkpoint ~interval:10.0 ~cancel spec_tgen with
+      | Runner.Finished out -> Alcotest.(check string) "migrated equals oracle" oracle out
+      | Runner.Preempted -> Alcotest.fail "second worker was preempted")
+
+let test_runner_bad_jobs () =
+  let bad spec =
+    match Runner.run_once spec with
+    | (_ : string) -> Alcotest.fail "bad job ran"
+    | exception Runner.Bad_job _ -> ()
+  in
+  bad (Protocol.Tgen { circuit = "../../etc/passwd"; seed = 1; directed = 1; trials = 1 });
+  bad (Protocol.Faultsim { circuit = "s27"; vectors = "not a vector\n" });
+  bad (Protocol.Inject { circuit = "s27"; seed = 1; count = 0; n = 2 })
+
+let test_runner_faultsim () =
+  let seq = Runner.run_once spec_tgen in
+  let out = Runner.run_once (Protocol.Faultsim { circuit = "s27"; vectors = seq }) in
+  Alcotest.(check bool) "coverage line" true
+    (String.length out > 0
+    && String.sub out 0 8 = "detected"
+    && String.contains out '%')
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip under chunking" `Quick test_frame_roundtrip;
+    Alcotest.test_case "oversized frame rejected" `Quick test_frame_oversized;
+    Alcotest.test_case "truncated frame detected" `Quick test_frame_truncation_detected;
+    Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "frame mutants only raise Protocol_error" `Quick test_fuzz_frames;
+    Alcotest.test_case "backoff growth, cap, budget" `Quick test_backoff_growth;
+    Alcotest.test_case "backoff validation" `Quick test_backoff_validate;
+    Alcotest.test_case "admission bounds and readmit" `Quick test_admission_bounds;
+    Alcotest.test_case "admission remove" `Quick test_admission_remove;
+    Alcotest.test_case "runner legs equal oracle" `Quick test_runner_matches_oracle;
+    Alcotest.test_case "runner resumes after preemption" `Quick test_runner_resumes_after_preemption;
+    Alcotest.test_case "runner rejects bad jobs" `Quick test_runner_bad_jobs;
+    Alcotest.test_case "runner faultsim summary" `Quick test_runner_faultsim;
+  ]

@@ -21,4 +21,5 @@ let () =
       ("diagnosis", Test_diagnosis.suite);
       ("resilience", Test_resilience.suite);
       ("fuzz", Test_fuzz.suite);
+      ("daemon", Test_daemon.suite);
     ]
