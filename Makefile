@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke check smoke bench bench-json clean
+.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke check smoke bench bench-json clean
 
 all: build
 
@@ -51,7 +51,14 @@ interrupt-smoke:
 daemon-smoke:
 	./scripts/daemon_smoke.sh
 
-check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke
+# Exact-untestability gate (DESIGN.md §12): the SAT pass must prove the
+# known x298 untestable set, refute everything else (at least one fault
+# via a SAT-derived, simulator-validated test), and respect the frame
+# bound exactly on the boundary fault N6/0.
+sat-smoke:
+	./scripts/sat_smoke.sh
+
+check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault

@@ -325,6 +325,49 @@ let run_json ~jobs ~trace ~stats path =
         r)
       (json_workloads ())
   in
+  (* SAT workload: the exact untestability prescreen (structural prover,
+     simulation refutation, bounded CDCL queries) on x298 at a small
+     frame bound. [identical] here checks determinism — two runs must
+     partition the universe the same way — and [phases] carries the
+     per-phase solve seconds, including one span per SAT query. *)
+  let records =
+    let module Untestable = Bist_analyze.Untestable in
+    let config = { Untestable.default_exact_config with Untestable.frames = 4 } in
+    let run ?obs () = Untestable.exact_prescreen ?obs ~config x298_universe in
+    let seconds_a, a = wall (fun () -> run ()) in
+    let seconds_b, b = wall (fun () -> run ()) in
+    let identical =
+      Bist_util.Bitset.equal a.Untestable.proved b.Untestable.proved
+      && Bist_util.Bitset.equal a.Untestable.refuted b.Untestable.refuted
+      && Bist_util.Bitset.equal a.Untestable.unknown b.Untestable.unknown
+    in
+    let phases =
+      let before = Bist_obs.Obs.span_seconds obs in
+      ignore
+        (Bist_obs.Obs.span obs ~cat:"bench" "sat_exact_prescreen_x298"
+           (fun () -> run ~obs ()));
+      List.filter_map
+        (fun (name, total) ->
+          let prior = Option.value ~default:0.0 (List.assoc_opt name before) in
+          let d = total -. prior in
+          if d > 0.0 then Some (name, d) else None)
+        (Bist_obs.Obs.span_seconds obs)
+    in
+    let r =
+      {
+        bench = "sat_exact_prescreen_x298"; circuit = "x298";
+        faults = Universe.size x298_universe;
+        seq_len = config.Untestable.frames;
+        seconds_seq = seconds_a; seconds_par = seconds_b;
+        identical; phases;
+      }
+    in
+    Printf.printf
+      "  %-24s %5d faults  run1 %8.4fs  run2 %8.4fs  %s\n%!"
+      r.bench r.faults seconds_a seconds_b
+      (if identical then "identical" else "MISMATCH");
+    records @ [ r ]
+  in
   (match trace with
   | Some tpath ->
     Bist_obs.Obs.write_trace obs tpath;

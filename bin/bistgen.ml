@@ -246,13 +246,16 @@ let faultsim_cmd =
    worker — one format, one resume semantics. *)
 
 let tgen_cmd =
-  let run spec seed out trials directed jobs trace stats_flag deadline
-      checkpoint resume =
+  let run spec seed out trials directed sat_budget sat_frames sat_conflicts
+      jobs trace stats_flag deadline checkpoint resume =
     let circuit = resolve_circuit spec in
     let name = Bist_circuit.Netlist.circuit_name circuit in
     let fingerprint = fingerprint_of circuit in
     let universe = universe_of circuit in
-    let params = { Bist_tgen.Run.seed; directed; trials } in
+    let params =
+      { Bist_tgen.Run.seed; directed; trials; sat_budget; sat_frames;
+        sat_conflicts }
+    in
     let pool = pool_of_jobs jobs in
     let ctl = make_ctl ~deadline ~checkpoint in
     let t0, stats, cstats =
@@ -302,6 +305,12 @@ let tgen_cmd =
       (Bist_logic.Tseq.length t0) cstats.Bist_tgen.Compaction.initial_length
       stats.Bist_tgen.Engine.detected stats.total_faults
       (100.0 *. float_of_int stats.detected /. float_of_int stats.total_faults);
+    if sat_budget > 0 then
+      Format.printf
+        "SAT tail: %d fault(s) proved untestable within %d frames, %d \
+         SAT-derived test(s) appended@."
+        stats.Bist_tgen.Engine.sat_proved sat_frames
+        stats.Bist_tgen.Engine.sat_tests;
     match out with
     | Some path ->
       Bist_harness.Seq_io.save t0 path;
@@ -319,10 +328,138 @@ let tgen_cmd =
          & info [ "directed" ] ~docv:"K"
              ~doc:"Attack up to K surviving faults with the genetic directed search.")
   in
+  let sat_budget_arg =
+    Arg.(value & opt int 0
+         & info [ "sat-budget" ] ~docv:"K"
+             ~doc:"Hand up to K faults that survived every search phase to \
+                   the bounded-exact SAT back end: UNSAT retires the fault, \
+                   a model becomes a validated test appended to T0 (0 = off).")
+  in
+  let sat_frames_arg =
+    Arg.(value & opt int 8
+         & info [ "sat-frames" ] ~docv:"F"
+             ~doc:"Time-frame bound of the SAT unrolling.")
+  in
+  let sat_conflicts_arg =
+    Arg.(value & opt int Bist_sat.Satgen.default_conflicts
+         & info [ "sat-conflicts" ] ~docv:"N"
+             ~doc:"Per-solve conflict budget before a SAT query gives up.")
+  in
   Cmd.v (Cmd.info "tgen" ~doc:"Generate and compact a deterministic sequence T0")
     Term.(const run $ circuit_arg $ seed_arg $ out_arg $ trials_arg $ directed_arg
+          $ sat_budget_arg $ sat_frames_arg $ sat_conflicts_arg
           $ jobs_arg $ trace_arg $ stats_arg $ deadline_arg $ checkpoint_arg
           $ resume_arg)
+
+(* dimacs / satgen: direct access to the SAT view of a circuit — the
+   same encoder the lint --sat pass and the tgen SAT tail run on. *)
+
+let find_fault universe circuit name =
+  let n = Bist_fault.Universe.size universe in
+  let rec go id =
+    if id >= n then begin
+      Printf.eprintf
+        "error: no collapsed fault named %S (names are as lint prints \
+         them, e.g. G5/0 or G7.in1/1)\n"
+        name;
+      exit 2
+    end
+    else
+      let f = Bist_fault.Universe.get universe id in
+      if Bist_fault.Fault.name circuit f = name then f else go (id + 1)
+  in
+  go 0
+
+let fault_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"NAME"
+        ~doc:"Collapsed fault name, as printed by lint (e.g. G5/0, G7.in1/1).")
+
+let frames_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "frames" ] ~docv:"F"
+        ~doc:"Time frames unrolled from the all-X reset state.")
+
+let dimacs_cmd =
+  let run spec fault_name frames out =
+    let circuit = resolve_circuit spec in
+    let universe = universe_of circuit in
+    let fault = find_fault universe circuit fault_name in
+    let view = Bist_sat.Cnf.view ~frames circuit in
+    let text = Bist_sat.Dimacs.to_string view fault in
+    match out with
+    | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+          output_string oc text);
+      Format.printf "wrote %s@." path
+    | None -> print_string text
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output .cnf file.")
+  in
+  Cmd.v
+    (Cmd.info "dimacs"
+       ~doc:
+         "Export the time-frame-expanded CNF of one fault's detection \
+          query in DIMACS format (the header comments name the circuit, \
+          fault, frame bound and the excitation/detection assumption \
+          literals)")
+    Term.(const run $ circuit_arg $ fault_arg $ frames_arg $ out_arg)
+
+let satgen_cmd =
+  let run spec fault_name frames conflicts out =
+    let circuit = resolve_circuit spec in
+    let universe = universe_of circuit in
+    let fault = find_fault universe circuit fault_name in
+    let view = Bist_sat.Cnf.view ~frames circuit in
+    match
+      Bist_sat.Satgen.solve_fault ~max_conflicts:conflicts view fault
+    with
+    | Bist_sat.Satgen.Unreachable ->
+      Format.printf
+        "%s: proved untestable (unreachable: no sequence of length <= %d \
+         excites the fault site)@."
+        fault_name frames
+    | Bist_sat.Satgen.Blocked ->
+      Format.printf
+        "%s: proved untestable (blocked: no sequence of length <= %d \
+         propagates the effect to an output)@."
+        fault_name frames
+    | Bist_sat.Satgen.Unknown ->
+      Format.printf
+        "%s: unknown within %d frames / %d conflicts (raise --frames or \
+         --conflicts)@."
+        fault_name frames conflicts;
+      exit 1
+    | Bist_sat.Satgen.Test seq ->
+      Format.printf "%s: testable — %d-vector test (simulator-validated)@."
+        fault_name (Bist_logic.Tseq.length seq);
+      (match out with
+      | Some path ->
+        Bist_harness.Seq_io.save seq path;
+        Format.printf "wrote %s@." path
+      | None -> print_string (Bist_harness.Seq_io.to_string seq))
+  in
+  let conflicts_arg =
+    Arg.(value & opt int Bist_sat.Satgen.default_conflicts
+         & info [ "conflicts" ] ~docv:"N" ~doc:"Conflict budget per solve.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output sequence file.")
+  in
+  Cmd.v
+    (Cmd.info "satgen"
+       ~doc:
+         "Decide one fault exactly (up to the frame bound): prove it \
+          untestable or emit a simulator-validated detecting sequence")
+    Term.(const run $ circuit_arg $ fault_arg $ frames_arg $ conflicts_arg
+          $ out_arg)
 
 (* expand *)
 
@@ -549,8 +686,8 @@ let () =
   let group =
     Cmd.group info
       [ stats_cmd; lint_cmd; optimize_cmd; faultsim_cmd; tgen_cmd;
-        expand_cmd; select_cmd; session_cmd; baseline_cmd; vcd_cmd;
-        verilog_cmd; figure1_cmd; trace_check_cmd ]
+        dimacs_cmd; satgen_cmd; expand_cmd; select_cmd; session_cmd;
+        baseline_cmd; vcd_cmd; verilog_cmd; figure1_cmd; trace_check_cmd ]
   in
   (* ~catch:false so typed domain errors reach us instead of cmdliner's
      backtrace printer; each has a registered printer with the context

@@ -5,6 +5,7 @@
 
 open Cmdliner
 module Lint = Bist_analyze.Lint
+module Untestable = Bist_analyze.Untestable
 
 let teaching = function
   | "counter3" -> Some (Bist_bench.Teaching.counter3 ())
@@ -15,7 +16,7 @@ let teaching = function
 (* A circuit that fails to parse (or to validate structurally) still
    yields a report — with a single error finding — so one bad file in a
    batch doesn't mask the results of the others. *)
-let report_of spec =
+let report_of ?sat spec =
   let broken category message =
     {
       Lint.circuit = Filename.remove_extension (Filename.basename spec);
@@ -24,16 +25,16 @@ let report_of spec =
   in
   if Sys.file_exists spec then
     match Bist_circuit.Bench_parser.parse_file spec with
-    | circuit -> Lint.run circuit
+    | circuit -> Lint.run ?sat circuit
     | exception Bist_circuit.Bench_parser.Parse_error { line; message } ->
       broken "parse-error" (Printf.sprintf "line %d: %s" line message)
     | exception Failure message -> broken "invalid-netlist" message
   else
     match Bist_bench.Registry.find spec with
-    | Some entry -> Lint.run (entry.circuit ())
+    | Some entry -> Lint.run ?sat (entry.circuit ())
     | None ->
       (match teaching spec with
-       | Some circuit -> Lint.run circuit
+       | Some circuit -> Lint.run ?sat circuit
        | None ->
          Printf.eprintf
            "error: %S is neither a file nor a known circuit (try s27, x298, \
@@ -41,14 +42,25 @@ let report_of spec =
            spec;
          exit 2)
 
-let run specs json max_warnings quiet =
+let run specs json max_warnings quiet sat sat_frames sat_conflicts sat_cap =
+  let sat =
+    if not sat then None
+    else
+      Some
+        {
+          Untestable.default_exact_config with
+          Untestable.frames = sat_frames;
+          max_conflicts = sat_conflicts;
+          sat_cap;
+        }
+  in
   let reports =
     match specs with
     | [] ->
       List.map
-        (fun (e : Bist_bench.Registry.entry) -> Lint.run (e.circuit ()))
+        (fun (e : Bist_bench.Registry.entry) -> Lint.run ?sat (e.circuit ()))
         (Bist_bench.Registry.all ())
-    | specs -> List.map report_of specs
+    | specs -> List.map (report_of ?sat) specs
   in
   if json then
     print_endline
@@ -96,6 +108,34 @@ let max_warnings_arg =
 let quiet_flag =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Hide info-level findings.")
 
+let sat_flag =
+  Arg.(
+    value & flag
+    & info [ "sat" ]
+        ~doc:
+          "Run the SAT-based exact untestability pass: proofs become exact \
+           up to the frame bound and an unresolved residue is a warning.")
+
+let sat_frames_arg =
+  Arg.(
+    value & opt int Untestable.default_exact_config.Untestable.frames
+    & info [ "sat-frames" ] ~docv:"K"
+        ~doc:"Time-frame bound of the SAT unrolling.")
+
+let sat_conflicts_arg =
+  Arg.(
+    value & opt int Untestable.default_exact_config.Untestable.max_conflicts
+    & info [ "sat-conflicts" ] ~docv:"N"
+        ~doc:"Per-solve conflict budget before a fault is left unknown.")
+
+let sat_cap_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "sat-cap" ] ~docv:"N"
+        ~doc:
+          "Limit the SAT pass to the first $(docv) undischarged faults \
+           (negative: no cap).")
+
 let () =
   let info =
     Cmd.info "lint" ~version:"1.0.0"
@@ -105,4 +145,7 @@ let () =
      0 clean, 1 findings/over budget, 2 usage. *)
   exit
     (Cmd.eval ~term_err:2
-       (Cmd.v info Term.(const run $ specs_arg $ json_flag $ max_warnings_arg $ quiet_flag)))
+       (Cmd.v info
+          Term.(
+            const run $ specs_arg $ json_flag $ max_warnings_arg $ quiet_flag
+            $ sat_flag $ sat_frames_arg $ sat_conflicts_arg $ sat_cap_arg)))

@@ -54,32 +54,95 @@ let validate_findings c =
       "that can never leave X under 3-valued simulation"
       r.Validate.maybe_uninitializable_ffs
 
-let untestable_findings c =
+(* The untestability section distinguishes three exact buckets: faults
+   {e proved} untestable (one warning, the actionable set), faults
+   {e refuted} by a concrete detecting test (info — they are ordinary
+   testable faults and never count against a warning budget), and the
+   {e unknown} residue. Without a SAT config the proofs are the
+   structural ones and unknown is informational; with SAT enabled the
+   report is exact up to the frame bound, so a non-empty unknown set
+   is itself a warning (raise the frame bound or budgets to clear
+   it). *)
+let untestable_findings ?sat c =
   let u = Universe.collapsed c in
-  let p = Untestable.prescreen_universe u in
-  let n = Untestable.total p in
-  if n = 0 then []
-  else begin
-    let nodes = ref [] in
-    Universe.iter
-      (fun id f ->
-        if Bist_util.Bitset.mem p.Untestable.untestable id then
-          nodes := Fault.name c f :: !nodes)
-      u;
-    [
-      {
-        severity = Warning;
-        category = "untestable-faults";
-        message =
-          Printf.sprintf
-            "%s provably untestable (of %d collapsed): %d unexcitable, %d \
-             unobservable, %d propagation-blocked"
-            (plural n "fault") (Universe.size u) p.Untestable.unexcitable
-            p.Untestable.unobservable p.Untestable.blocked;
-        nodes = truncate (List.rev !nodes);
-      };
-    ]
-  end
+  let config =
+    match sat with
+    | Some cfg -> cfg
+    | None -> { Untestable.default_exact_config with Untestable.sat_cap = 0 }
+  in
+  let sat_on = config.Untestable.sat_cap <> 0 in
+  let e = Untestable.exact_prescreen ~config u in
+  let fault_names set =
+    List.map (fun id -> Fault.name c (Universe.get u id))
+      (Bist_util.Bitset.elements set)
+  in
+  let total = Universe.size u in
+  let n_proved = Bist_util.Bitset.cardinal e.Untestable.proved in
+  let n_refuted = Bist_util.Bitset.cardinal e.Untestable.refuted in
+  let n_unknown = Bist_util.Bitset.cardinal e.Untestable.unknown in
+  let p = e.Untestable.structural in
+  let proved_finding =
+    if n_proved = 0 then []
+    else
+      [
+        {
+          severity = Warning;
+          category = "untestable-faults";
+          message =
+            Printf.sprintf
+              "%s proved untestable (of %d collapsed): %d unexcitable, %d \
+               unobservable, %d propagation-blocked%s"
+              (plural n_proved "fault") total p.Untestable.unexcitable
+              p.Untestable.unobservable p.Untestable.blocked
+              (if sat_on then
+                 Printf.sprintf
+                   ", %d SAT-unreachable, %d SAT-blocked (frame bound %d)"
+                   e.Untestable.sat_unreachable e.Untestable.sat_blocked
+                   config.Untestable.frames
+               else "");
+          nodes = truncate (fault_names e.Untestable.proved);
+        };
+      ]
+  in
+  let refuted_finding =
+    if n_refuted = 0 then []
+    else
+      [
+        {
+          severity = Info;
+          category = "refuted-faults";
+          message =
+            Printf.sprintf
+              "%d of %d collapsed faults refuted by a concrete test%s"
+              n_refuted total
+              (match List.length e.Untestable.sat_tests with
+              | 0 -> ""
+              | k -> Printf.sprintf " (%d via SAT-derived tests)" k);
+          nodes = [];
+        };
+      ]
+  in
+  let unknown_finding =
+    if n_unknown = 0 then []
+    else
+      [
+        {
+          severity = (if sat_on then Warning else Info);
+          category = "unknown-testability";
+          message =
+            Printf.sprintf
+              "%s unresolved (no untestability proof, no detecting test%s)"
+              (plural n_unknown "fault")
+              (if sat_on then
+                 Printf.sprintf " within %d frames / %d conflicts / cap %d"
+                   config.Untestable.frames config.Untestable.max_conflicts
+                   config.Untestable.sat_cap
+               else " found by simulation");
+          nodes = truncate (fault_names e.Untestable.unknown);
+        };
+      ]
+  in
+  proved_finding @ refuted_finding @ unknown_finding
 
 let sgraph_findings c =
   let g = Sgraph.analyze c in
@@ -135,11 +198,11 @@ let scoap_findings c =
     };
   ]
 
-let run c =
+let run ?sat c =
   {
     circuit = Netlist.circuit_name c;
     findings =
-      validate_findings c @ untestable_findings c @ sgraph_findings c
+      validate_findings c @ untestable_findings ?sat c @ sgraph_findings c
       @ scoap_findings c;
   }
 

@@ -17,7 +17,14 @@ type finding = {
 
 type report = { circuit : string; findings : finding list }
 
-val run : Bist_circuit.Netlist.t -> report
+val run : ?sat:Untestable.exact_config -> Bist_circuit.Netlist.t -> report
+(** The untestability section reports three exact buckets: proved
+    untestable (warning), refuted by a concrete detecting test (info —
+    never counted against a warning budget), and unknown. Without
+    [?sat] the proofs are structural and the unknown residue is
+    informational; with a SAT config the report is exact up to
+    [sat.frames] time frames and a non-empty unknown set becomes a
+    warning. *)
 
 val errors : report -> int
 val warnings : report -> int

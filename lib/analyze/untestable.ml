@@ -6,12 +6,19 @@ module Fault = Bist_fault.Fault
 module Universe = Bist_fault.Universe
 module Bitset = Bist_util.Bitset
 
-type reason = Unexcitable | Unobservable | Blocked
+type reason =
+  | Unexcitable
+  | Unobservable
+  | Blocked
+  | Sat_unreachable
+  | Sat_blocked
 
 let reason_name = function
   | Unexcitable -> "unexcitable"
   | Unobservable -> "unobservable"
   | Blocked -> "blocked"
+  | Sat_unreachable -> "sat-unreachable"
+  | Sat_blocked -> "sat-blocked"
 
 (* How a node can cut propagation when it appears as a side input of a
    gate on the propagation path. *)
@@ -226,7 +233,8 @@ let prescreen_universe u =
         (match r with
         | Unexcitable -> incr unexcitable
         | Unobservable -> incr unobservable
-        | Blocked -> incr blocked))
+        | Blocked -> incr blocked
+        | Sat_unreachable | Sat_blocked -> assert false (* check is structural *)))
     u;
   {
     untestable;
@@ -236,3 +244,128 @@ let prescreen_universe u =
   }
 
 let total p = p.unexcitable + p.unobservable + p.blocked
+
+(* --- Exact (SAT-backed) prescreen ---------------------------------- *)
+
+type exact_config = {
+  frames : int;
+  max_conflicts : int;
+  sat_cap : int;
+  refute_rounds : int;
+  refute_length : int;
+  seed : int;
+}
+
+let default_exact_config =
+  {
+    frames = 8;
+    max_conflicts = 20_000;
+    sat_cap = 64;
+    refute_rounds = 4;
+    refute_length = 48;
+    seed = 0xBB5;
+  }
+
+type exact = {
+  config : exact_config;
+  structural : prescreen;
+  proved : Bitset.t;
+  refuted : Bitset.t;
+  unknown : Bitset.t;
+  sat_unreachable : int;
+  sat_blocked : int;
+  sat_attempted : int;
+  sat_tests : (int * Bist_logic.Tseq.t) list;
+}
+
+let exact_prescreen ?(obs = Bist_obs.Obs.null) ?ctl
+    ?(config = default_exact_config) u =
+  let circuit = Universe.circuit u in
+  let n = Universe.size u in
+  let structural =
+    Bist_obs.Obs.span obs ~cat:"analyze" "untestable.structural" (fun () ->
+        prescreen_universe u)
+  in
+  let proved = Bitset.copy structural.untestable in
+  let refuted = Bitset.create n in
+  (* Phase 2: cheap refutation by random simulation — any fault a
+     concrete sequence detects is testable, no SAT call needed. Fixed
+     seed: lint output and engine behaviour stay deterministic. *)
+  Bist_obs.Obs.span obs ~cat:"analyze" "untestable.sim_refute" (fun () ->
+      let rng = Bist_util.Rng.create config.seed in
+      let targets = Bitset.create n in
+      Bitset.fill targets;
+      Bitset.diff_into targets proved;
+      for _ = 1 to config.refute_rounds do
+        if not (Bitset.is_empty targets) then begin
+          let seq =
+            Bist_logic.Tseq.random_binary rng
+              ~width:(Netlist.num_inputs circuit)
+              ~length:config.refute_length
+          in
+          let outcome =
+            Bist_fault.Fsim.run ~obs ?ctl ~targets ~stop_when_all_detected:true
+              u seq
+          in
+          Bitset.union_into refuted outcome.Bist_fault.Fsim.detected;
+          Bitset.diff_into targets outcome.Bist_fault.Fsim.detected
+        end
+      done);
+  (* Phase 3: the hard tail goes to the SAT solver, in fault-id order up
+     to [sat_cap] queries ([sat_cap < 0] removes the cap; [sat_cap = 0]
+     disables the phase). *)
+  let sat_unreachable = ref 0 in
+  let sat_blocked = ref 0 in
+  let sat_attempted = ref 0 in
+  let sat_tests = ref [] in
+  let remaining = Bitset.create n in
+  Bitset.fill remaining;
+  Bitset.diff_into remaining proved;
+  Bitset.diff_into remaining refuted;
+  if config.sat_cap <> 0 && not (Bitset.is_empty remaining) then
+    Bist_obs.Obs.span obs ~cat:"analyze" "untestable.sat"
+      ~args:(fun () ->
+        [
+          ("attempted", string_of_int !sat_attempted);
+          ("proved", string_of_int (!sat_unreachable + !sat_blocked));
+          ("tests", string_of_int (List.length !sat_tests));
+        ])
+      (fun () ->
+        let view = Bist_sat.Cnf.view ~frames:config.frames circuit in
+        Bitset.iter
+          (fun id ->
+            if config.sat_cap < 0 || !sat_attempted < config.sat_cap then begin
+              incr sat_attempted;
+              match
+                Bist_sat.Satgen.solve_fault ~obs ?ctl
+                  ~max_conflicts:config.max_conflicts view (Universe.get u id)
+              with
+              | Bist_sat.Satgen.Unreachable ->
+                incr sat_unreachable;
+                Bitset.add proved id
+              | Bist_sat.Satgen.Blocked ->
+                incr sat_blocked;
+                Bitset.add proved id
+              | Bist_sat.Satgen.Test seq ->
+                Bitset.add refuted id;
+                sat_tests := (id, seq) :: !sat_tests
+              | Bist_sat.Satgen.Unknown -> ()
+            end)
+          remaining);
+  let unknown = Bitset.create n in
+  Bitset.fill unknown;
+  Bitset.diff_into unknown proved;
+  Bitset.diff_into unknown refuted;
+  {
+    config;
+    structural;
+    proved;
+    refuted;
+    unknown;
+    sat_unreachable = !sat_unreachable;
+    sat_blocked = !sat_blocked;
+    sat_attempted = !sat_attempted;
+    sat_tests = List.rev !sat_tests;
+  }
+
+let exact_proved_total e = Bitset.cardinal e.proved

@@ -28,7 +28,17 @@
     from the all-X reset state — the detection semantics used everywhere
     in this repository ({!Bist_fault.Fsim}). *)
 
-type reason = Unexcitable | Unobservable | Blocked
+type reason =
+  | Unexcitable
+  | Unobservable
+  | Blocked
+  | Sat_unreachable
+      (** UNSAT proof that no sequence within the frame bound excites
+          the fault site ({!exact_prescreen} only). *)
+  | Sat_blocked
+      (** UNSAT proof that no sequence within the frame bound
+          propagates the fault to an output ({!exact_prescreen}
+          only). *)
 
 val reason_name : reason -> string
 
@@ -54,3 +64,56 @@ val prescreen_universe : Bist_fault.Universe.t -> prescreen
 
 val total : prescreen -> int
 (** Faults removed, all reasons combined. *)
+
+(** {2 Exact (SAT-backed) prescreen}
+
+    Three phases: the structural prover above; refutation of the
+    remainder by deterministic random simulation (a detected fault is
+    testable, no proof needed); and bounded-exact SAT queries
+    ({!Bist_sat.Satgen}) on the surviving hard tail. The result
+    partitions the universe into {e proved} untestable (structural
+    proofs are unconditional; SAT proofs are exact up to
+    [config.frames] time frames), {e refuted} (a concrete detecting
+    test exists), and {e unknown} (budget or cap exhausted). *)
+
+type exact_config = {
+  frames : int;  (** SAT time-frame bound *)
+  max_conflicts : int;  (** per-solve conflict budget *)
+  sat_cap : int;
+      (** max faults sent to the SAT solver, in fault-id order;
+          [0] disables the SAT phase, negative removes the cap *)
+  refute_rounds : int;  (** random refutation sequences *)
+  refute_length : int;
+  seed : int;  (** fixed seed: results are deterministic *)
+}
+
+val default_exact_config : exact_config
+
+type exact = {
+  config : exact_config;
+  structural : prescreen;
+  proved : Bist_util.Bitset.t;
+      (** structural plus SAT-proved fault ids *)
+  refuted : Bist_util.Bitset.t;
+      (** ids with a concrete detecting test (simulation or a
+          validated SAT model) *)
+  unknown : Bist_util.Bitset.t;  (** everything else *)
+  sat_unreachable : int;
+  sat_blocked : int;
+  sat_attempted : int;
+  sat_tests : (int * Bist_logic.Tseq.t) list;
+      (** validated SAT-derived tests for previously undischarged
+          faults, in fault-id order — ready to seed T0 *)
+}
+
+val exact_prescreen :
+  ?obs:Bist_obs.Obs.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
+  ?config:exact_config ->
+  Bist_fault.Universe.t ->
+  exact
+(** Deterministic for a fixed config. [?ctl] makes the simulation and
+    SAT phases preemptible; [?obs] records ["untestable.structural"],
+    ["untestable.sim_refute"] and ["untestable.sat"] spans. *)
+
+val exact_proved_total : exact -> int

@@ -73,7 +73,12 @@ let run_tgen ~obs ~checkpoint ~interval ~cancel ~circuit:spec ~seed ~directed
   let name = Bist_circuit.Netlist.circuit_name circuit in
   let fingerprint = fingerprint_of circuit in
   let universe = Bist_fault.Universe.collapsed circuit in
-  let params = { Bist_tgen.Run.seed; directed; trials } in
+  (* Daemon jobs keep the SAT tail off: the job protocol predates it
+     and the defaults must stay bit-identical. *)
+  let params =
+    { Bist_tgen.Run.seed; directed; trials; sat_budget = 0; sat_frames = 8;
+      sat_conflicts = Bist_sat.Satgen.default_conflicts }
+  in
   let resume0 =
     load_checkpoint ~kind:"tgen" ~circuit:name ~fingerprint ~path:checkpoint
       (Bist_tgen.Run.decode_payload params)
@@ -181,7 +186,12 @@ let run_once ?(obs = Bist_obs.Obs.null) spec =
   | Protocol.Tgen { circuit; seed; directed; trials } ->
     let circuit = resolve_circuit circuit in
     let universe = Bist_fault.Universe.collapsed circuit in
-    let params = { Bist_tgen.Run.seed; directed; trials } in
+    (* Daemon jobs keep the SAT tail off: the job protocol predates it
+     and the defaults must stay bit-identical. *)
+  let params =
+    { Bist_tgen.Run.seed; directed; trials; sat_budget = 0; sat_frames = 8;
+      sat_conflicts = Bist_sat.Satgen.default_conflicts }
+  in
     let t0, _, _ = Bist_tgen.Run.execute ~obs params universe in
     Bist_harness.Seq_io.to_string t0
   | Protocol.Inject { circuit; seed; count; n } ->

@@ -1,0 +1,117 @@
+(* DIMACS CNF export of a per-fault encoding, so the time-frame
+   expansion can be cross-checked against external solvers, plus the
+   small parser used by the round-trip test.
+
+   Solver literals map to DIMACS as [var + 1] with a sign (DIMACS
+   variables are 1-based and signed); the constant-true variable 0
+   becomes DIMACS variable 1, pinned by its unit clause. The header
+   comments name circuit, fault, frame bound and the two selector
+   literals, and the selectors are exported as unit clauses is NOT
+   done — instead they are left free and named, so an external solver
+   can assume either query. *)
+
+module Netlist = Bist_circuit.Netlist
+
+let lit_to_dimacs l =
+  let v = Solver.var_of_lit l + 1 in
+  if Solver.pos l then v else -v
+
+let dimacs_to_lit d =
+  let v = abs d - 1 in
+  let l = Solver.lit_of_var v in
+  if d > 0 then l else Solver.neg l
+
+type export = {
+  nvars : int;
+  clauses : int array list; (* solver-encoded, emission order *)
+  query : Cnf.query;
+}
+
+let export view fault =
+  let clauses = ref [] in
+  let nvars = ref (Cnf.base_vars view) in
+  Cnf.iter_good_clauses view (fun c -> clauses := c :: !clauses);
+  let sink =
+    {
+      Cnf.fresh =
+        (fun () ->
+          let v = !nvars in
+          incr nvars;
+          v);
+      emit = (fun c -> clauses := c :: !clauses);
+    }
+  in
+  let query = Cnf.encode_fault view sink fault in
+  { nvars = !nvars; clauses = List.rev !clauses; query }
+
+let to_buffer buf view fault =
+  let e = export view fault in
+  let circuit = Cnf.circuit view in
+  Printf.bprintf buf "c circuit %s fault %s frames %d\n"
+    (Netlist.circuit_name circuit)
+    (Bist_fault.Fault.name circuit fault)
+    (Cnf.frames view);
+  Printf.bprintf buf "c assume %d to ask excitation, %d to ask detection\n"
+    (lit_to_dimacs e.query.Cnf.excite)
+    (lit_to_dimacs e.query.Cnf.detect);
+  Printf.bprintf buf "p cnf %d %d\n" e.nvars (List.length e.clauses);
+  List.iter
+    (fun c ->
+      Array.iter (fun l -> Printf.bprintf buf "%d " (lit_to_dimacs l)) c;
+      Buffer.add_string buf "0\n")
+    e.clauses;
+  e.query
+
+let to_string view fault =
+  let buf = Buffer.create 4096 in
+  ignore (to_buffer buf view fault);
+  Buffer.contents buf
+
+type parsed = { p_nvars : int; p_clauses : int array list }
+
+exception Parse_error of string
+
+let parse text =
+  let nvars = ref (-1) in
+  let nclauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; v; c ] -> (
+          match (int_of_string_opt v, int_of_string_opt c) with
+          | Some v, Some c ->
+            nvars := v;
+            nclauses := c
+          | _ -> raise (Parse_error ("bad problem line: " ^ line)))
+        | _ -> raise (Parse_error ("bad problem line: " ^ line))
+      end
+      else begin
+        if !nvars < 0 then raise (Parse_error "clause before problem line");
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> raise (Parse_error ("bad literal: " ^ tok))
+               | Some 0 ->
+                 clauses := Array.of_list (List.rev !current) :: !clauses;
+                 current := []
+               | Some d ->
+                 if abs d > !nvars then
+                   raise (Parse_error ("literal out of range: " ^ tok));
+                 current := dimacs_to_lit d :: !current)
+      end)
+    lines;
+  if !current <> [] then raise (Parse_error "unterminated clause");
+  let clauses = List.rev !clauses in
+  if !nclauses >= 0 && List.length clauses <> !nclauses then
+    raise
+      (Parse_error
+         (Printf.sprintf "clause count mismatch: header %d, found %d"
+            !nclauses (List.length clauses)));
+  { p_nvars = !nvars; p_clauses = clauses }

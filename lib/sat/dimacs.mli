@@ -1,0 +1,38 @@
+(** DIMACS CNF export of per-fault time-frame encodings, for
+    cross-checking against external solvers, and the small parser used
+    by the round-trip test.
+
+    Solver literals map to DIMACS as [var + 1] with a sign; the
+    constant-true variable 0 becomes DIMACS variable 1, pinned by its
+    unit clause. The excitation/detection selectors are left free and
+    named in a comment header so an external solver can assume either
+    query. *)
+
+type export = {
+  nvars : int;
+  clauses : int array list;  (** solver-encoded, emission order *)
+  query : Cnf.query;
+}
+
+val export : Cnf.view -> Bist_fault.Fault.t -> export
+(** The full clause set (fault-free view + fault cone + selectors) in
+    solver literal encoding. *)
+
+val to_buffer : Buffer.t -> Cnf.view -> Bist_fault.Fault.t -> Cnf.query
+(** Append the DIMACS document (comment header naming circuit, fault
+    and frames; problem line; clauses) and return the selector
+    query. *)
+
+val to_string : Cnf.view -> Bist_fault.Fault.t -> string
+
+val lit_to_dimacs : int -> int
+val dimacs_to_lit : int -> int
+
+type parsed = { p_nvars : int; p_clauses : int array list }
+
+exception Parse_error of string
+
+val parse : string -> parsed
+(** Parse a DIMACS document back into solver literal encoding.
+    Raises {!Parse_error} on malformed input (bad problem line,
+    unterminated clause, literal out of range, count mismatch). *)

@@ -1,0 +1,42 @@
+(** SAT-backed fault queries: bounded-exact untestability proofs and
+    model-derived tests for the hard-fault tail.
+
+    All verdicts are relative to the view's frame bound [k]:
+    [Unreachable]/[Blocked] are {e proofs} that no input sequence of
+    length [<= k] excites/detects the fault (and hence unconditional
+    proofs whenever the circuit needs fewer than [k] frames), while
+    [Test] carries a sequence already validated — and trimmed to its
+    first detection — against {!Bist_fault.Fsim}. *)
+
+type verdict =
+  | Unreachable  (** no sequence of length [<= frames] excites the fault *)
+  | Blocked  (** excitable, but no sequence of length [<= frames] detects it *)
+  | Test of Bist_logic.Tseq.t  (** a simulator-validated detecting sequence *)
+  | Unknown  (** conflict budget exhausted before a verdict *)
+
+val verdict_name : verdict -> string
+
+val default_conflicts : int
+(** Default per-solve conflict budget (two solves per fault). *)
+
+exception
+  Encoding_mismatch of {
+    circuit : string;
+    fault : string;
+    frames : int;
+  }
+(** A SAT model whose decoded sequence the simulator rejects — an
+    encoder/simulator divergence. Never expected; raised loudly
+    instead of silently dropping coverage. *)
+
+val solve_fault :
+  ?obs:Bist_obs.Obs.t ->
+  ?ctl:Bist_resilience.Ctl.t ->
+  ?max_conflicts:int ->
+  Cnf.view ->
+  Bist_fault.Fault.t ->
+  verdict
+(** Deterministic (fresh solver per fault, independent of query
+    history). [?ctl] is polled inside the solver's conflict loop and
+    may raise {!Bist_resilience.Ctl.Preempted}; [?obs] records one
+    ["sat.fault"] span per query. *)

@@ -1,0 +1,683 @@
+(* A from-scratch CDCL SAT solver in the MiniSat lineage: two watched
+   literals, first-UIP conflict analysis with clause learning and
+   self-subsumption minimization, VSIDS-style decaying variable
+   activities with phase saving, Luby restarts, learnt-clause database
+   reduction, and incremental solving under assumptions so one
+   instance can answer a sequence of related queries (excitation, then
+   detection, of the same fault).
+
+   Literals are ints: variable [v] yields the positive literal [2*v]
+   and the negative literal [2*v+1]; [l lxor 1] negates. Clauses are
+   plain int arrays held in a growable table; watch lists hold clause
+   ids. When the learnt set outgrows a geometric limit, the
+   lowest-activity half (excluding binaries and clauses locked as
+   reasons) is dropped and ids are compacted — without this,
+   propagation drowns in dead learnt clauses long before a 20k-conflict
+   budget runs out on circuit-sized instances. *)
+
+type result = Sat | Unsat | Unknown
+
+let lit_of_var v = v lsl 1
+let neg l = l lxor 1
+let var_of_lit l = l lsr 1
+let pos l = l land 1 = 0
+
+(* lbool per literal, derived from per-var assignment:
+   assign.(v) = 0 undefined, 1 true, 2 false. *)
+let l_undef = 0
+let l_true = 1
+let l_false = 2
+
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 16 0; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let a = Array.make (2 * v.n) 0 in
+      Array.blit v.a 0 a 0 v.n;
+      v.a <- a
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  let get v i = v.a.(i)
+  let set v i x = v.a.(i) <- x
+  let size v = v.n
+  let clear v = v.n <- 0
+  let shrink v n = v.n <- n
+end
+
+type t = {
+  (* Clause table: [lits.(c)] is clause [c]'s literal array, with a
+     parallel learnt flag and activity (meaningful for learnt only). *)
+  mutable lits : int array array;
+  mutable is_learnt : Bytes.t;
+  mutable cla_act : float array;
+  mutable n_clauses : int;
+  mutable n_learnt : int;
+  mutable cla_inc : float;
+  mutable reduce_limit : int;
+  (* Per-variable state, arrays of capacity [cap]. *)
+  mutable cap : int;
+  mutable nvars : int;
+  mutable assign : Bytes.t; (* lbool *)
+  mutable level : int array;
+  mutable reason : int array; (* clause id or -1 *)
+  mutable activity : float array;
+  mutable polarity : Bytes.t; (* saved phase: 1 = last assigned true *)
+  mutable seen : Bytes.t;
+  (* Watch lists, indexed by literal (capacity 2*cap): the clauses in
+     which that literal is one of the two watched positions. *)
+  mutable watches : Vec.t array;
+  (* Assignment trail. *)
+  mutable trail : int array; (* literals, in assignment order *)
+  mutable trail_n : int;
+  trail_lim : Vec.t; (* trail size at each decision level *)
+  mutable qhead : int;
+  (* Branching heap: max-activity variable order. *)
+  mutable heap : int array;
+  mutable heap_n : int;
+  mutable heap_pos : int array; (* var -> index in heap, or -1 *)
+  mutable var_inc : float;
+  (* Status *)
+  mutable ok : bool; (* false once a top-level conflict is derived *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+}
+
+let create () =
+  let cap = 16 in
+  {
+    lits = Array.make 64 [||];
+    is_learnt = Bytes.make 64 '\000';
+    cla_act = Array.make 64 0.0;
+    n_clauses = 0;
+    n_learnt = 0;
+    cla_inc = 1.0;
+    reduce_limit = 2048;
+    cap;
+    nvars = 0;
+    assign = Bytes.make cap '\000';
+    level = Array.make cap 0;
+    reason = Array.make cap (-1);
+    activity = Array.make cap 0.0;
+    polarity = Bytes.make cap '\000';
+    seen = Bytes.make cap '\000';
+    watches = Array.init (2 * cap) (fun _ -> Vec.create ());
+    trail = Array.make cap 0;
+    trail_n = 0;
+    trail_lim = Vec.create ();
+    qhead = 0;
+    heap = Array.make cap 0;
+    heap_n = 0;
+    heap_pos = Array.make cap (-1);
+    var_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+  }
+
+let num_vars t = t.nvars
+let num_clauses t = t.n_clauses
+let num_conflicts t = t.conflicts
+let num_decisions t = t.decisions
+let num_propagations t = t.propagations
+
+let value_var t v = Char.code (Bytes.unsafe_get t.assign v)
+
+let value_lit t l =
+  let x = value_var t (var_of_lit l) in
+  if x = l_undef then l_undef
+  else if pos l then x
+  else 3 - x (* swaps true/false *)
+
+(* Heap of variables ordered by activity (max at the root). *)
+
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let heap_up t i0 =
+  let x = t.heap.(i0) in
+  let i = ref i0 in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    heap_less t x t.heap.(p)
+  do
+    let p = (!i - 1) / 2 in
+    t.heap.(!i) <- t.heap.(p);
+    t.heap_pos.(t.heap.(!i)) <- !i;
+    i := p
+  done;
+  t.heap.(!i) <- x;
+  t.heap_pos.(x) <- !i
+
+let heap_down t i0 =
+  let x = t.heap.(i0) in
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= t.heap_n then continue := false
+    else begin
+      let c =
+        if l + 1 < t.heap_n && heap_less t t.heap.(l + 1) t.heap.(l) then l + 1
+        else l
+      in
+      if heap_less t t.heap.(c) x then begin
+        t.heap.(!i) <- t.heap.(c);
+        t.heap_pos.(t.heap.(!i)) <- !i;
+        i := c
+      end
+      else continue := false
+    end
+  done;
+  t.heap.(!i) <- x;
+  t.heap_pos.(x) <- !i
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap.(t.heap_n) <- v;
+    t.heap_pos.(v) <- t.heap_n;
+    t.heap_n <- t.heap_n + 1;
+    heap_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let x = t.heap.(0) in
+  t.heap_pos.(x) <- -1;
+  t.heap_n <- t.heap_n - 1;
+  if t.heap_n > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_n);
+    t.heap_pos.(t.heap.(0)) <- 0;
+    heap_down t 0
+  end;
+  x
+
+let grow t =
+  let cap = 2 * t.cap in
+  let assign = Bytes.make cap '\000' in
+  Bytes.blit t.assign 0 assign 0 t.cap;
+  let polarity = Bytes.make cap '\000' in
+  Bytes.blit t.polarity 0 polarity 0 t.cap;
+  let seen = Bytes.make cap '\000' in
+  Bytes.blit t.seen 0 seen 0 t.cap;
+  let copy_int a fill =
+    let b = Array.make cap fill in
+    Array.blit a 0 b 0 t.cap;
+    b
+  in
+  let copy_float a =
+    let b = Array.make cap 0.0 in
+    Array.blit a 0 b 0 t.cap;
+    b
+  in
+  let watches = Array.init (2 * cap) (fun _ -> Vec.create ()) in
+  Array.blit t.watches 0 watches 0 (2 * t.cap);
+  t.assign <- assign;
+  t.polarity <- polarity;
+  t.seen <- seen;
+  t.level <- copy_int t.level 0;
+  t.reason <- copy_int t.reason (-1);
+  t.activity <- copy_float t.activity;
+  t.heap <- copy_int t.heap 0;
+  t.heap_pos <- copy_int t.heap_pos (-1);
+  t.trail <- copy_int t.trail 0;
+  t.watches <- watches;
+  t.cap <- cap
+
+let new_var t =
+  if t.nvars = t.cap then grow t;
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  heap_insert t v;
+  v
+
+let ensure_vars t n = while t.nvars < n do ignore (new_var t) done
+
+let decision_level t = Vec.size t.trail_lim
+
+let enqueue t l reason =
+  let v = var_of_lit l in
+  Bytes.unsafe_set t.assign v (Char.chr (if pos l then l_true else l_false));
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  Bytes.unsafe_set t.polarity v (if pos l then '\001' else '\000');
+  t.trail.(t.trail_n) <- l;
+  t.trail_n <- t.trail_n + 1
+
+(* Propagate everything on the trail. Returns the id of a conflicting
+   clause, or -1. *)
+let propagate t =
+  let confl = ref (-1) in
+  while !confl < 0 && t.qhead < t.trail_n do
+    let p = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    (* [p] just became true: visit clauses watching [neg p], which are
+       stored under index [p] ([watches.(neg w)] holds the clauses
+       watching literal [w]). *)
+    let false_lit = neg p in
+    let ws = t.watches.(p) in
+    let j = ref 0 in
+    let i = ref 0 in
+    let n = Vec.size ws in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      let cl = t.lits.(c) in
+      (* Put the false literal at position 1. *)
+      if Array.unsafe_get cl 0 = false_lit then begin
+        cl.(0) <- cl.(1);
+        cl.(1) <- false_lit
+      end;
+      let first = Array.unsafe_get cl 0 in
+      if value_lit t first = l_true then begin
+        (* Satisfied: keep the watch. *)
+        Vec.set ws !j c;
+        incr j
+      end
+      else begin
+        (* Look for a new literal to watch. *)
+        let len = Array.length cl in
+        let k = ref 2 in
+        while !k < len && value_lit t (Array.unsafe_get cl !k) = l_false do
+          incr k
+        done;
+        if !k < len then begin
+          (* Move the watch to cl.(k). *)
+          cl.(1) <- cl.(!k);
+          cl.(!k) <- false_lit;
+          Vec.push t.watches.(neg cl.(1)) c
+        end
+        else begin
+          (* Unit or conflicting. *)
+          Vec.set ws !j c;
+          incr j;
+          if value_lit t first = l_false then begin
+            confl := c;
+            (* Copy the remaining watches back and stop. *)
+            while !i < n do
+              Vec.set ws !j (Vec.get ws !i);
+              incr j;
+              incr i
+            done;
+            t.qhead <- t.trail_n
+          end
+          else enqueue t first c
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !confl
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+let var_decay = 1.0 /. 0.95
+
+let cla_bump t c =
+  if Bytes.get t.is_learnt c = '\001' then begin
+    t.cla_act.(c) <- t.cla_act.(c) +. t.cla_inc;
+    if t.cla_act.(c) > 1e20 then begin
+      for i = 0 to t.n_clauses - 1 do
+        t.cla_act.(i) <- t.cla_act.(i) *. 1e-20
+      done;
+      t.cla_inc <- t.cla_inc *. 1e-20
+    end
+  end
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = t.trail_n - 1 downto bound do
+      let v = var_of_lit t.trail.(i) in
+      Bytes.unsafe_set t.assign v '\000';
+      t.reason.(v) <- -1;
+      heap_insert t v
+    done;
+    t.trail_n <- bound;
+    t.qhead <- bound;
+    Vec.shrink t.trail_lim lvl
+  end
+
+(* First-UIP conflict analysis. Fills [out] with the learnt clause
+   (asserting literal first) and returns the backtrack level. *)
+let analyze t confl out =
+  Vec.clear out;
+  Vec.push out 0 (* placeholder for the asserting literal *);
+  let to_clear = Vec.create () in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let index = ref (t.trail_n - 1) in
+  let confl = ref confl in
+  let current = decision_level t in
+  let continue = ref true in
+  while !continue do
+    cla_bump t !confl;
+    let cl = t.lits.(!confl) in
+    let start = if !p < 0 then 0 else 1 in
+    for k = start to Array.length cl - 1 do
+      let q = cl.(k) in
+      let v = var_of_lit q in
+      if Bytes.get t.seen v = '\000' && t.level.(v) > 0 then begin
+        Bytes.set t.seen v '\001';
+        Vec.push to_clear v;
+        var_bump t v;
+        if t.level.(v) >= current then incr counter
+        else Vec.push out q
+      end
+    done;
+    (* Select the next literal to resolve on. *)
+    while Bytes.get t.seen (var_of_lit t.trail.(!index)) = '\000' do
+      decr index
+    done;
+    p := t.trail.(!index);
+    decr index;
+    decr counter;
+    if !counter = 0 then continue := false
+    else confl := t.reason.(var_of_lit !p)
+  done;
+  Vec.set out 0 (neg !p);
+  (* Self-subsumption minimization: drop a literal whose reason clause
+     is entirely made of seen literals (it is implied by the rest). *)
+  let redundant q =
+    let v = var_of_lit q in
+    let r = t.reason.(v) in
+    r >= 0
+    && Array.for_all
+         (fun l ->
+           let u = var_of_lit l in
+           u = v || Bytes.get t.seen u = '\001' || t.level.(u) = 0)
+         t.lits.(r)
+  in
+  let j = ref 1 in
+  for i = 1 to Vec.size out - 1 do
+    let q = Vec.get out i in
+    if not (redundant q) then begin
+      Vec.set out !j q;
+      incr j
+    end
+  done;
+  Vec.shrink out !j;
+  (* Backtrack level: highest level among the non-asserting literals;
+     swap that literal into position 1 so it is watched. *)
+  let bt = ref 0 in
+  if Vec.size out > 1 then begin
+    let max_i = ref 1 in
+    for i = 1 to Vec.size out - 1 do
+      if t.level.(var_of_lit (Vec.get out i))
+         > t.level.(var_of_lit (Vec.get out !max_i))
+      then max_i := i
+    done;
+    let tmp = Vec.get out 1 in
+    Vec.set out 1 (Vec.get out !max_i);
+    Vec.set out !max_i tmp;
+    bt := t.level.(var_of_lit (Vec.get out 1))
+  end;
+  for i = 0 to Vec.size to_clear - 1 do
+    Bytes.set t.seen (Vec.get to_clear i) '\000'
+  done;
+  !bt
+
+let push_clause t ~learnt cl =
+  if t.n_clauses = Array.length t.lits then begin
+    let n = t.n_clauses in
+    let a = Array.make (2 * n) [||] in
+    Array.blit t.lits 0 a 0 n;
+    t.lits <- a;
+    let fl = Bytes.make (2 * n) '\000' in
+    Bytes.blit t.is_learnt 0 fl 0 n;
+    t.is_learnt <- fl;
+    let act = Array.make (2 * n) 0.0 in
+    Array.blit t.cla_act 0 act 0 n;
+    t.cla_act <- act
+  end;
+  let c = t.n_clauses in
+  t.lits.(c) <- cl;
+  Bytes.set t.is_learnt c (if learnt then '\001' else '\000');
+  t.cla_act.(c) <- 0.0;
+  if learnt then t.n_learnt <- t.n_learnt + 1;
+  t.n_clauses <- c + 1;
+  Vec.push t.watches.(neg cl.(0)) c;
+  Vec.push t.watches.(neg cl.(1)) c;
+  c
+
+(* Drop the lowest-activity half of the deletable learnt clauses
+   (keeping binaries and clauses locked as the reason of a current
+   assignment), compact the clause table and rebuild watches. *)
+let reduce_db t =
+  let locked c =
+    let first = t.lits.(c).(0) in
+    value_lit t first = l_true && t.reason.(var_of_lit first) = c
+  in
+  let cands = ref [] in
+  for c = 0 to t.n_clauses - 1 do
+    if
+      Bytes.get t.is_learnt c = '\001'
+      && Array.length t.lits.(c) > 2
+      && not (locked c)
+    then cands := c :: !cands
+  done;
+  let cands = Array.of_list !cands in
+  Array.sort (fun a b -> compare t.cla_act.(a) t.cla_act.(b)) cands;
+  let delete = Array.make t.n_clauses false in
+  for i = 0 to (Array.length cands / 2) - 1 do
+    delete.(cands.(i)) <- true
+  done;
+  let map = Array.make t.n_clauses (-1) in
+  let j = ref 0 in
+  for c = 0 to t.n_clauses - 1 do
+    if not delete.(c) then begin
+      map.(c) <- !j;
+      t.lits.(!j) <- t.lits.(c);
+      t.cla_act.(!j) <- t.cla_act.(c);
+      Bytes.set t.is_learnt !j (Bytes.get t.is_learnt c);
+      incr j
+    end
+    else t.n_learnt <- t.n_learnt - 1
+  done;
+  for c = !j to t.n_clauses - 1 do
+    t.lits.(c) <- [||]
+  done;
+  t.n_clauses <- !j;
+  for i = 0 to t.trail_n - 1 do
+    let v = var_of_lit t.trail.(i) in
+    if t.reason.(v) >= 0 then t.reason.(v) <- map.(t.reason.(v))
+  done;
+  for l = 0 to (2 * t.cap) - 1 do
+    Vec.clear t.watches.(l)
+  done;
+  for c = 0 to t.n_clauses - 1 do
+    let cl = t.lits.(c) in
+    Vec.push t.watches.(neg cl.(0)) c;
+    Vec.push t.watches.(neg cl.(1)) c
+  done
+
+(* Add a problem clause. Must be called with the solver at decision
+   level 0 (construction time, or between solves). Performs the level-0
+   simplifications: drop satisfied clauses, drop false literals, detect
+   tautologies and duplicates. *)
+let add_clause t lits =
+  if t.ok then begin
+    (* Invalidate any model left from a previous [Sat] answer. *)
+    cancel_until t 0;
+    let n = Array.length lits in
+    let buf = Array.make n 0 in
+    let m = ref 0 in
+    let tauto = ref false in
+    let sat = ref false in
+    for i = 0 to n - 1 do
+      let l = lits.(i) in
+      ensure_vars t (var_of_lit l + 1);
+      match value_lit t l with
+      | x when x = l_true -> sat := true
+      | x when x = l_false -> ()
+      | _ ->
+        let dup = ref false in
+        for j = 0 to !m - 1 do
+          if buf.(j) = l then dup := true
+          else if buf.(j) = neg l then tauto := true
+        done;
+        if not !dup then begin
+          buf.(!m) <- l;
+          incr m
+        end
+    done;
+    if not (!sat || !tauto) then
+      if !m = 0 then t.ok <- false
+      else if !m = 1 then begin
+        enqueue t buf.(0) (-1);
+        if propagate t >= 0 then t.ok <- false
+      end
+      else ignore (push_clause t ~learnt:false (Array.sub buf 0 !m))
+  end
+
+let add_clause_l t lits = add_clause t (Array.of_list lits)
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby i =
+  let k = ref 1 in
+  while (1 lsl !k) - 1 < i + 1 do
+    incr k
+  done;
+  let i = ref i and k = ref (!k - 1) in
+  while (1 lsl !k) - 1 <> !i + 1 && !k > 0 do
+    i := !i - ((1 lsl !k) - 1);
+    (* Recompute the subtree size for the remainder. *)
+    k := 0;
+    while (1 lsl (!k + 1)) - 1 < !i + 1 do
+      incr k
+    done
+  done;
+  1 lsl !k
+
+let restart_base = 64
+
+exception Done of result
+
+let solve ?ctl ?(assumptions = [||]) ?(max_conflicts = max_int) t =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    t.qhead <- min t.qhead t.trail_n;
+    let learnt = Vec.create () in
+    let n_assumed = Array.length assumptions in
+    Array.iter (fun l -> ensure_vars t (var_of_lit l + 1)) assumptions;
+    let start_conflicts = t.conflicts in
+    let restarts = ref 0 in
+    let next_restart = ref (restart_base * luby 0) in
+    try
+      if propagate t >= 0 then begin
+        t.ok <- false;
+        raise (Done Unsat)
+      end;
+      while true do
+        let confl = propagate t in
+        if confl >= 0 then begin
+          t.conflicts <- t.conflicts + 1;
+          if t.conflicts land 255 = 0 then Bist_resilience.Ctl.poll ctl;
+          (* A conflict while only assumptions (or nothing) have been
+             decided refutes the assumptions themselves. *)
+          if decision_level t <= n_assumed then begin
+            if decision_level t = 0 then t.ok <- false;
+            raise (Done Unsat)
+          end;
+          if t.conflicts - start_conflicts >= max_conflicts then
+            raise (Done Unknown);
+          let bt = analyze t confl learnt in
+          (* Never backtrack below the assumption levels: replaying the
+             learnt clause there is handled by the decision loop. *)
+          cancel_until t (max bt (min n_assumed (decision_level t - 1)));
+          if Vec.size learnt = 1 && decision_level t = 0 then begin
+            enqueue t (Vec.get learnt 0) (-1)
+          end
+          else begin
+            let cl = Array.sub learnt.Vec.a 0 (Vec.size learnt) in
+            if Array.length cl = 1 then
+              (* Asserting unit above level 0 (assumptions active). *)
+              enqueue t cl.(0) (-1)
+            else begin
+              let c = push_clause t ~learnt:true cl in
+              cla_bump t c;
+              enqueue t cl.(0) c
+            end
+          end;
+          t.var_inc <- t.var_inc *. var_decay;
+          t.cla_inc <- t.cla_inc *. 1.001
+        end
+        else if decision_level t < n_assumed then begin
+          (* Re-establish the next assumption as a pseudo-decision. *)
+          let p = assumptions.(decision_level t) in
+          match value_lit t p with
+          | x when x = l_false -> raise (Done Unsat)
+          | x ->
+            Vec.push t.trail_lim t.trail_n;
+            if x = l_undef then enqueue t p (-1)
+        end
+        else if t.conflicts - start_conflicts >= !next_restart then begin
+          incr restarts;
+          next_restart :=
+            (t.conflicts - start_conflicts) + (restart_base * luby !restarts);
+          cancel_until t n_assumed
+        end
+        else begin
+          if t.n_learnt >= t.reduce_limit then begin
+            reduce_db t;
+            t.reduce_limit <- t.reduce_limit + (t.reduce_limit / 2)
+          end;
+          (* Decide: highest-activity unassigned variable, saved phase. *)
+          let v = ref (-1) in
+          while !v < 0 && t.heap_n > 0 do
+            let x = heap_pop t in
+            if value_var t x = l_undef then v := x
+          done;
+          if !v < 0 then raise (Done Sat)
+          else begin
+            t.decisions <- t.decisions + 1;
+            Vec.push t.trail_lim t.trail_n;
+            let l =
+              if Bytes.get t.polarity !v = '\001' then lit_of_var !v
+              else neg (lit_of_var !v)
+            in
+            enqueue t l (-1)
+          end
+        end
+      done;
+      assert false
+    with Done r ->
+      (match r with
+      | Sat -> () (* keep the trail so the model can be read *)
+      | Unsat | Unknown -> cancel_until t 0);
+      r
+  end
+
+(* Model access: valid after [solve] returned [Sat] and before the next
+   [add_clause]/[solve]. Unassigned variables (possible when clauses
+   were satisfied before their variables were decided — not with this
+   solver, which assigns every variable, but keep the API honest)
+   read as [false]. *)
+let model_value t v = if v < t.nvars then value_var t v = l_true else false
+
+let model_lit t l =
+  let x = value_lit t l in
+  x = l_true
+
+(* Iterate the problem (non-learnt) clauses, for export and debug.
+   Level-0 units are not stored as clauses and are not visited. *)
+let iter_problem_clauses t f =
+  for c = 0 to t.n_clauses - 1 do
+    if Bytes.get t.is_learnt c = '\000' then f t.lits.(c)
+  done

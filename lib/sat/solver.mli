@@ -1,0 +1,75 @@
+(** From-scratch CDCL SAT solver (MiniSat lineage).
+
+    Two watched literals, first-UIP conflict analysis with clause
+    learning and self-subsumption minimization, VSIDS-style decaying
+    activities with phase saving, Luby restarts, and incremental
+    solving under assumptions. Built for the per-fault time-frame
+    queries of {!Bist_sat.Cnf}/{!Bist_sat.Satgen}: instances are small
+    (tens of thousands of variables), solves are budget-bounded, and a
+    fresh solver is loaded per fault so verdicts are deterministic and
+    independent of query history.
+
+    {2 Literals}
+
+    Variables are dense ints from [0]. Variable [v] yields the
+    positive literal [lit_of_var v = 2*v] and its negation
+    [neg (lit_of_var v) = 2*v+1]; [neg] is an involution. *)
+
+type result = Sat | Unsat | Unknown
+
+type t
+
+val create : unit -> t
+
+val lit_of_var : int -> int
+val neg : int -> int
+val var_of_lit : int -> int
+val pos : int -> bool
+(** [pos l] is [true] iff [l] is the positive literal of its variable. *)
+
+val new_var : t -> int
+(** Allocate the next variable and return it. *)
+
+val ensure_vars : t -> int -> unit
+(** [ensure_vars t n] allocates variables until [num_vars t >= n]. *)
+
+val add_clause : t -> int array -> unit
+(** Add a problem clause (call at decision level 0, i.e. at
+    construction time or between solves). Satisfied clauses and false
+    literals are simplified away; deriving the empty clause makes the
+    solver permanently [Unsat]. The array is not retained. *)
+
+val add_clause_l : t -> int list -> unit
+
+val solve :
+  ?ctl:Bist_resilience.Ctl.t ->
+  ?assumptions:int array ->
+  ?max_conflicts:int ->
+  t ->
+  result
+(** Solve the clause set under the given assumption literals.
+
+    [Unsat] under assumptions means the clause set has no model
+    extending the assumptions (the solver itself may still be
+    satisfiable). [Unknown] is returned when [max_conflicts] is
+    exhausted. [?ctl] is polled every 256 conflicts and may raise
+    {!Bist_resilience.Ctl.Preempted}. Solving is deterministic: the
+    same clause-addition and solve sequence yields the same result and
+    model. *)
+
+val model_value : t -> int -> bool
+(** Value of a variable in the model. Only meaningful after {!solve}
+    returned [Sat], before the next [add_clause]/[solve]. *)
+
+val model_lit : t -> int -> bool
+(** Value of a literal in the model. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+
+val iter_problem_clauses : t -> (int array -> unit) -> unit
+(** Iterate the stored problem (non-learnt) clauses. Clauses
+    simplified to level-0 units are not stored and are not visited. *)

@@ -18,6 +18,9 @@ type config = {
   sample_cap : int;
   directed_budget : int;
   prescreen : bool;
+  sat_budget : int;
+  sat_frames : int;
+  sat_conflicts : int;
 }
 
 let default_config circuit =
@@ -34,6 +37,9 @@ let default_config circuit =
     sample_cap = 1500;
     directed_budget = 0;
     prescreen = true;
+    sat_budget = 0;
+    sat_frames = 8;
+    sat_conflicts = Bist_sat.Satgen.default_conflicts;
   }
 
 type stats = {
@@ -42,6 +48,8 @@ type stats = {
   detected : int;
   total_faults : int;
   statically_untestable : int;
+  sat_proved : int;
+  sat_tests : int;
 }
 
 (* The resumable position inside [generate]. Every tag is a state from
@@ -53,6 +61,7 @@ type phase =
   | Rebaseline
   | Embedded
   | Directed_tail of { ids : int array; next : int; attempts : int }
+  | Sat_tail of { ids : int array; next : int; proved : int; tests : int }
   | Finalize
 
 type snapshot = {
@@ -109,12 +118,16 @@ let sample_targets remaining cap =
     sample
   end
 
+let rank_directed = 3
+let rank_sat = 4
+
 let phase_rank = function
   | Standalone -> 0
   | Rebaseline -> 1
   | Embedded -> 2
-  | Directed_tail _ -> 3
-  | Finalize -> 4
+  | Directed_tail _ -> rank_directed
+  | Sat_tail _ -> rank_sat
+  | Finalize -> 5
 
 let generate ?config ?(obs = Obs.null) ?pool ?ctl ?resume ~rng universe =
   let circuit = Universe.circuit universe in
@@ -301,7 +314,7 @@ let generate ?config ?(obs = Obs.null) ?pool ?ctl ?resume ~rng universe =
           ~fruitless0:(if start_phase = Embedded then initial_fruitless else 0));
   (* Directed tail: attack a few of the surviving faults one by one with
      the genetic search, seeding each attempt after the full current T0. *)
-  if config.directed_budget > 0 && start_rank <= phase_rank Finalize - 1 then
+  if config.directed_budget > 0 && start_rank <= rank_directed then
     Obs.span obs ~cat:"engine" "engine.directed"
       ~args:(fun () ->
         [ ("budget", string_of_int config.directed_budget);
@@ -362,6 +375,91 @@ let generate ?config ?(obs = Obs.null) ?pool ?ctl ?resume ~rng universe =
           end;
           incr i
         done);
+  (* SAT tail: bounded-exact queries on whatever survived every search
+     phase. An UNSAT answer removes the fault from [remaining] — no
+     sequence of length <= sat_frames detects it, and in practice those
+     faults never fall to search either. A model is decoded into an
+     input sequence, validated against the fault simulator inside
+     {!Bist_sat.Satgen}, and appended to T0: by ternary monotonicity a
+     sequence that detects from the all-X state still detects embedded
+     after T0 (the same argument the standalone phase rests on). The
+     solver is deterministic and consumes no rng, so preempting between
+     faults and resuming stays bit-identical. *)
+  let sat_proved = ref 0 and sat_tests = ref 0 in
+  (match start_phase with
+  | Sat_tail { proved; tests; _ } ->
+    sat_proved := proved;
+    sat_tests := tests
+  | _ -> ());
+  if config.sat_budget > 0 && start_rank <= rank_sat then
+    Obs.span obs ~cat:"engine" "engine.sat_tail"
+      ~args:(fun () ->
+        [ ("budget", string_of_int config.sat_budget);
+          ("frames", string_of_int config.sat_frames);
+          ("remaining", string_of_int (Bitset.cardinal remaining)) ])
+      (fun () ->
+        let target_ids, next0 =
+          match start_phase with
+          | Sat_tail { ids; next; _ } -> (ids, next)
+          | _ ->
+            (* Fault-id order: deterministic and independent of the
+               search history that produced the survivors. *)
+            let ids = Array.of_list (Bitset.elements remaining) in
+            let n = min config.sat_budget (Array.length ids) in
+            (Array.sub ids 0 n, 0)
+        in
+        let view =
+          lazy (Bist_sat.Cnf.view ~frames:config.sat_frames circuit)
+        in
+        let i = ref next0 in
+        while !i < Array.length target_ids do
+          let sat_at next =
+            Sat_tail
+              { ids = target_ids; next; proved = !sat_proved;
+                tests = !sat_tests }
+          in
+          poll_or_interrupt ~phase:(sat_at !i) ~fruitless:0;
+          let id = target_ids.(!i) in
+          (* Unlike the search phases, the SAT tail ignores
+             [max_length]: the greedy budget being spent is exactly the
+             situation the tail exists for, proofs do not grow [T0] at
+             all, and the overshoot from appended tests is bounded by
+             [sat_budget * sat_frames] vectors. *)
+          if Bitset.mem remaining id then begin
+            let proved_entry = !sat_proved
+            and tests_entry = !sat_tests
+            and accepted_entry = !accepted in
+            try
+              let fault = Universe.get universe id in
+              (match
+                 Bist_sat.Satgen.solve_fault ~obs ?ctl
+                   ~max_conflicts:config.sat_conflicts (Lazy.force view)
+                   fault
+               with
+              | Bist_sat.Satgen.Unreachable | Bist_sat.Satgen.Blocked ->
+                incr sat_proved;
+                Bitset.remove remaining id
+              | Bist_sat.Satgen.Test seg ->
+                incr sat_tests;
+                incr accepted;
+                let full = Tseq.concat !t0 seg in
+                let detected =
+                  (Fsim.run ~obs ?pool ?ctl ~targets:remaining
+                     ~stop_when_all_detected:true universe full)
+                    .Fsim.detected
+                in
+                t0 := full;
+                Bitset.diff_into remaining detected
+              | Bist_sat.Satgen.Unknown -> ());
+              committed ()
+            with Ctl.Preempted _ ->
+              sat_proved := proved_entry;
+              sat_tests := tests_entry;
+              accepted := accepted_entry;
+              interrupt ~phase:(sat_at !i) ~fruitless:0 ~rng
+          end;
+          incr i
+        done);
   poll_or_interrupt ~phase:Finalize ~fruitless:0;
   let final =
     match
@@ -381,6 +479,8 @@ let generate ?config ?(obs = Obs.null) ?pool ?ctl ?resume ~rng universe =
       detected = Bitset.cardinal final.Fsim.detected;
       total_faults = Universe.size universe;
       statically_untestable = Bitset.cardinal untestable;
+      sat_proved = !sat_proved;
+      sat_tests = !sat_tests;
     } )
 
 (* Snapshot codec — the [tgen] checkpoint payload section owned by the
@@ -400,7 +500,14 @@ let encode_snapshot w s =
     Array.iter (Io.u32 w) ids;
     Io.u32 w next;
     Io.u32 w attempts
-  | Finalize -> Io.u8 w 4);
+  | Finalize -> Io.u8 w 4
+  | Sat_tail { ids; next; proved; tests } ->
+    Io.u8 w 5;
+    Io.u32 w (Array.length ids);
+    Array.iter (Io.u32 w) ids;
+    Io.u32 w next;
+    Io.u32 w proved;
+    Io.u32 w tests);
   Checkpoint.tseq w s.t0;
   Checkpoint.bitset w s.remaining;
   Checkpoint.bitset w s.untestable;
@@ -426,6 +533,17 @@ let decode_snapshot r =
              (Printf.sprintf "directed cursor %d past %d targets" next n));
       Directed_tail { ids; next; attempts }
     | 4 -> Finalize
+    | 5 ->
+      let n = Io.r_u32 r in
+      let ids = Array.init n (fun _ -> Io.r_u32 r) in
+      let next = Io.r_u32 r in
+      let proved = Io.r_u32 r in
+      let tests = Io.r_u32 r in
+      if next > n then
+        raise
+          (Checkpoint.Corrupt
+             (Printf.sprintf "sat cursor %d past %d targets" next n));
+      Sat_tail { ids; next; proved; tests }
     | tag ->
       raise (Checkpoint.Corrupt (Printf.sprintf "unknown engine phase tag %d" tag))
   in
@@ -446,6 +564,9 @@ let snapshot_equal a b =
       true
     | Directed_tail x, Directed_tail y ->
       x.ids = y.ids && x.next = y.next && x.attempts = y.attempts
+    | Sat_tail x, Sat_tail y ->
+      x.ids = y.ids && x.next = y.next && x.proved = y.proved
+      && x.tests = y.tests
     | _ -> false
   in
   phase_equal && Tseq.equal a.t0 b.t0

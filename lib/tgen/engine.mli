@@ -18,7 +18,11 @@ type config = {
   segment_length : int;  (** Vectors per candidate segment. *)
   candidates_per_round : int;
   patience : int;  (** Fruitless rounds tolerated before stopping. *)
-  max_length : int;  (** Hard cap on the length of [T0]. *)
+  max_length : int;
+      (** Hard cap on the length of [T0] during the search phases. The
+          SAT tail is exempt: it targets exactly the faults the search
+          abandoned after this budget ran out, and its overshoot is
+          bounded by [sat_budget * sat_frames] vectors. *)
   hold_options : int list;  (** Hold factors sampled for hold-mode candidates. *)
   weighted_p : float list;  (** One-probabilities sampled for weighted candidates. *)
   sample_cap : int;
@@ -38,6 +42,17 @@ type config = {
           default). Final coverage is unaffected — those faults were
           undetectable — but the patience budget stops being spent on
           them. *)
+  sat_budget : int;
+      (** Number of surviving faults to hand to the bounded-exact SAT
+          back end ({!Bist_sat.Satgen}) after every search phase has
+          given up (0 disables the phase, the default). An UNSAT answer
+          within [sat_frames] time frames retires the fault; a model is
+          decoded into an input sequence, validated against the fault
+          simulator, and appended to [T0]. *)
+  sat_frames : int;  (** Time-frame bound of the SAT unrolling. *)
+  sat_conflicts : int;
+      (** Per-solve conflict budget before a fault is left to the final
+          coverage numbers. *)
 }
 
 val default_config : Bist_circuit.Netlist.t -> config
@@ -50,6 +65,12 @@ type stats = {
   total_faults : int;
   statically_untestable : int;
       (** Faults the prescreen proved untestable (0 when disabled). *)
+  sat_proved : int;
+      (** Faults the SAT tail proved untestable within [sat_frames]
+          time frames (0 when the phase is disabled). *)
+  sat_tests : int;
+      (** SAT-derived, simulator-validated sequences appended to [T0]
+          for faults every search phase had aborted on. *)
 }
 
 (** {2 Preemption and resume}
@@ -70,6 +91,11 @@ type phase =
           order fixed when the phase began (it cannot be recomputed —
           [remaining] has shrunk since), [next] indexes the next target,
           [attempts] counts search attempts spent so far. *)
+  | Sat_tail of { ids : int array; next : int; proved : int; tests : int }
+      (** Between SAT queries: [ids] is the fault-id-ordered target
+          slice fixed when the phase began, [next] indexes the next
+          target, [proved]/[tests] snapshot the phase counters (the
+          solver consumes no rng, so resuming here is bit-identical). *)
   | Finalize  (** About to run the final coverage simulation. *)
 
 type snapshot = {
@@ -125,7 +151,8 @@ val generate :
     [obs] (default {!Bist_obs.Obs.null}, one branch of overhead) records
     ["engine.prescreen"], two ["engine.selection"] spans (standalone and
     embedded scoring) with one ["engine.round"] span per greedy round
-    nested inside, ["engine.rebaseline"], ["engine.directed"] and
+    nested inside, ["engine.rebaseline"], ["engine.directed"],
+    ["engine.sat_tail"] (with one ["sat.fault"] span per query) and
     ["engine.final_fsim"], plus per-shard fault-simulation spans, the
     ["engine.rounds"] / ["engine.segments_accepted"] counters and the
     ["engine.t0_length"] gauge. The generated sequence is identical with

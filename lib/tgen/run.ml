@@ -1,7 +1,14 @@
 module Checkpoint = Bist_resilience.Checkpoint
 module Io = Checkpoint.Io
 
-type params = { seed : int; directed : int; trials : int }
+type params = {
+  seed : int;
+  directed : int;
+  trials : int;
+  sat_budget : int;
+  sat_frames : int;
+  sat_conflicts : int;
+}
 
 type stage =
   | Generating of Engine.snapshot
@@ -14,6 +21,9 @@ let encode_payload p stage =
   Io.u32 w p.seed;
   Io.u32 w p.directed;
   Io.u32 w p.trials;
+  Io.u32 w p.sat_budget;
+  Io.u32 w p.sat_frames;
+  Io.u32 w p.sat_conflicts;
   (match stage with
   | Generating s ->
     Io.u8 w 0;
@@ -25,6 +35,8 @@ let encode_payload p stage =
     Io.u32 w stats.detected;
     Io.u32 w stats.total_faults;
     Io.u32 w stats.statically_untestable;
+    Io.u32 w stats.sat_proved;
+    Io.u32 w stats.sat_tests;
     Compaction.encode_snapshot w cs);
   Io.contents w
 
@@ -43,6 +55,9 @@ let decode_payload p payload =
   echo "--seed" p.seed;
   echo "--directed" p.directed;
   echo "--compact-trials" p.trials;
+  echo "--sat-budget" p.sat_budget;
+  echo "--sat-frames" p.sat_frames;
+  echo "--sat-conflicts" p.sat_conflicts;
   let stage =
     match Io.r_u8 r with
     | 0 -> Generating (Engine.decode_snapshot r)
@@ -52,9 +67,11 @@ let decode_payload p payload =
       let detected = Io.r_u32 r in
       let total_faults = Io.r_u32 r in
       let statically_untestable = Io.r_u32 r in
+      let sat_proved = Io.r_u32 r in
+      let sat_tests = Io.r_u32 r in
       let stats =
         { Engine.rounds; segments_accepted; detected; total_faults;
-          statically_untestable }
+          statically_untestable; sat_proved; sat_tests }
       in
       Compacting (stats, Compaction.decode_snapshot r)
     | tag ->
@@ -66,7 +83,13 @@ let decode_payload p payload =
 let execute ?(obs = Bist_obs.Obs.null) ?pool ?ctl ?resume p universe =
   let circuit = Bist_fault.Universe.circuit universe in
   let config =
-    { (Engine.default_config circuit) with Engine.directed_budget = p.directed }
+    {
+      (Engine.default_config circuit) with
+      Engine.directed_budget = p.directed;
+      sat_budget = p.sat_budget;
+      sat_frames = p.sat_frames;
+      sat_conflicts = p.sat_conflicts;
+    }
   in
   let rng = Bist_util.Rng.create p.seed in
   let t0, stats =

@@ -9,14 +9,17 @@
     by construction, not by parallel maintenance of two codecs.
 
     A checkpoint payload is a parameter echo ([params]: seed, directed
-    budget, compaction trial budget — resuming with different knobs is a
-    typed {!Bist_resilience.Checkpoint.Mismatch}) followed by a stage tag
-    and that stage's snapshot. *)
+    budget, SAT knobs, compaction trial budget — resuming with different
+    knobs is a typed {!Bist_resilience.Checkpoint.Mismatch}) followed by
+    a stage tag and that stage's snapshot. *)
 
 type params = {
   seed : int;  (** Engine rng seed. *)
   directed : int;  (** Directed-search budget ([--directed]). *)
   trials : int;  (** Static-compaction trial budget ([--compact-trials]). *)
+  sat_budget : int;  (** SAT-tail fault budget ([--sat-budget], 0 = off). *)
+  sat_frames : int;  (** SAT time-frame bound ([--sat-frames]). *)
+  sat_conflicts : int;  (** Per-solve conflict budget ([--sat-conflicts]). *)
 }
 
 type stage =
@@ -50,6 +53,6 @@ val execute :
   Bist_logic.Tseq.t * Engine.stats * Compaction.stats
 (** Generate [T0] with {!Engine.generate} (config =
     {!Engine.default_config} of the universe's circuit with [params]'
-    directed budget) and compact it with {!Compaction.compact}. The
+    directed and SAT budgets) and compact it with {!Compaction.compact}. The
     result is a deterministic function of [params] and the circuit, for
     every pool width and any interleaving of preemptions. *)

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# sat-smoke: end-to-end gate for the SAT-backed exact untestability
+# layer (DESIGN.md section 12).
+#
+# Three checks, all deterministic:
+#   1. s27 --sat: every collapsed fault is refuted by a concrete test —
+#      s27 has no untestable faults and the exact pass must say so with
+#      zero warnings.
+#   2. x298 --sat: the known untestable set is proved (139 faults at
+#      frame bound 6; the structural prover alone finds none of them),
+#      the rest are refuted, nothing is left unknown, and at least one
+#      refutation came from a SAT-derived, simulator-validated test.
+#   3. The bounded-frame semantics on the boundary fault N6/0: proved
+#      propagation-blocked within 4 frames, testable with a validated
+#      6-vector sequence at 6 frames — and that sequence, fault-simulated
+#      end to end, detects faults the short-bound proof says it cannot.
+#
+# Run from the repo root (the Makefile does): ./scripts/sat_smoke.sh
+
+set -u
+
+BISTGEN=_build/default/bin/bistgen.exe
+LINT=_build/default/bin/lint.exe
+
+say()  { printf 'sat-smoke: %s\n' "$*"; }
+fail() { printf 'sat-smoke: FAIL: %s\n' "$*" >&2; exit 1; }
+
+dune build bin/bistgen.exe bin/lint.exe || fail "build failed"
+[ -x "$BISTGEN" ] || fail "missing $BISTGEN"
+[ -x "$LINT" ]    || fail "missing $LINT"
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# --- 1. s27: exact pass, clean verdict -------------------------------
+
+out=$("$LINT" s27 --sat --sat-frames 6 2>&1); st=$?
+[ $st -eq 0 ] || fail "lint s27 --sat exited $st (expected 0): $out"
+grep -q "32 of 32 collapsed faults refuted" <<<"$out" \
+  || fail "s27: expected all 32 faults refuted, got: $out"
+grep -q "untestable-faults" <<<"$out" \
+  && fail "s27: spurious untestable finding: $out"
+say "s27: all 32 faults refuted, no untestable findings"
+
+# --- 2. x298: the known untestable set, proved exactly ---------------
+
+out=$("$LINT" x298 --sat --sat-frames 6 --max-warnings 1 2>&1); st=$?
+[ $st -eq 0 ] || fail "lint x298 --sat exited $st (expected 0): $out"
+grep -q "139 faults proved untestable" <<<"$out" \
+  || fail "x298: expected 139 proved untestable at 6 frames: $out"
+grep -q "24 SAT-unreachable, 115 SAT-blocked" <<<"$out" \
+  || fail "x298: wrong proof split: $out"
+grep -q "351 of 490 collapsed faults refuted" <<<"$out" \
+  || fail "x298: expected 351 refuted: $out"
+grep -qE "\([1-9][0-9]* via SAT-derived tests\)" <<<"$out" \
+  || fail "x298: expected at least one SAT-derived test: $out"
+grep -q "unknown-testability" <<<"$out" \
+  && fail "x298: unknown residue should be empty at 6 frames: $out"
+say "x298: 139 proved (24 unreachable + 115 blocked), 351 refuted, 0 unknown"
+
+# --- 3. the frame-bound boundary, generate-and-verify ----------------
+#
+# N6/0 sits exactly on the bound: no 4-frame sequence propagates it, a
+# 6-frame one does. satgen validates its model against the fault
+# simulator internally; the faultsim re-run closes the loop externally.
+
+out=$("$BISTGEN" satgen x298 --fault N6/0 --frames 4 2>&1); st=$?
+[ $st -eq 0 ] || fail "satgen N6/0 at 4 frames exited $st: $out"
+grep -q "proved untestable (blocked" <<<"$out" \
+  || fail "N6/0 at 4 frames: expected a blocked proof: $out"
+
+out=$("$BISTGEN" satgen x298 --fault N6/0 --frames 6 -o "$work/n6.seq" 2>&1); st=$?
+[ $st -eq 0 ] || fail "satgen N6/0 at 6 frames exited $st: $out"
+grep -q "testable — 6-vector test (simulator-validated)" <<<"$out" \
+  || fail "N6/0 at 6 frames: expected a validated 6-vector test: $out"
+
+out=$("$BISTGEN" faultsim x298 --seq "$work/n6.seq" 2>&1) \
+  || fail "faultsim of the SAT-derived sequence failed: $out"
+grep -qE "detected [1-9][0-9]* / 490 faults" <<<"$out" \
+  || fail "SAT-derived sequence detects nothing: $out"
+say "N6/0: blocked within 4 frames, SAT test at 6 frames verified by faultsim"
+
+say "PASS"

@@ -8,6 +8,7 @@ let () =
       ("parser-errors", Test_parser_errors.suite);
       ("validate", Test_validate.suite);
       ("analyze", Test_analyze.suite);
+      ("sat", Test_sat.suite);
       ("opt", Test_opt.suite);
       ("sim", Test_sim.suite);
       ("fault", Test_fault.suite);

@@ -254,7 +254,7 @@ let qcheck_tseq_codec =
 let engine_snapshot_arb =
   let gen =
     QCheck.Gen.(
-      int_range 0 4 >>= fun phase_tag ->
+      int_range 0 5 >>= fun phase_tag ->
       int_range 1 60 >>= fun cap ->
       list_size (int_range 0 20) (int_range 0 (cap - 1)) >>= fun rem ->
       list_size (int_range 0 10) (int_range 0 (cap - 1)) >>= fun unt ->
@@ -266,6 +266,8 @@ let engine_snapshot_arb =
       list_size (int_range 0 8) (int_range 0 (cap - 1)) >>= fun ids ->
       int_range 0 (List.length ids) >>= fun next ->
       int_range 0 20 >>= fun attempts ->
+      int_range 0 15 >>= fun proved ->
+      int_range 0 15 >>= fun tests ->
       let bitset_of l =
         let s = Bitset.create cap in
         List.iter (Bitset.add s) l;
@@ -277,6 +279,7 @@ let engine_snapshot_arb =
         | 1 -> Engine.Rebaseline
         | 2 -> Engine.Embedded
         | 3 -> Engine.Directed_tail { ids = Array.of_list ids; next; attempts }
+        | 4 -> Engine.Sat_tail { ids = Array.of_list ids; next; proved; tests }
         | _ -> Engine.Finalize
       in
       return
@@ -371,6 +374,24 @@ let test_engine_resume_x298 () =
     { (Engine.default_config circuit) with Engine.patience = 3 }
   in
   check_engine_identity ~polls:257 ~config ~seed:7 universe
+
+(* Crossing the SAT tail: the solver polls ctl mid-solve (every 256
+   conflicts), so preemptions land both between queries and inside
+   them; the rewind-to-boundary rule must keep resume bit-identical,
+   including the sat_proved/sat_tests counters carried in the phase. *)
+let test_engine_resume_sat_tail () =
+  let universe = x_universe "x298" in
+  let circuit = Universe.circuit universe in
+  let config =
+    { (Engine.default_config circuit) with
+      Engine.patience = 2; sat_budget = 6; sat_frames = 3;
+      sat_conflicts = 2_000 }
+  in
+  let rng = Rng.create 11 in
+  let _, ref_stats = Engine.generate ~config ~rng universe in
+  Alcotest.(check bool) "sat tail proved something" true
+    (ref_stats.Engine.sat_proved > 0);
+  check_engine_identity ~polls:101 ~config ~seed:11 universe
 
 let test_engine_resume_wrong_universe_is_mismatch () =
   let config =
@@ -510,6 +531,8 @@ let suite =
       test_engine_resume_s27;
     Alcotest.test_case "engine interrupt/resume is bit-identical (x298)" `Slow
       test_engine_resume_x298;
+    Alcotest.test_case "engine interrupt/resume crosses the SAT tail" `Slow
+      test_engine_resume_sat_tail;
     Alcotest.test_case "engine resume on wrong circuit is Mismatch" `Quick
       test_engine_resume_wrong_universe_is_mismatch;
     Alcotest.test_case "compaction interrupt/resume is bit-identical" `Slow
