@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke check smoke bench bench-json clean
+.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke perf-smoke check smoke bench bench-json clean
 
 all: build
 
@@ -58,7 +58,17 @@ daemon-smoke:
 sat-smoke:
 	./scripts/sat_smoke.sh
 
-check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke
+# Performance gate (DESIGN.md §13): appends a fresh fault-table bench
+# record (jobs=2) to BENCH_results.json, fails on any identical=false in
+# the trajectory, and on multi-core hosts fails if the x1488/x5378
+# speedup regressed >20% below the best recorded value (on cores=1 the
+# speedup assertion is skipped with a warning — sharding is
+# crossover-suppressed there by design).
+perf-smoke:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- --perf-smoke
+
+check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke perf-smoke
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault

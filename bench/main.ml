@@ -245,8 +245,15 @@ type json_record = {
   seq_len : int;
   seconds_seq : float;
   seconds_par : float;
+  seconds_instrumented : float;
+      (** Wall time of the separate pass the [phases] totals come from.
+          That pass runs with a live Obs sink, so its span totals
+          (including instrumentation overhead) legitimately exceed the
+          null-sink [seconds_seq]/[seconds_par] timings — recording its
+          own wall clock here keeps the two scales from being read
+          against each other. *)
   identical : bool;
-  phases : (string * float) list;  (** Per-phase seconds from an instrumented pass. *)
+  phases : (string * float) list;  (** Per-phase seconds from the instrumented pass. *)
 }
 
 let json_workloads () =
@@ -265,9 +272,10 @@ let json_workloads () =
     ("fault_table_s27", "s27", s27_universe, s27_t0);
     registry "x298" 256;
     registry "x1488" 256;
+    registry "x5378" 256;
   ]
 
-let run_json ~jobs ~trace ~stats path =
+let run_json ?(sat = true) ~jobs ~trace ~stats path =
   let jobs = if jobs = 0 then Pool.default_jobs () else max 1 jobs in
   let pool = if jobs > 1 then Some (Pool.create ~jobs ()) else None in
   let sequential = Pool.create ~jobs:1 () in
@@ -293,26 +301,30 @@ let run_json ~jobs ~trace ~stats path =
            (untimed above). The shared sink accumulates across workloads,
            so this record's phases are the delta of the cumulative span
            totals around its run. *)
-        let phases =
+        let seconds_instrumented, phases =
           let before = Bist_obs.Obs.span_seconds obs in
-          ignore
-            (Bist_obs.Obs.span obs ~cat:"bench" bench (fun () ->
-                 Fault_table.compute ~obs ?pool universe seq));
-          List.filter_map
-            (fun (name, total) ->
-              let prior =
-                Option.value ~default:0.0 (List.assoc_opt name before)
-              in
-              let d = total -. prior in
-              if d > 0.0 then Some (name, d) else None)
-            (Bist_obs.Obs.span_seconds obs)
+          let seconds_instrumented, () =
+            wall (fun () ->
+                ignore
+                  (Bist_obs.Obs.span obs ~cat:"bench" bench (fun () ->
+                       Fault_table.compute ~obs ?pool universe seq)))
+          in
+          ( seconds_instrumented,
+            List.filter_map
+              (fun (name, total) ->
+                let prior =
+                  Option.value ~default:0.0 (List.assoc_opt name before)
+                in
+                let d = total -. prior in
+                if d > 0.0 then Some (name, d) else None)
+              (Bist_obs.Obs.span_seconds obs) )
         in
         let r =
           {
             bench; circuit;
             faults = Universe.size universe;
             seq_len = Bist_logic.Tseq.length seq;
-            seconds_seq; seconds_par;
+            seconds_seq; seconds_par; seconds_instrumented;
             identical = tables_identical table_seq table_par;
             phases;
           }
@@ -331,6 +343,8 @@ let run_json ~jobs ~trace ~stats path =
      partition the universe the same way — and [phases] carries the
      per-phase solve seconds, including one span per SAT query. *)
   let records =
+    if not sat then records
+    else begin
     let module Untestable = Bist_analyze.Untestable in
     let config = { Untestable.default_exact_config with Untestable.frames = 4 } in
     let run ?obs () = Untestable.exact_prescreen ?obs ~config x298_universe in
@@ -341,17 +355,21 @@ let run_json ~jobs ~trace ~stats path =
       && Bist_util.Bitset.equal a.Untestable.refuted b.Untestable.refuted
       && Bist_util.Bitset.equal a.Untestable.unknown b.Untestable.unknown
     in
-    let phases =
+    let seconds_instrumented, phases =
       let before = Bist_obs.Obs.span_seconds obs in
-      ignore
-        (Bist_obs.Obs.span obs ~cat:"bench" "sat_exact_prescreen_x298"
-           (fun () -> run ~obs ()));
-      List.filter_map
-        (fun (name, total) ->
-          let prior = Option.value ~default:0.0 (List.assoc_opt name before) in
-          let d = total -. prior in
-          if d > 0.0 then Some (name, d) else None)
-        (Bist_obs.Obs.span_seconds obs)
+      let seconds_instrumented, () =
+        wall (fun () ->
+            ignore
+              (Bist_obs.Obs.span obs ~cat:"bench" "sat_exact_prescreen_x298"
+                 (fun () -> run ~obs ())))
+      in
+      ( seconds_instrumented,
+        List.filter_map
+          (fun (name, total) ->
+            let prior = Option.value ~default:0.0 (List.assoc_opt name before) in
+            let d = total -. prior in
+            if d > 0.0 then Some (name, d) else None)
+          (Bist_obs.Obs.span_seconds obs) )
     in
     let r =
       {
@@ -359,7 +377,7 @@ let run_json ~jobs ~trace ~stats path =
         faults = Universe.size x298_universe;
         seq_len = config.Untestable.frames;
         seconds_seq = seconds_a; seconds_par = seconds_b;
-        identical; phases;
+        seconds_instrumented; identical; phases;
       }
     in
     Printf.printf
@@ -367,6 +385,7 @@ let run_json ~jobs ~trace ~stats path =
       r.bench r.faults seconds_a seconds_b
       (if identical then "identical" else "MISMATCH");
     records @ [ r ]
+    end
   in
   (match trace with
   | Some tpath ->
@@ -387,14 +406,16 @@ let run_json ~jobs ~trace ~stats path =
              Printf.sprintf
                "    { \"bench\": %S, \"circuit\": %S, \"faults\": %d, \
                 \"seq_len\": %d, \"seconds_seq\": %.6f, \"seconds_par\": %.6f, \
-                \"speedup\": %.4f, \"identical\": %b,\n\
+                \"speedup\": %.4f, \"seconds_instrumented\": %.6f, \
+                \"identical\": %b,\n\
                \      \"phases\": { %s } }"
                r.bench r.circuit r.faults r.seq_len r.seconds_seq r.seconds_par
-               (r.seconds_seq /. r.seconds_par) r.identical phases)
+               (r.seconds_seq /. r.seconds_par) r.seconds_instrumented
+               r.identical phases)
       |> String.concat ",\n"
     in
     Printf.sprintf
-      "  { \"schema\": \"bist-bench/2\",\n\
+      "  { \"schema\": \"bist-bench/3\",\n\
       \    \"unix_time\": %.0f,\n\
       \    \"cores\": %d,\n\
       \    \"jobs\": %d,\n\
@@ -445,6 +466,100 @@ let run_json ~jobs ~trace ~stats path =
     exit 1
   end
 
+(* `--perf-smoke`: the CI perf gate. Appends a fresh record (fault-table
+   workloads only, jobs>=2) to the trajectory, then walks the whole file:
+
+   - any record anywhere with `identical: false` fails the gate;
+   - on a multi-core host, the fresh record's speedup on the gated
+     x1488/x5378-class benches must not fall more than 20% below the
+     best multi-core speedup ever recorded for that bench;
+   - on a single-core host the speedup assertion is vacuous (sharding is
+     crossover-suppressed, so speedup hovers at 1.0) and is skipped with
+     a warning. *)
+
+module Json = Bist_obs.Json_check
+
+let gated_benches = [ "fault_table_x1488"; "fault_table_x5378" ]
+
+let perf_smoke ~jobs path =
+  let jobs = if jobs = 0 then 2 else max 2 jobs in
+  run_json ~sat:false ~jobs ~trace:None ~stats:false path;
+  let records =
+    match Json.parse_file path with
+    | Ok (Json.List l) -> l
+    | Ok _ ->
+      Printf.eprintf "perf-smoke: %s is not a JSON array\n" path;
+      exit 2
+    | Error m ->
+      Printf.eprintf "perf-smoke: %s: %s\n" path m;
+      exit 2
+  in
+  let number = function Some (Json.Number f) -> Some f | _ -> None in
+  let string_ = function Some (Json.String s) -> Some s | _ -> None in
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "perf-smoke: FAIL: %s\n" m;
+        failed := true)
+      fmt
+  in
+  (* 1. bit-identity must hold in every record of the trajectory. *)
+  List.iteri
+    (fun i record ->
+      match Json.member "benches" record with
+      | Some (Json.List benches) ->
+        List.iter
+          (fun b ->
+            match (Json.member "identical" b, string_ (Json.member "bench" b)) with
+            | Some (Json.Bool false), name ->
+              fail "record %d bench %s has identical=false" i
+                (Option.value name ~default:"?")
+            | _ -> ())
+          benches
+      | _ -> ())
+    records;
+  (* 2. speedup regression against the best multi-core history. *)
+  let current = List.nth records (List.length records - 1) in
+  let cores =
+    int_of_float (Option.value ~default:1.0 (number (Json.member "cores" current)))
+  in
+  let speedups_of record bench_name =
+    match
+      ( number (Json.member "jobs" record),
+        Json.member "benches" record )
+    with
+    | Some j, Some (Json.List benches) when j >= 2.0 ->
+      List.filter_map
+        (fun b ->
+          if string_ (Json.member "bench" b) = Some bench_name then
+            number (Json.member "speedup" b)
+          else None)
+        benches
+    | _ -> []
+  in
+  if cores <= 1 then
+    Printf.eprintf
+      "perf-smoke: warning: cores=1 — sharding is crossover-suppressed, \
+       skipping the speedup assertion\n"
+  else
+    List.iter
+      (fun bench_name ->
+        let history =
+          List.concat_map (fun r -> speedups_of r bench_name) records
+        in
+        let current_speedup = speedups_of current bench_name in
+        match (history, current_speedup) with
+        | [], _ | _, [] -> ()
+        | _, now :: _ ->
+          let best = List.fold_left max neg_infinity history in
+          if now < 0.8 *. best then
+            fail "%s speedup %.2fx regressed >20%% below best recorded %.2fx"
+              bench_name now best)
+      gated_benches;
+  if !failed then exit 1;
+  print_endline "perf-smoke: PASS"
+
 let () =
   let args = Array.to_list Sys.argv in
   let has flag = List.mem flag args in
@@ -464,6 +579,10 @@ let () =
       | None -> Printf.eprintf "error: --jobs expects an integer\n"; exit 2)
     | None -> 0
   in
+  if has "--perf-smoke" then
+    perf_smoke ~jobs
+      (Option.value (value_of "--json") ~default:"BENCH_results.json")
+  else
   match value_of "--json" with
   | Some path ->
     run_json ~jobs ~trace:(value_of "--trace") ~stats:(has "--stats") path

@@ -1,6 +1,7 @@
 module Tseq = Bist_logic.Tseq
 module Bitset = Bist_util.Bitset
 module Packed_sim = Bist_sim.Packed_sim
+module Ppsfp = Bist_sim.Ppsfp
 module Obs = Bist_obs.Obs
 
 type outcome = {
@@ -8,6 +9,22 @@ type outcome = {
   det_time : int array;
   detected : Bitset.t;
 }
+
+type impl = Impl_ppsfp | Impl_packed
+
+let impl_warned = ref false
+
+let impl_of_env () =
+  match Sys.getenv_opt "BIST_FSIM" with
+  | None | Some "" | Some "ppsfp" -> Impl_ppsfp
+  | Some "packed" -> Impl_packed
+  | Some other ->
+    if not !impl_warned then begin
+      impl_warned := true;
+      Printf.eprintf "bist: ignoring BIST_FSIM=%S (expected \"ppsfp\" or \"packed\")\n%!"
+        other
+    end;
+    Impl_ppsfp
 
 let faults_per_pass = 62 (* 63 lanes minus the fault-free lane 0 *)
 
@@ -24,7 +41,7 @@ let install sim fault ~lane =
    shards never share mutable simulation state. A fault's detection time
    does not depend on which other faults share its 63-lane pass, so any
    slicing of the canonical id order yields the same times. *)
-let run_ids ?ctl ~stop_when_all_detected universe seq ids =
+let run_ids_packed ?ctl ~stop_when_all_detected universe seq ids =
   let circuit = Universe.circuit universe in
   let k = Array.length ids in
   let det_local = Array.make k (-1) in
@@ -59,8 +76,63 @@ let run_ids ?ctl ~stop_when_all_detected universe seq ids =
   done;
   det_local
 
-let run ?(obs = Obs.null) ?pool ?ctl ?targets ?(stop_when_all_detected = false)
-    universe seq =
+let install_ppsfp sim fault ~lane =
+  let mask = 1 lsl lane in
+  match (fault : Fault.t) with
+  | { site = Fault.Output n; stuck } -> Ppsfp.add_output_force sim n ~mask stuck
+  | { site = Fault.Pin { gate; pin }; stuck } ->
+    Ppsfp.add_pin_force sim ~gate ~pin ~mask stuck
+
+(* The PPSFP pass. Same positional contract as [run_ids_packed] and
+   bit-identical detection times: the fault-free machine comes from a
+   per-worker trace (lane 0 of the packed pass is the same machine, so
+   values cannot disagree), a detected fault's lanes are dropped on the
+   spot (its detection time is already fixed, and lanes are independent
+   bitwise, so the remaining lanes are unaffected), and a group ends as
+   soon as all its lanes have been detected — which never changes any
+   recorded time, so [stop_when_all_detected] has nothing left to do
+   here. *)
+let run_ids_ppsfp ?ctl universe seq ids =
+  let circuit = Universe.circuit universe in
+  let k = Array.length ids in
+  let det_local = Array.make k (-1) in
+  let sim = Ppsfp.create circuit in
+  let tr = Ppsfp.trace sim seq in
+  let len = Tseq.length seq in
+  let n_groups = (k + faults_per_pass - 1) / faults_per_pass in
+  for g = 0 to n_groups - 1 do
+    Bist_resilience.Ctl.poll ctl;
+    let base = g * faults_per_pass in
+    let group_size = min faults_per_pass (k - base) in
+    Ppsfp.clear_forces sim;
+    Ppsfp.reset sim;
+    for j = 0 to group_size - 1 do
+      install_ppsfp sim (Universe.get universe ids.(base + j)) ~lane:(j + 1)
+    done;
+    let live = ref (((1 lsl group_size) - 1) lsl 1) in
+    let u = ref 0 in
+    while !u < len && !live <> 0 do
+      Ppsfp.step sim tr !u;
+      let newly = Ppsfp.po_diff_lanes sim land !live in
+      if newly <> 0 then begin
+        for j = 0 to group_size - 1 do
+          if newly land (1 lsl (j + 1)) <> 0 then det_local.(base + j) <- !u
+        done;
+        live := !live land lnot newly;
+        Ppsfp.drop_lanes sim newly
+      end;
+      incr u
+    done
+  done;
+  det_local
+
+let run_ids ?ctl ~stop_when_all_detected universe seq ids =
+  match impl_of_env () with
+  | Impl_ppsfp -> run_ids_ppsfp ?ctl universe seq ids
+  | Impl_packed -> run_ids_packed ?ctl ~stop_when_all_detected universe seq ids
+
+let run ?(obs = Obs.null) ?pool ?tune ?ctl ?targets
+    ?(stop_when_all_detected = false) universe seq =
   let n_faults = Universe.size universe in
   let target_ids =
     match targets with
@@ -81,7 +153,9 @@ let run ?(obs = Obs.null) ?pool ?ctl ?targets ?(stop_when_all_detected = false)
       (fun () -> run_ids ?ctl ~stop_when_all_detected universe seq ids)
   in
   let det_time, detected =
-    Bist_parallel.Shard.detections ?pool ~size:n_faults ~f target_ids
+    Bist_parallel.Shard.detections ?pool ?tune
+      ~units:(Array.length target_ids * max 1 (Tseq.length seq))
+      ~size:n_faults ~f target_ids
   in
   { universe; det_time; detected }
 

@@ -6,9 +6,15 @@
     value in the fault-free machine and the opposite binary value in the
     faulty machine at time [u].
 
-    The engine packs the fault-free machine into lane 0 of a
-    {!Bist_sim.Packed_sim} word and up to 63 faulty machines into the
-    remaining lanes, so one pass over the sequence simulates 63 faults. *)
+    The engine packs the fault-free machine into lane 0 of a packed word
+    and up to 63 faulty machines into the remaining lanes, so one pass
+    over the sequence simulates 63 faults. The default kernel is the
+    event-driven {!Bist_sim.Ppsfp} core (shared fault-free trace, fault
+    dropping, quiescent levels skipped); exporting [BIST_FSIM=packed]
+    selects the original full-sweep {!Bist_sim.Packed_sim} kernel
+    instead. Both produce bit-identical outcomes — the differential
+    test suite enforces it — so the variable is purely an escape hatch
+    and an A/B lever for benchmarks. *)
 
 type outcome = {
   universe : Universe.t;
@@ -21,6 +27,7 @@ type outcome = {
 val run :
   ?obs:Bist_obs.Obs.t ->
   ?pool:Bist_parallel.Pool.t ->
+  ?tune:Bist_parallel.Tune.t ->
   ?ctl:Bist_resilience.Ctl.t ->
   ?targets:Bist_util.Bitset.t ->
   ?stop_when_all_detected:bool ->

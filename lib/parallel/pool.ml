@@ -65,6 +65,12 @@ let create ?jobs () =
   end;
   t
 
+(* Cumulative pool tasks ever enqueued, so tests can pin the dispatch
+   cost of a call pattern as a hard number. *)
+let dispatched = Atomic.make 0
+
+let dispatched_tasks () = Atomic.get dispatched
+
 let map_chunks t f arr =
   let n = Array.length arr in
   if t.workers = [] || n <= 1 then Array.map f arr
@@ -73,42 +79,54 @@ let map_chunks t f arr =
     (* First-index exception, so a multi-failure batch re-raises
        deterministically. Protected by [t.mutex]. *)
     let error = ref None in
-    let remaining = ref n in
+    (* Batch-pull dispatch: instead of one queue task per chunk (n mutex
+       round-trips), enqueue one puller per participating worker; every
+       puller — the caller included — claims chunk indices from a shared
+       atomic cursor until the batch is exhausted. Dispatch cost is
+       O(width), independent of the chunk count. *)
+    let next = Atomic.make 0 in
+    let pull () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else
+          try results.(i) <- Some (f arr.(i))
+          with e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.mutex;
+            (match !error with
+            | Some (j, _, _) when j < i -> ()
+            | _ -> error := Some (i, e, bt));
+            Mutex.unlock t.mutex
+      done
+    in
+    let active = ref 0 in
     let all_done = Condition.create () in
-    let task i () =
-      (try results.(i) <- Some (f arr.(i))
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         Mutex.lock t.mutex;
-         (match !error with
-          | Some (j, _, _) when j < i -> ()
-          | _ -> error := Some (i, e, bt));
-         Mutex.unlock t.mutex);
+    let task () =
+      pull ();
       Mutex.lock t.mutex;
-      decr remaining;
-      if !remaining = 0 then Condition.broadcast all_done;
+      decr active;
+      if !active = 0 then Condition.broadcast all_done;
       Mutex.unlock t.mutex
     in
+    (* No point waking more workers than there are chunks beyond the
+       caller's own share. *)
+    let helpers = min (List.length t.workers) (n - 1) in
     Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.add (task i) t.queue
+    active := helpers;
+    for _ = 1 to helpers do
+      Queue.add task t.queue
     done;
+    ignore (Atomic.fetch_and_add dispatched helpers);
     Condition.broadcast t.nonempty;
-    (* The caller is a worker too: drain what is left of the queue, then
-       wait for tasks still running on other domains. *)
-    let rec drain () =
-      match Queue.take_opt t.queue with
-      | Some task ->
-        Mutex.unlock t.mutex;
-        task ();
-        Mutex.lock t.mutex;
-        drain ()
-      | None ->
-        while !remaining > 0 do
-          Condition.wait all_done t.mutex
-        done
-    in
-    drain ();
+    Mutex.unlock t.mutex;
+    (* The caller is a worker too. *)
+    pull ();
+    Mutex.lock t.mutex;
+    while !active > 0 do
+      Condition.wait all_done t.mutex
+    done;
     Mutex.unlock t.mutex;
     match !error with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt

@@ -35,7 +35,17 @@ val map_chunks : t -> ('a -> 'b) -> 'a array -> 'b array
     element is done. If one or more applications raise, every element
     still runs to completion and the exception of the {e lowest} input
     index is re-raised in the caller — deterministic regardless of
-    scheduling. *)
+    scheduling.
+
+    Dispatch is amortized: one pool task is enqueued per participating
+    worker — [min (jobs - 1) (n - 1)] tasks for [n] chunks, never one
+    per chunk — and workers claim chunk indices from a shared atomic
+    cursor. A sequential call ([jobs = 1] or [n <= 1]) enqueues
+    nothing. *)
+
+val dispatched_tasks : unit -> int
+(** Cumulative count of pool tasks ever enqueued by {!map_chunks} across
+    all pools, for tests that pin dispatch cost. *)
 
 val map_chunks_rng :
   t -> rng:Bist_util.Rng.t -> (Bist_util.Rng.t -> 'a -> 'b) -> 'a array -> 'b array

@@ -34,6 +34,8 @@ val merge : size:int -> piece array -> int array * Bist_util.Bitset.t
 
 val detections :
   ?pool:Pool.t ->
+  ?tune:Tune.t ->
+  ?units:int ->
   size:int ->
   f:(int array -> int array) ->
   int array ->
@@ -41,4 +43,13 @@ val detections :
 (** [detections ?pool ~size ~f ids] runs [f] over chunks of [ids] —
     [f chunk] must return chunk-local detection times aligned with
     [chunk] — and merges. Without a pool, or with a sequential one, [f]
-    runs once on the whole of [ids]. *)
+    runs once on the whole of [ids].
+
+    With a multi-worker pool the chunk count comes from [tune]
+    (default {!Tune.shared}): calls whose declared work [units]
+    (default: the id count; fault simulation passes faults × sequence
+    length) fall below the measured crossover run sequentially, larger
+    calls are split into shards coarse enough to amortize pool dispatch,
+    and empty shards are never dispatched. Sequential executions are
+    timed into the tune's cost model. The result is bit-identical on
+    both sides of every such decision. *)

@@ -1,0 +1,64 @@
+type t = {
+  cores : int;
+  min_shard_seconds : float;
+  min_units : int option; (* fixed override: None = use the cost model *)
+  mutable ns_per_unit : float; (* EWMA; 0. until the first record *)
+}
+
+let min_shard_seconds = 0.0005
+
+(* Prior for the very first call, before any measurement exists: the
+   packed kernels run a fault-step in the tens of nanoseconds, so 25
+   ns/unit errs toward sharding slightly too early, which the EWMA then
+   corrects. *)
+let default_ns_per_unit = 25.0
+
+let create ?cores ?(min_shard_seconds = min_shard_seconds) ?min_units () =
+  let cores =
+    match cores with Some c -> max 1 c | None -> Domain.recommended_domain_count ()
+  in
+  { cores; min_shard_seconds; min_units; ns_per_unit = 0. }
+
+let warned = ref false
+
+let env_min_units () =
+  match Sys.getenv_opt "BIST_SHARD_MIN" with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some m when m >= 0 -> Some m
+    | _ ->
+      if not !warned then begin
+        warned := true;
+        Printf.eprintf
+          "warning: BIST_SHARD_MIN=%S is not a non-negative integer; ignoring\n%!" s
+      end;
+      None)
+
+let shared_instance = lazy (create ?min_units:(env_min_units ()) ())
+let shared () = Lazy.force shared_instance
+
+let record t ~units ~seconds =
+  if units > 0 && seconds > 0. then begin
+    let ns = seconds *. 1e9 /. float_of_int units in
+    t.ns_per_unit <-
+      (if t.ns_per_unit > 0. then (0.7 *. t.ns_per_unit) +. (0.3 *. ns) else ns)
+  end
+
+let ns_per_unit t = t.ns_per_unit
+
+let chunks t ~jobs ~units =
+  if jobs <= 1 || units <= 0 then 1
+  else
+    match t.min_units with
+    | Some 0 -> jobs
+    | Some m -> min jobs (max 1 (units / m))
+    | None ->
+      if t.cores <= 1 then 1
+      else begin
+        let npu = if t.ns_per_unit > 0. then t.ns_per_unit else default_ns_per_unit in
+        let per_shard = max 1 (int_of_float (t.min_shard_seconds *. 1e9 /. npu)) in
+        (* Below twice the floor the only split would be into shards
+           finer than the floor — stay sequential. *)
+        if units < 2 * per_shard then 1 else min jobs (units / per_shard)
+      end

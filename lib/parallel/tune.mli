@@ -1,0 +1,59 @@
+(** Shard-granularity auto-tuning and the sequential/parallel crossover.
+
+    Sharding a fault-simulation call over a {!Pool} costs real dispatch
+    overhead (queue mutex traffic, domain wake-ups, cache-cold worker
+    state). Whether that overhead pays for itself depends on how much
+    work the call actually carries, so the decision is made from a
+    measured cost model rather than a fixed rule:
+
+    - every {e sequential} {!Shard.detections} execution records its
+      wall time against its declared work [units] (for fault simulation,
+      faults × sequence length), maintaining an EWMA of nanoseconds per
+      unit — the same quantity the ["fsim.shard"] Obs span reports;
+    - a call is sharded only when each prospective shard would carry at
+      least {!val-min_shard_seconds} of estimated work, and never into
+      more shards than that bound allows — so small circuits skip the
+      pool entirely and large ones get chunks coarse enough to amortize
+      dispatch;
+    - on a host with a single core ([cores = 1]) sharding can never win,
+      so it is skipped outright unless explicitly forced.
+
+    The [BIST_SHARD_MIN] environment variable overrides the cost model
+    with a fixed minimum number of units per shard; [BIST_SHARD_MIN=0]
+    forces sharding whenever a multi-worker pool is present — that is
+    how the smoke scripts and tests exercise the parallel machinery on
+    single-core hosts. Crossing the crossover in either direction never
+    changes results, only scheduling: the sharded and sequential paths
+    are bit-identical by {!Shard}'s contract. *)
+
+type t
+
+val create :
+  ?cores:int -> ?min_shard_seconds:float -> ?min_units:int -> unit -> t
+(** [cores] defaults to [Domain.recommended_domain_count ()].
+    [min_shard_seconds] defaults to {!val-min_shard_seconds}.
+    [min_units], when given, bypasses the cost model and [cores] check
+    with a fixed minimum-units-per-shard ([0] forces maximal sharding) —
+    the programmatic equivalent of [BIST_SHARD_MIN]. *)
+
+val shared : unit -> t
+(** The process-wide instance used by default in {!Shard.detections},
+    created lazily; honours [BIST_SHARD_MIN] (invalid values warn once
+    on stderr and are ignored). *)
+
+val min_shard_seconds : float
+(** Default minimum estimated work per shard (0.5 ms): pool dispatch
+    costs tens of microseconds per call, so shards this coarse keep the
+    overhead in the low percents. *)
+
+val record : t -> units:int -> seconds:float -> unit
+(** Fold one measured sequential execution into the EWMA cost model.
+    Non-positive [units] or [seconds] are ignored. *)
+
+val ns_per_unit : t -> float
+(** Current cost estimate; [0.] until the first {!record}. *)
+
+val chunks : t -> jobs:int -> units:int -> int
+(** How many shards a call carrying [units] of work should split into on
+    a [jobs]-wide pool. [1] means run sequentially. Never exceeds
+    [jobs]. *)

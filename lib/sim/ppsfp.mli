@@ -1,0 +1,89 @@
+(** PPSFP: parallel-pattern single-fault-propagation packed fault kernel.
+
+    Same 63-lane packed semantics as {!Packed_sim} — lane 0 is the
+    fault-free machine, lanes 1..62 are faulty machines selected by force
+    masks — but built for throughput when many 62-fault groups are
+    simulated over the same sequence:
+
+    - the {e good machine} is simulated once per sequence into a shared
+      {!trace}; every group pass reads good values out of the trace
+      instead of recomputing them;
+    - gates are evaluated {e event-driven} over a levelized flat-array
+      program: a gate runs only when a fanin's packed word actually
+      differs from the fault-free broadcast, so quiescent levels cost
+      nothing;
+    - when measured activity says most of the circuit is live anyway, the
+      step switches to a {e compiled} full sweep (the {!Packed_sim}
+      regime) and back once activity decays — the hybrid is
+      self-tuning per group;
+    - {!drop_lanes} retires detected faults mid-sequence: their forces
+      are masked out and their flip-flop lanes snap back to the good
+      machine, so a detected fault stops generating events.
+
+    Every step produces bit-identical planes to {!Packed_sim} on the same
+    forces and inputs; the differential-oracle suite enforces this. *)
+
+type t
+
+val create : Bist_circuit.Netlist.t -> t
+(** Compile the levelized program. All lanes reset, no forces. *)
+
+val circuit : t -> Bist_circuit.Netlist.t
+
+type trace
+(** Fault-free machine values for every node at every simulated time
+    step, grown lazily as steps are requested. Immutable once a step is
+    materialized, so a trace may be shared by many simulator instances
+    over the same circuit — but only within one domain: growth is not
+    synchronized. *)
+
+val trace : t -> Bist_logic.Tseq.t -> trace
+(** A fresh (empty) trace of [seq] for this simulator's circuit. *)
+
+val trace_length : trace -> int
+(** Steps materialized so far. *)
+
+val add_output_force :
+  t -> Bist_circuit.Netlist.node -> mask:int -> Bist_logic.Ternary.t -> unit
+
+val add_pin_force :
+  t ->
+  gate:Bist_circuit.Netlist.node ->
+  pin:int ->
+  mask:int ->
+  Bist_logic.Ternary.t ->
+  unit
+
+val clear_forces : t -> unit
+
+val reset : t -> unit
+(** Every flip-flop of every lane back to X; re-arms event mode. Forces
+    stay installed. *)
+
+val step : t -> trace -> int -> unit
+(** [step t trace u] applies time step [u] of the trace's sequence to all
+    lanes and advances the flip-flop state. Steps must be applied in
+    order from 0 after a {!reset}. Raises [Invalid_argument] if the trace
+    belongs to a different circuit or [u] is out of range. *)
+
+val po_diff_lanes : t -> int
+(** Detection mask of the most recent {!step}: lanes (other than 0) where
+    some primary output carried the binary complement of the fault-free
+    binary value. *)
+
+val drop_lanes : t -> int -> unit
+(** Retire the given lanes (a mask, lane 0 ignored): all their forces are
+    removed and their flip-flop state is overwritten with the fault-free
+    machine's, so the lanes become quiescent copies of lane 0 from the
+    next step on. Detection times already read are unaffected; the
+    remaining lanes are bit-for-bit unaffected (lanes are independent). *)
+
+val evaluations : t -> int
+(** Cumulative gate evaluations — the activity measure benchmarks and
+    tests use to see the event core actually skipping work. *)
+
+val full_steps : t -> int
+(** Steps executed in compiled full-sweep mode since creation. *)
+
+val event_steps : t -> int
+(** Steps executed in event-driven mode since creation. *)

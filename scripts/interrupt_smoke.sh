@@ -64,6 +64,47 @@ tgen_deadline_loop() {
 tgen_deadline_loop s27  0.0001
 tgen_deadline_loop x344 0.05
 
+# --- PPSFP core: parallel deadline preemption, cross-kernel resume ---
+#
+# The fault simulator's internal representation must be invisible to
+# checkpoint/resume: payloads carry engine-round state, not simulator
+# state. The first leg runs under the old packed kernel and gets
+# preempted; every resume leg runs under the default PPSFP kernel with
+# the parallel path forced on (BIST_SHARD_MIN=0 shards even on a 1-core
+# host). The final output must be cmp-identical to the uninterrupted
+# sequential reference from the loop above — one assertion covering
+# interrupt/resume, kernel migration, and --jobs width at once.
+
+ppsfp_circuit=x344
+ref="$work/$ppsfp_circuit.ref"   # written by the deadline loop above
+out="$work/ppsfp.seq"
+ckpt="$work/ppsfp.ckpt"
+legs=0 preempts=0 resume=()
+while :; do
+  legs=$((legs + 1))
+  [ "$legs" -le 500 ] || fail "ppsfp: resume loop did not converge"
+  if [ "$preempts" -eq 0 ]; then kernel=packed; else kernel=ppsfp; fi
+  BIST_SHARD_MIN=0 BIST_FSIM=$kernel \
+    "$BISTGEN" tgen "$ppsfp_circuit" --seed 7 -j 2 -o "$out" \
+    --deadline 0.05 --checkpoint "$ckpt" ${resume[@]+"${resume[@]}"} \
+    >/dev/null 2>&1
+  st=$?
+  case $st in
+    0) break ;;
+    3)
+      preempts=$((preempts + 1))
+      [ -f "$ckpt" ] || fail "ppsfp: exit 3 but no checkpoint written"
+      resume=(--resume "$ckpt")
+      ;;
+    *) fail "ppsfp: unexpected exit $st on leg $legs" ;;
+  esac
+done
+[ "$preempts" -ge 1 ] || fail "ppsfp: deadline never preempted"
+[ ! -f "$ckpt" ] || fail "ppsfp: checkpoint not removed after success"
+cmp -s "$ref" "$out" \
+  || fail "ppsfp: parallel interrupted run differs from sequential reference"
+say "tgen $ppsfp_circuit (ppsfp, -j 2, sharding forced): bit-identical after $preempts preemption(s), packed-kernel checkpoint resumed"
+
 # --- tgen: SIGTERM preemption ----------------------------------------
 
 sigterm_circuit=x344

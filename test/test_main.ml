@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("parallel", Test_parallel.suite);
+      ("ppsfp", Test_ppsfp.suite);
       ("logic", Test_logic.suite);
       ("circuit", Test_circuit.suite);
       ("parser-errors", Test_parser_errors.suite);

@@ -7,6 +7,7 @@
 
 module Pool = Bist_parallel.Pool
 module Shard = Bist_parallel.Shard
+module Tune = Bist_parallel.Tune
 module Rng = Bist_util.Rng
 module Bitset = Bist_util.Bitset
 module Tseq = Bist_logic.Tseq
@@ -23,6 +24,10 @@ module Fault_table = Bist_fault.Fault_table
 let pool1 = Pool.create ~jobs:1 ()
 let pool2 = Pool.create ~jobs:2 ()
 let pool4 = Pool.create ~jobs:4 ()
+
+(* Sharding forced regardless of this host's core count or the measured
+   crossover, so the parallel machinery is really exercised. *)
+let tune_forced () = Tune.create ~min_units:1 ()
 
 (* Shard.partition *)
 
@@ -176,8 +181,12 @@ let fault_table_determinism =
              ~length:(8 + (sseed mod 40))
          in
          let reference = Fault_table.compute ~pool:pool1 universe seq in
-         same_table reference (Fault_table.compute ~pool:pool2 universe seq) universe
-         && same_table reference (Fault_table.compute ~pool:pool4 universe seq) universe))
+         same_table reference
+           (Fault_table.compute ~pool:pool2 ~tune:(tune_forced ()) universe seq)
+           universe
+         && same_table reference
+              (Fault_table.compute ~pool:pool4 ~tune:(tune_forced ()) universe seq)
+              universe))
 
 (* The acceptance bar of this PR: on every registry circuit, the jobs=4
    table is bit-identical to the sequential one. *)
@@ -191,7 +200,9 @@ let test_registry_tables_identical () =
         Tseq.random_binary rng ~width:(Netlist.num_inputs circuit) ~length:24
       in
       let reference = Fault_table.compute ~pool:pool1 universe seq in
-      let parallel = Fault_table.compute ~pool:pool4 universe seq in
+      let parallel =
+        Fault_table.compute ~pool:pool4 ~tune:(tune_forced ()) universe seq
+      in
       Alcotest.(check bool)
         (entry.name ^ " jobs=4 == jobs=1")
         true
@@ -207,7 +218,7 @@ let test_fsim_targets_with_pool () =
     if id mod 2 = 0 then Bitset.add targets id
   done;
   let a = Fsim.run ~pool:pool1 ~targets universe t0 in
-  let b = Fsim.run ~pool:pool4 ~targets universe t0 in
+  let b = Fsim.run ~pool:pool4 ~tune:(tune_forced ()) ~targets universe t0 in
   Alcotest.(check (array int)) "target det times identical" a.Fsim.det_time
     b.Fsim.det_time;
   Alcotest.(check bool) "non-targets untouched" true
@@ -288,6 +299,69 @@ let test_packed_vs_event_registry_and_teaching () =
         (packed_lane0_matches_event_sim circuit seq))
     circuits
 
+(* The sequential/parallel crossover policy (Tune) *)
+
+let test_tune_policy () =
+  let t1 = Tune.create ~cores:1 () in
+  Alcotest.(check int) "cores=1 never shards" 1
+    (Tune.chunks t1 ~jobs:4 ~units:1_000_000);
+  let tf = Tune.create ~min_units:0 () in
+  Alcotest.(check int) "min_units=0 forces maximal sharding" 4
+    (Tune.chunks tf ~jobs:4 ~units:3);
+  let tm = Tune.create ~min_units:10 () in
+  Alcotest.(check int) "fixed floor divides the work" 3
+    (Tune.chunks tm ~jobs:8 ~units:35);
+  Alcotest.(check int) "jobs=1 is always sequential" 1
+    (Tune.chunks tf ~jobs:1 ~units:1_000_000);
+  (* Measured crossover: record 1 µs/unit, so the 0.5 ms floor is 500
+     units per shard. *)
+  let t = Tune.create ~cores:4 () in
+  Tune.record t ~units:1000 ~seconds:0.001;
+  Alcotest.(check bool) "ns/unit learned" true
+    (abs_float (Tune.ns_per_unit t -. 1000.) < 1e-6);
+  Alcotest.(check int) "below the crossover" 1 (Tune.chunks t ~jobs:4 ~units:999);
+  Alcotest.(check int) "just above the crossover" 2
+    (Tune.chunks t ~jobs:4 ~units:1000);
+  Alcotest.(check int) "large work caps at jobs" 4
+    (Tune.chunks t ~jobs:4 ~units:1_000_000);
+  (* EWMA: a second, slower measurement moves the estimate 30% of the
+     way. *)
+  Tune.record t ~units:1000 ~seconds:0.002;
+  Alcotest.(check bool) "EWMA folds new measurements" true
+    (abs_float (Tune.ns_per_unit t -. 1300.) < 1e-6);
+  Tune.record t ~units:0 ~seconds:1.0;
+  Alcotest.(check bool) "zero-unit records ignored" true
+    (abs_float (Tune.ns_per_unit t -. 1300.) < 1e-6)
+
+(* Dispatch amortization: task count is O(width), not O(chunks), and
+   empty or sequential calls enqueue nothing. *)
+let test_dispatch_task_count () =
+  let base = Pool.dispatched_tasks () in
+  ignore (Pool.map_chunks pool4 Fun.id (Array.init 10 Fun.id));
+  Alcotest.(check int) "10 chunks on jobs=4: 3 tasks" (base + 3)
+    (Pool.dispatched_tasks ());
+  ignore (Pool.map_chunks pool4 Fun.id (Array.init 2 Fun.id));
+  Alcotest.(check int) "2 chunks: 1 task" (base + 4) (Pool.dispatched_tasks ());
+  ignore (Pool.map_chunks pool4 Fun.id [| 42 |]);
+  ignore (Pool.map_chunks pool4 Fun.id ([||] : int array));
+  ignore (Pool.map_chunks pool1 Fun.id (Array.init 10 Fun.id));
+  Alcotest.(check int) "singleton/empty/sequential: no tasks" (base + 4)
+    (Pool.dispatched_tasks ());
+  (* Sharded detections: 3 ids forced over jobs=4 make 3 never-empty
+     slices, hence 2 helper tasks beyond the caller. *)
+  let f ids = Array.map (fun _ -> -1) ids in
+  ignore
+    (Shard.detections ~pool:pool4 ~tune:(Tune.create ~min_units:0 ()) ~size:4 ~f
+       (Array.init 3 Fun.id));
+  Alcotest.(check int) "3 slices on jobs=4: 2 tasks" (base + 6)
+    (Pool.dispatched_tasks ());
+  (* Below the crossover nothing is dispatched at all. *)
+  ignore
+    (Shard.detections ~pool:pool4 ~tune:(Tune.create ~min_units:max_int ())
+       ~size:4 ~f (Array.init 3 Fun.id));
+  Alcotest.(check int) "sequential crossover: no tasks" (base + 6)
+    (Pool.dispatched_tasks ())
+
 let suite =
   [
     Alcotest.test_case "shard partition boundaries" `Quick test_partition_boundaries;
@@ -300,6 +374,9 @@ let suite =
     Alcotest.test_case "rng split across domains" `Quick test_rng_split_across_domains;
     Alcotest.test_case "rng chunk splits are width-independent" `Quick
       test_map_chunks_rng_width_independent;
+    Alcotest.test_case "tune crossover policy" `Quick test_tune_policy;
+    Alcotest.test_case "dispatch task count pinned" `Quick
+      test_dispatch_task_count;
     fault_table_determinism;
     Alcotest.test_case "registry tables identical at jobs=4" `Slow
       test_registry_tables_identical;
