@@ -1,4 +1,4 @@
-.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke perf-smoke check smoke bench bench-json clean
+.PHONY: all build test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke blif-smoke perf-smoke check smoke bench bench-json clean
 
 all: build
 
@@ -58,6 +58,13 @@ daemon-smoke:
 sat-smoke:
 	./scripts/sat_smoke.sh
 
+# BLIF frontend gate (DESIGN.md §14): every checked-in examples/*.blif
+# parses, the Yosys-flavoured s27 runs lint + tgen unmodified, and the
+# .bench and .blif serializations of one circuit produce byte-identical
+# fault tables for the same sequence — sequentially and with BIST_JOBS=2.
+blif-smoke:
+	./scripts/blif_smoke.sh
+
 # Performance gate (DESIGN.md §13): appends a fresh fault-table bench
 # record (jobs=2) to BENCH_results.json, fails on any identical=false in
 # the trajectory, and on multi-core hosts fails if the x1488/x5378
@@ -68,7 +75,7 @@ perf-smoke:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- --perf-smoke
 
-check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke perf-smoke
+check: test test-parallel lint trace-smoke fuzz-smoke interrupt-smoke daemon-smoke sat-smoke blif-smoke perf-smoke
 
 # Acceptance gate: the unit/property suites plus the seeded s27
 # fault-injection campaign (200 faults, hardened defense) — every fault

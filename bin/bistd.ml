@@ -296,7 +296,8 @@ let submit_cmd =
          & info [] ~docv:"KIND" ~doc:"Job kind: tgen, faultsim or inject.")
   and circuit =
     Arg.(value & pos 1 string "s27"
-         & info [] ~docv:"CIRCUIT" ~doc:"Registry or teaching circuit name.")
+         & info [] ~docv:"CIRCUIT"
+             ~doc:"Registry, teaching or workload circuit name.")
   and seed =
     Arg.(value & opt int 1999 & info [ "seed" ] ~docv:"SEED" ~doc:"Job seed.")
   and directed =

@@ -1,35 +1,20 @@
 (* bistgen: command-line front end to the subsequence-expansion BIST
    library. Circuits are named registry entries (s27, x298, ...) or paths
-   to .bench files; sequences are text files, one vector per line. *)
+   to .bench / .blif files; sequences are text files, one vector per
+   line. *)
 
 open Cmdliner
 
-let teaching = function
-  | "counter3" -> Some (Bist_bench.Teaching.counter3 ())
-  | "shift4" -> Some (Bist_bench.Teaching.shift4 ())
-  | "parity_fsm" -> Some (Bist_bench.Teaching.parity_fsm ())
-  | _ -> None
-
-let resolve_circuit spec =
-  if Sys.file_exists spec then Bist_circuit.Bench_parser.parse_file spec
-  else
-    match Bist_bench.Registry.find spec with
-    | Some entry -> entry.circuit ()
-    | None ->
-      (match teaching spec with
-       | Some circuit -> circuit
-       | None ->
-         Printf.eprintf
-           "error: %S is neither a file nor a known circuit (try s27, x298, \
-            counter3, ...)\n"
-           spec;
-         exit 2)
+let resolve_circuit = Bist_bench.Loader.resolve
 
 let circuit_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"CIRCUIT" ~doc:"Registry name (s27, x298, ...) or .bench file.")
+    & info [] ~docv:"CIRCUIT"
+        ~doc:
+          "Registry name (s27, x298, ...), teaching or workload circuit, or \
+           a .bench / .blif file.")
 
 let seed_arg =
   Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -612,6 +597,45 @@ let optimize_cmd =
        ~doc:"Constant propagation + unobservable-logic sweep (behaviour-preserving)")
     Term.(const run $ circuit_arg $ out_arg)
 
+(* convert *)
+
+let convert_cmd =
+  let run spec strict out =
+    let circuit = resolve_circuit spec in
+    match String.lowercase_ascii (Filename.extension out) with
+    | ".bench" ->
+      Bist_circuit.Bench_writer.to_file ~strict circuit out;
+      Format.printf "wrote %s@." out
+    | ".blif" ->
+      Bist_circuit.Blif_writer.to_file ~strict circuit out;
+      Format.printf "wrote %s@." out
+    | _ ->
+      Printf.eprintf
+        "error: output %S must end in .bench or .blif (the extension picks \
+         the format)\n"
+        out;
+      exit 2
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Refuse (instead of renaming) signal names the output format \
+             cannot represent.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file; its extension (.bench or .blif) picks the format.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Re-serialize a circuit as .bench or .blif (sanitizing names by default)")
+    Term.(const run $ circuit_arg $ strict_arg $ out_arg)
+
 (* vcd *)
 
 let vcd_cmd =
@@ -685,9 +709,10 @@ let () =
   in
   let group =
     Cmd.group info
-      [ stats_cmd; lint_cmd; optimize_cmd; faultsim_cmd; tgen_cmd;
-        dimacs_cmd; satgen_cmd; expand_cmd; select_cmd; session_cmd;
-        baseline_cmd; vcd_cmd; verilog_cmd; figure1_cmd; trace_check_cmd ]
+      [ stats_cmd; lint_cmd; optimize_cmd; convert_cmd; faultsim_cmd;
+        tgen_cmd; dimacs_cmd; satgen_cmd; expand_cmd; select_cmd;
+        session_cmd; baseline_cmd; vcd_cmd; verilog_cmd; figure1_cmd;
+        trace_check_cmd ]
   in
   (* ~catch:false so typed domain errors reach us instead of cmdliner's
      backtrace printer; each has a registered printer with the context
@@ -700,6 +725,9 @@ let () =
   | exception
       (( Bist_harness.Seq_io.Parse_error _
        | Bist_circuit.Bench_parser.Parse_error _
+       | Bist_circuit.Blif_parser.Parse_error _
+       | Bist_circuit.Names.Invalid_name _
+       | Bist_bench.Loader.Usage_error _
        | Bist_core.Procedure2.Undetected _
        | Bist_core.Procedure1.Undetected_target _
        | Checkpoint.Corrupt _ | Checkpoint.Mismatch _ ) as e) ->

@@ -26,19 +26,27 @@ let defense_of_name = function
          "unknown defense %S (expected hardened, default, undefended, no-parity, hamming)"
          s)
 
+(* Campaigns iterate over registry entries; circuits resolved from
+   files or other loader names are wrapped as unscaled ad-hoc entries so
+   one campaign loop serves both. *)
+let entry_of_spec spec =
+  match Bist_bench.Registry.find spec with
+  | Some entry -> entry
+  | None -> (
+    match Bist_bench.Loader.resolve spec with
+    | circuit ->
+      let name = Bist_circuit.Netlist.circuit_name circuit in
+      { Bist_bench.Registry.name; paper_name = name;
+        circuit = (fun () -> circuit); scaled = false }
+    | exception Bist_bench.Loader.Usage_error message ->
+      Printf.eprintf "error: %s\n" message;
+      exit 2)
+
 let resolve_circuits specs =
   match specs with
   | [] -> [ Bist_bench.Registry.s27 ]
   | [ "all" ] -> Bist_bench.Registry.all ()
-  | specs ->
-    List.map
-      (fun spec ->
-        match Bist_bench.Registry.find spec with
-        | Some entry -> entry
-        | None ->
-          Printf.eprintf "error: unknown circuit %S (try s27, x298, ..., or all)\n" spec;
-          exit 2)
-      specs
+  | specs -> List.map entry_of_spec specs
 
 let pool_of_jobs jobs =
   let jobs = Bist_parallel.Pool.validate_jobs ~source:"--jobs" jobs in
@@ -311,7 +319,10 @@ let circuits_arg =
   Arg.(
     value & pos_all string []
     & info [] ~docv:"CIRCUIT"
-        ~doc:"Registry circuits to campaign over (default s27; \"all\" for the full suite).")
+        ~doc:
+          "Circuits to campaign over: registry names, teaching/workload \
+           circuits or .bench/.blif files (default s27; \"all\" for the full \
+           registry suite).")
 
 let seed_arg =
   Arg.(value & opt int Campaign.default_config.seed
@@ -405,6 +416,8 @@ let () =
     exit 2
   | exception
       (( Bist_harness.Seq_io.Parse_error _
+       | Bist_circuit.Bench_parser.Parse_error _
+       | Bist_circuit.Blif_parser.Parse_error _
        | Checkpoint.Corrupt _ | Checkpoint.Mismatch _ ) as e) ->
     Printf.eprintf "error: %s\n" (Printexc.to_string e);
     exit 2

@@ -7,12 +7,6 @@ open Cmdliner
 module Lint = Bist_analyze.Lint
 module Untestable = Bist_analyze.Untestable
 
-let teaching = function
-  | "counter3" -> Some (Bist_bench.Teaching.counter3 ())
-  | "shift4" -> Some (Bist_bench.Teaching.shift4 ())
-  | "parity_fsm" -> Some (Bist_bench.Teaching.parity_fsm ())
-  | _ -> None
-
 (* A circuit that fails to parse (or to validate structurally) still
    yields a report — with a single error finding — so one bad file in a
    batch doesn't mask the results of the others. *)
@@ -24,23 +18,24 @@ let report_of ?sat spec =
     }
   in
   if Sys.file_exists spec then
-    match Bist_circuit.Bench_parser.parse_file spec with
+    match Bist_bench.Loader.load_file spec with
     | circuit -> Lint.run ?sat circuit
-    | exception Bist_circuit.Bench_parser.Parse_error { line; message } ->
+    | exception Bist_circuit.Bench_parser.Parse_error { line; message }
+    | exception Bist_circuit.Blif_parser.Parse_error { line; message } ->
       broken "parse-error" (Printf.sprintf "line %d: %s" line message)
     | exception Failure message -> broken "invalid-netlist" message
+    | exception Bist_bench.Loader.Usage_error message ->
+      Printf.eprintf "error: %s\n" message;
+      exit 2
   else
-    match Bist_bench.Registry.find spec with
-    | Some entry -> Lint.run ?sat (entry.circuit ())
+    match Bist_bench.Loader.find_named spec with
+    | Some circuit -> Lint.run ?sat circuit
     | None ->
-      (match teaching spec with
-       | Some circuit -> Lint.run ?sat circuit
-       | None ->
-         Printf.eprintf
-           "error: %S is neither a file nor a known circuit (try s27, x298, \
-            counter3, ...)\n"
-           spec;
-         exit 2)
+      Printf.eprintf
+        "error: %S is neither a file nor a known circuit (try s27, x298, \
+         counter3, ...)\n"
+        spec;
+      exit 2
 
 let run specs json max_warnings quiet sat sat_frames sat_conflicts sat_cap =
   let sat =
@@ -93,8 +88,8 @@ let specs_arg =
     value & pos_all string []
     & info [] ~docv:"CIRCUIT"
         ~doc:
-          "Registry names (s27, x298, ...), teaching circuits or .bench \
-           files. Default: every registry circuit.")
+          "Registry names (s27, x298, ...), teaching or workload circuits, \
+           or .bench / .blif files. Default: every registry circuit.")
 
 let json_flag =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON array of reports.")

@@ -1,0 +1,45 @@
+exception Usage_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Usage_error message -> Some (Printf.sprintf "usage error: %s" message)
+    | _ -> None)
+
+let usage fmt = Printf.ksprintf (fun m -> raise (Usage_error m)) fmt
+
+let load_file path =
+  match String.lowercase_ascii (Filename.extension path) with
+  | ".bench" -> Bist_circuit.Bench_parser.parse_file path
+  | ".blif" -> Bist_circuit.Blif_parser.parse_file path
+  | "" -> usage "%S has no extension (expected .bench or .blif)" path
+  | ext -> usage "unsupported circuit format %S (expected .bench or .blif)" ext
+
+let teaching = function
+  | "counter3" -> Some (Teaching.counter3 ())
+  | "shift4" -> Some (Teaching.shift4 ())
+  | "parity_fsm" -> Some (Teaching.parity_fsm ())
+  | "gray3" -> Some (Teaching.gray3 ())
+  | "johnson4" -> Some (Teaching.johnson4 ())
+  | _ -> None
+
+let find_named spec =
+  match Registry.find spec with
+  | Some entry -> Some (entry.Registry.circuit ())
+  | None -> (
+    match teaching spec with
+    | Some c -> Some c
+    | None -> (
+      match Workloads.find spec with
+      | Some circuit -> Some (circuit ())
+      | None -> None))
+
+let resolve spec =
+  if Sys.file_exists spec then load_file spec
+  else
+    match find_named spec with
+    | Some c -> c
+    | None ->
+      usage
+        "%S is neither a file nor a known circuit (try s27, x298, counter3, \
+         dp32, ... or a .bench/.blif path)"
+        spec

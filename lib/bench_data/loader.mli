@@ -1,0 +1,30 @@
+(** The one circuit-resolution path shared by every CLI and the daemon.
+
+    Specs are either file paths — dispatched on extension, [.bench] to
+    {!Bist_circuit.Bench_parser}, [.blif] to {!Bist_circuit.Blif_parser}
+    — or known names: registry entries ([s27], [x298], ..., by our name
+    or the paper's), teaching circuits ([counter3], [shift4],
+    [parity_fsm], [gray3], [johnson4]) and styled workloads ([dp32],
+    [pipe16], [fsm8]).
+
+    Parse errors propagate as the parsers' own typed exceptions; only
+    spec-level problems (unknown extension, unknown name) raise
+    {!Usage_error}, which the CLIs map to exit code 2. *)
+
+exception Usage_error of string
+(** The spec itself is wrong (not any parsed content): unsupported file
+    extension, or a name that is neither a file nor a known circuit. *)
+
+val load_file : string -> Bist_circuit.Netlist.t
+(** Parse a circuit file by extension ([.bench] / [.blif], case
+    insensitive). Raises {!Usage_error} for other extensions,
+    [Bench_parser.Parse_error] / [Blif_parser.Parse_error] for
+    malformed content. *)
+
+val find_named : string -> Bist_circuit.Netlist.t option
+(** Known circuit names only — never touches the filesystem, which is
+    what network-facing callers (the daemon) must use. *)
+
+val resolve : string -> Bist_circuit.Netlist.t
+(** [load_file] if the spec names an existing file, else {!find_named},
+    else {!Usage_error} listing what would have been accepted. *)

@@ -37,6 +37,7 @@ let entry_of_profile (name, paper_name, pis, pos, ffs, gates, scaled, seed) =
       num_gates = gates;
       sync_fraction = Synth.default_sync_fraction;
       seed;
+      style = Synth.Random;
     }
   in
   (* Memoize: generation is deterministic but not free for the big ones. *)

@@ -2,6 +2,8 @@ module Rng = Bist_util.Rng
 module Gate = Bist_circuit.Gate
 module Builder = Bist_circuit.Builder
 
+type style = Random | Datapath | Pipeline | Fsm
+
 type profile = {
   name : string;
   num_inputs : int;
@@ -10,6 +12,7 @@ type profile = {
   num_gates : int;
   sync_fraction : float;
   seed : int;
+  style : style;
 }
 
 let default_sync_fraction = 0.85
@@ -108,14 +111,17 @@ let pick_data st pis =
 (* D = load·data + ¬load·feedback, with [load] a primary input: one cycle
    with the load line asserted copies a controllable value into the
    flip-flop, which is how real register files become initializable. *)
-let add_load_mux st ~pis =
-  let load = Rng.choose st.rng pis in
+let add_load_mux_with st ~load ~pis =
   let nload = pi_inverter st load in
   let data = pick_data st pis in
   let fb = pick_signal st in
   let a1 = add_gate st Gate.And [ load; data ] in
   let a2 = add_gate st Gate.And [ nload; fb ] in
   add_gate st Gate.Or [ a1; a2 ]
+
+let add_load_mux st ~pis =
+  let load = Rng.choose st.rng pis in
+  add_load_mux_with st ~load ~pis
 
 (* D gate with a PI on a controlling side: forces one known value. *)
 let add_sync_gate st ~pis =
@@ -127,6 +133,104 @@ let add_sync_gate st ~pis =
     | _ -> Gate.Nor
   in
   add_gate st kind [ Rng.choose st.rng pis; pick_signal st ]
+
+(* Datapath flavour: flip-flops grouped into words of eight sharing one
+   load line, each bit an independent load-mux — register inference
+   output. *)
+let generate_datapath p st ~pis ~ffs =
+  let word = 8 in
+  let n_words = (Array.length ffs + word - 1) / word in
+  let loads = Array.make (max 1 n_words) pis.(0) in
+  for w = 0 to n_words - 1 do
+    loads.(w) <- Rng.choose st.rng pis
+  done;
+  let main_gates = max 1 (p.num_gates - (4 * Array.length ffs)) in
+  for _ = 1 to main_gates do
+    add_random_gate st
+  done;
+  Array.iteri
+    (fun i ff ->
+      let d = add_load_mux_with st ~load:loads.(i / word) ~pis in
+      Builder.add_gate st.builder ~output:ff Gate.Dff [ d ])
+    ffs
+
+(* Pipeline flavour: flip-flop ranks, each D combining the previous
+   rank's outputs (rank 0 loads from the primary inputs); a fraction of
+   the inter-rank gates get a primary input on a controlling side so the
+   pipe can be flushed to known values. *)
+let generate_pipeline p st ~pis ~ffs =
+  let n = Array.length ffs in
+  let stages = max 1 (min 4 n) in
+  let rank i = i * stages / n in
+  let ranks = Array.make stages [] in
+  for i = n - 1 downto 0 do
+    ranks.(rank i) <- ffs.(i) :: ranks.(rank i)
+  done;
+  let main_gates = max 1 (p.num_gates - (2 * n)) in
+  for _ = 1 to main_gates do
+    add_random_gate st
+  done;
+  Array.iteri
+    (fun i ff ->
+      let r = rank i in
+      let d =
+        if r = 0 then add_sync_gate st ~pis
+        else begin
+          let prev = Array.of_list ranks.(r - 1) in
+          let a = Rng.choose st.rng prev in
+          let b = Rng.choose st.rng prev in
+          let kind =
+            match Rng.int st.rng 3 with
+            | 0 -> Gate.And
+            | 1 -> Gate.Or
+            | _ -> Gate.Xor
+          in
+          let g =
+            if String.equal a b then add_gate st kind [ a; pick_signal st ]
+            else add_gate st kind [ a; b ]
+          in
+          if Rng.float st.rng < p.sync_fraction *. 0.5 then begin
+            let kind = if Rng.bool st.rng then Gate.And else Gate.Or in
+            add_gate st kind [ Rng.choose st.rng pis; g ]
+          end
+          else g
+        end
+      in
+      Builder.add_gate st.builder ~output:ff Gate.Dff [ d ])
+    ffs
+
+(* FSM flavour: every D is a two-term sum-of-products over (possibly
+   inverted) state bits and a primary input, so next-state logic reads
+   most of the state. Driving the term PIs to 0 still forces every D to
+   a known value from all-X, keeping the state synchronizable. *)
+let generate_fsm p st ~pis ~ffs =
+  let inv_cache = Hashtbl.create 8 in
+  let inverted s =
+    match Hashtbl.find_opt inv_cache s with
+    | Some g -> g
+    | None ->
+      let g = add_gate st Gate.Not [ s ] in
+      Hashtbl.add inv_cache s g;
+      g
+  in
+  let main_gates = max 1 (p.num_gates - (8 * Array.length ffs)) in
+  for _ = 1 to main_gates do
+    add_random_gate st
+  done;
+  Array.iter
+    (fun ff ->
+      let literal () =
+        let s = Rng.choose st.rng ffs in
+        if Rng.bool st.rng then s else inverted s
+      in
+      let term () =
+        add_gate st Gate.And [ literal (); literal (); Rng.choose st.rng pis ]
+      in
+      let t1 = term () in
+      let t2 = term () in
+      let d = add_gate st Gate.Or [ t1; t2 ] in
+      Builder.add_gate st.builder ~output:ff Gate.Dff [ d ])
+    ffs
 
 let generate p =
   if p.num_inputs < 1 || p.num_outputs < 1 then
@@ -145,31 +249,39 @@ let generate p =
     pis;
   let ffs = Array.init p.num_ffs (fun i -> Printf.sprintf "F%d" i) in
   Array.iter (push st) ffs;
-  (* Reserve budget for the D-input structures created below: load-mux
-     FFs take ~4 gates, sync FFs one. *)
-  let n_mux = int_of_float (float_of_int p.num_ffs *. p.sync_fraction *. 0.6) in
-  let n_sync =
-    min (p.num_ffs - n_mux)
-      (int_of_float (ceil (float_of_int p.num_ffs *. p.sync_fraction)) - n_mux)
-  in
-  let reserved = (4 * n_mux) + n_sync in
-  let main_gates = max 1 (p.num_gates - reserved) in
-  for _ = 1 to main_gates do
-    add_random_gate st
-  done;
-  Array.iteri
-    (fun i ff ->
-      let d =
-        if i < n_mux then add_load_mux st ~pis
-        else if i < n_mux + n_sync then add_sync_gate st ~pis
-        else begin
-          let s = pick_signal st in
-          mark_used st s;
-          s
-        end
-      in
-      Builder.add_gate builder ~output:ff Gate.Dff [ d ])
-    ffs;
+  (match p.style with
+  | Random ->
+    (* Reserve budget for the D-input structures created below: load-mux
+       FFs take ~4 gates, sync FFs one. *)
+    let n_mux =
+      int_of_float (float_of_int p.num_ffs *. p.sync_fraction *. 0.6)
+    in
+    let n_sync =
+      min (p.num_ffs - n_mux)
+        (int_of_float (ceil (float_of_int p.num_ffs *. p.sync_fraction))
+        - n_mux)
+    in
+    let reserved = (4 * n_mux) + n_sync in
+    let main_gates = max 1 (p.num_gates - reserved) in
+    for _ = 1 to main_gates do
+      add_random_gate st
+    done;
+    Array.iteri
+      (fun i ff ->
+        let d =
+          if i < n_mux then add_load_mux st ~pis
+          else if i < n_mux + n_sync then add_sync_gate st ~pis
+          else begin
+            let s = pick_signal st in
+            mark_used st s;
+            s
+          end
+        in
+        Builder.add_gate builder ~output:ff Gate.Dff [ d ])
+      ffs
+  | Datapath -> generate_datapath p st ~pis ~ffs
+  | Pipeline -> generate_pipeline p st ~pis ~ffs
+  | Fsm -> generate_fsm p st ~pis ~ffs);
   (* Primary outputs: every dangling signal must be observable, so the
      dangling set is partitioned across the POs and each partition is
      folded into a small collector tree. XOR dominates the collectors

@@ -17,6 +17,25 @@
       primary outputs or are folded into an OR collector tree feeding the
       last output. *)
 
+type style =
+  | Random
+      (** The original generator: weighted random gates, load-mux /
+          sync-gate flip-flop inputs. *)
+  | Datapath
+      (** Register-file flavour: flip-flops grouped into words of eight
+          sharing one load line per word, each bit a load-mux
+          ([D = load·data + ¬load·feedback]) — the shape synthesized
+          datapaths take after register inference. *)
+  | Pipeline
+      (** Flip-flops arranged in ranks; each rank's D inputs combine the
+          previous rank's outputs (rank 0 loads from primary inputs), a
+          fraction gated by a primary input for initializability. *)
+  | Fsm
+      (** A small dense state register: every D is a two-term
+          sum-of-products over state bits (possibly inverted) and a
+          primary input, so next-state logic reads most of the state —
+          the hard case for subsequence-based loading. *)
+
 type profile = {
   name : string;
   num_inputs : int;
@@ -26,6 +45,10 @@ type profile = {
   sync_fraction : float;
       (** Fraction of flip-flops given a synchronizing D gate. *)
   seed : int;
+  style : style;
+      (** Structural flavour. [Random] reproduces the original generator
+          exactly (same circuits for the same seed), so published
+          registry profiles are unaffected by the styled variants. *)
 }
 
 val default_sync_fraction : float

@@ -1,0 +1,50 @@
+let profiles =
+  [
+    {
+      Synth.name = "dp32";
+      num_inputs = 12;
+      num_outputs = 8;
+      num_ffs = 32;
+      num_gates = 260;
+      sync_fraction = Synth.default_sync_fraction;
+      seed = 320032;
+      style = Synth.Datapath;
+    };
+    {
+      Synth.name = "pipe16";
+      num_inputs = 8;
+      num_outputs = 6;
+      num_ffs = 16;
+      num_gates = 140;
+      sync_fraction = Synth.default_sync_fraction;
+      seed = 160016;
+      style = Synth.Pipeline;
+    };
+    {
+      Synth.name = "fsm8";
+      num_inputs = 6;
+      num_outputs = 4;
+      num_ffs = 8;
+      num_gates = 90;
+      sync_fraction = Synth.default_sync_fraction;
+      seed = 80008;
+      style = Synth.Fsm;
+    };
+  ]
+
+let all () =
+  List.map
+    (fun p ->
+      let cache = ref None in
+      let circuit () =
+        match !cache with
+        | Some c -> c
+        | None ->
+          let c = Synth.generate p in
+          cache := Some c;
+          c
+      in
+      (p.Synth.name, circuit))
+    profiles
+
+let find key = List.assoc_opt key (all ())

@@ -1,0 +1,17 @@
+(** Styled synthetic workload circuits.
+
+    Where {!Registry} holds the paper's evaluation suite (frozen
+    [Synth.Random] profiles whose fault tables are published in
+    EXPERIMENTS.md), these are structural stress shapes from the styled
+    generator variants — datapath, pipeline, FSM — exposed by name
+    through {!Loader.find_named} so the CLIs and daemon can run them
+    without perturbing the registry, its fingerprints, or the
+    experiment tables. *)
+
+val all : unit -> (string * (unit -> Bist_circuit.Netlist.t)) list
+(** [(name, circuit)] pairs, deterministic in the frozen seeds:
+    ["dp32"] (datapath, 32 FFs in four words),
+    ["pipe16"] (pipeline, 16 FFs in four ranks),
+    ["fsm8"] (dense 8-bit state machine). *)
+
+val find : string -> (unit -> Bist_circuit.Netlist.t) option

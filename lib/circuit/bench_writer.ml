@@ -1,32 +1,50 @@
-let to_string c =
+(* The circuit name lands in a '# ...' header comment; a name containing
+   a newline would inject arbitrary lines into the emitted file, so it is
+   truncated at the first newline (and stripped of other control
+   characters) before interpolation. *)
+let header_name s =
+  let s =
+    match String.index_opt s '\n' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  Names.comment_escape s
+
+let to_string ?(strict = false) c =
+  if strict then Names.check_strict Names.Bench c;
+  let plan = Names.plan Names.Bench c in
+  let name = Names.out_name plan in
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.circuit_name c));
+  Buffer.add_string buf
+    (Printf.sprintf "# %s\n" (header_name (Netlist.circuit_name c)));
   Buffer.add_string buf
     (Printf.sprintf "# %d inputs, %d outputs, %d flip-flops, %d gates\n"
        (Netlist.num_inputs c) (Netlist.num_outputs c) (Netlist.num_dffs c)
        (Netlist.num_gates c));
+  List.iter
+    (fun (_, emitted, original) ->
+      Buffer.add_string buf
+        (Printf.sprintf "# renamed: %s was \"%s\"\n" emitted
+           (Names.comment_escape original)))
+    (Names.renamed plan);
   Array.iter
-    (fun n -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.name c n)))
+    (fun n -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (name n)))
     (Netlist.inputs c);
   Array.iter
-    (fun n -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Netlist.name c n)))
+    (fun n -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (name n)))
     (Netlist.outputs c);
   for n = 0 to Netlist.size c - 1 do
     let kind = Netlist.kind c n in
     if kind <> Gate.Input then begin
       let args =
-        Netlist.fanins c n |> Array.to_list
-        |> List.map (Netlist.name c)
+        Netlist.fanins c n |> Array.to_list |> List.map name
         |> String.concat ", "
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s = %s(%s)\n" (Netlist.name c n) (Gate.kind_name kind) args)
+        (Printf.sprintf "%s = %s(%s)\n" (name n) (Gate.kind_name kind) args)
     end
   done;
   Buffer.contents buf
 
-let to_file c path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string c))
+let to_file ?strict c path =
+  Bist_resilience.Atomic_io.write_file ~path (to_string ?strict c)

@@ -1,8 +1,31 @@
 (** Serialization back to the ISCAS-89 [.bench] format.
 
-    [parse_string (to_string c)] reproduces a netlist structurally equal
-    to [c] (same names, kinds, fanins and port order). *)
+    The [.bench] grammar cannot represent every name a {!Netlist} can
+    carry (synthesis tools emit names with ['$'], ['\\'], ['['], ... —
+    all fine — but a name containing whitespace, parentheses, commas,
+    ['='] or ['#'] would re-parse as different tokens or not at all).
+    By default the writer keeps every representable name verbatim and
+    renames the rest through the deterministic, collision-free pass of
+    {!Names.plan}, recording each rename as a [# renamed:] header
+    comment so the original survives in the artifact. With [~strict:true]
+    the writer refuses instead, raising {!Names.Invalid_name} on the
+    first unrepresentable name.
 
-val to_string : Netlist.t -> string
+    Round-trip guarantee: [parse_string (to_string c)] always succeeds
+    and reproduces [c] up to that renaming (same kinds, fanins and port
+    order; names equal wherever they were representable). The netlist
+    content (all non-comment lines) is stable across the round trip,
+    and the full text is a fixpoint from the first reparse on — only
+    the [# renamed:] comments, which a reparse cannot carry, distinguish
+    the first serialization. For a circuit whose names are all
+    representable, [to_string (parse_string (to_string c)) = to_string
+    c] exactly. *)
 
-val to_file : Netlist.t -> string -> unit
+val to_string : ?strict:bool -> Netlist.t -> string
+(** [strict] defaults to [false] (sanitize). *)
+
+val to_file : ?strict:bool -> Netlist.t -> string -> unit
+(** Writes atomically (via {!Bist_resilience.Atomic_io}): a crash
+    mid-write leaves either the previous complete file or the new one,
+    never a truncated [.bench] that silently parses as a different
+    circuit. *)

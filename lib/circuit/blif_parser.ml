@@ -1,0 +1,748 @@
+exception Parse_error of { line : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; message } ->
+      Some (Printf.sprintf "BLIF parse error at line %d: %s" line message)
+    | _ -> None)
+
+let error line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexing: physical lines -> logical lines.  '#' starts a comment; a   *)
+(* trailing '\' (after comment stripping) continues the statement on   *)
+(* the next line.  A logical line keeps the number of its first        *)
+(* physical line so errors point where the statement started.          *)
+
+type logical = { line : int; tokens : string list }
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let tokenize s =
+  String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) s)
+  |> List.filter (fun t -> t <> "")
+
+let logical_lines text =
+  let lines = String.split_on_char '\n' text in
+  let out = ref [] in
+  let pending = Buffer.create 80 in
+  let pending_start = ref 0 in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let s = strip_comment raw in
+      let continued =
+        String.length s > 0 && s.[String.length s - 1] = '\\'
+      in
+      let s = if continued then String.sub s 0 (String.length s - 1) else s in
+      if Buffer.length pending = 0 then pending_start := lineno;
+      Buffer.add_string pending s;
+      Buffer.add_char pending ' ';
+      if not continued then begin
+        (match tokenize (Buffer.contents pending) with
+        | [] -> ()
+        | tokens -> out := { line = !pending_start; tokens } :: !out);
+        Buffer.clear pending
+      end)
+    lines;
+  (* A file ending in '\': the started statement still counts. *)
+  (match tokenize (Buffer.contents pending) with
+  | [] -> ()
+  | tokens -> out := { line = !pending_start; tokens } :: !out);
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Grouping: logical lines -> models holding uninterpreted statements. *)
+
+type stmt =
+  | Names of {
+      line : int;
+      inputs : string list;
+      output : string;
+      rows : (int * string * char) list; (* row line, pattern, value *)
+    }
+  | Latch of { line : int; input : string; output : string }
+  | Subckt of {
+      line : int;
+      kw : string; (* ".subckt" or ".gate" *)
+      callee : string;
+      bindings : (string * string) list;
+    }
+
+type model = {
+  mline : int;
+  mname : string option;
+  mutable inputs_rev : (int * string) list;
+  mutable outputs_rev : (int * string) list;
+  mutable stmts_rev : stmt list;
+}
+
+let latch_types = [ "fe"; "re"; "ah"; "al"; "as" ]
+
+let parse_latch line operands =
+  let check_type ty =
+    if ty <> "re" then
+      error line
+        "unsupported latch type %S (only rising-edge 're' latches map onto \
+         the DFF model)"
+        ty
+  in
+  let check_init v =
+    match v with
+    | "2" | "3" -> () (* don't-care / unknown: exactly our all-X reset *)
+    | "0" | "1" ->
+      error line
+        "unsupported latch initial value %s (simulation starts from the \
+         all-X state and cannot honour a defined reset value; use 2 or 3, \
+         or re-synthesize without latch init)"
+        v
+    | v -> error line "malformed latch initial value %S" v
+  in
+  match operands with
+  | [ input; output ] -> (input, output)
+  | [ input; output; x ] ->
+    if List.mem x latch_types then
+      error line "latch type %S needs a control signal" x
+    else check_init x;
+    (input, output)
+  | [ input; output; ty; _control ] ->
+    check_type ty;
+    (input, output)
+  | [ input; output; ty; _control; init ] ->
+    check_type ty;
+    check_init init;
+    (input, output)
+  | _ -> error line ".latch takes 2 to 5 operands"
+
+let parse_binding line kw tok =
+  match String.index_opt tok '=' with
+  | None -> error line "%s operand %S is not of the form formal=actual" kw tok
+  | Some i ->
+    let formal = String.sub tok 0 i in
+    let actual = String.sub tok (i + 1) (String.length tok - i - 1) in
+    if formal = "" || actual = "" then
+      error line "%s operand %S is not of the form formal=actual" kw tok;
+    (formal, actual)
+
+let is_cover_row tokens =
+  match tokens with
+  | [ v ] | [ _; v ] ->
+    String.length v = 1
+    && (v = "0" || v = "1")
+    && List.for_all
+         (fun t -> String.for_all (fun c -> c = '0' || c = '1' || c = '-') t)
+         tokens
+  | _ -> false
+
+let group_models lls =
+  let models = ref [] in
+  let current = ref None in
+  let cover = ref None in (* (line, inputs, output, rows_rev) while in a .names *)
+  let flush_cover () =
+    match !cover with
+    | None -> ()
+    | Some (line, inputs, output, rows_rev) ->
+      let m = Option.get !current in
+      m.stmts_rev <-
+        Names { line; inputs; output; rows = List.rev rows_rev } :: m.stmts_rev;
+      cover := None
+  in
+  let need_model line directive =
+    match !current with
+    | Some m -> m
+    | None -> error line "%s before any .model" directive
+  in
+  List.iter
+    (fun { line; tokens } ->
+      match tokens with
+      | [] -> ()
+      | kw :: operands when String.length kw > 0 && kw.[0] = '.' -> begin
+        flush_cover ();
+        match kw with
+        | ".model" ->
+          (match !current with
+          | Some m -> models := m :: !models
+          | None -> ());
+          let mname =
+            match operands with
+            | [] -> None
+            | [ name ] -> Some name
+            | _ -> error line ".model takes at most one name"
+          in
+          current :=
+            Some
+              { mline = line; mname; inputs_rev = []; outputs_rev = [];
+                stmts_rev = [] }
+        | ".inputs" ->
+          let m = need_model line kw in
+          List.iter
+            (fun s -> m.inputs_rev <- (line, s) :: m.inputs_rev)
+            operands
+        | ".outputs" ->
+          let m = need_model line kw in
+          List.iter
+            (fun s -> m.outputs_rev <- (line, s) :: m.outputs_rev)
+            operands
+        | ".names" ->
+          let m = need_model line kw in
+          ignore m;
+          (match List.rev operands with
+          | output :: inputs_rev ->
+            cover := Some (line, List.rev inputs_rev, output, [])
+          | [] -> error line ".names needs at least an output signal")
+        | ".latch" ->
+          let m = need_model line kw in
+          let input, output = parse_latch line operands in
+          m.stmts_rev <- Latch { line; input; output } :: m.stmts_rev
+        | ".subckt" | ".gate" ->
+          let m = need_model line kw in
+          (match operands with
+          | callee :: binds when binds <> [] ->
+            let bindings = List.map (parse_binding line kw) binds in
+            m.stmts_rev <- Subckt { line; kw; callee; bindings } :: m.stmts_rev
+          | _ -> error line "%s needs a cell name and at least one binding" kw)
+        | ".end" ->
+          (match !current with
+          | Some m ->
+            models := m :: !models;
+            current := None
+          | None -> error line ".end without a matching .model")
+        | ".clock" -> () (* clocking is implicit in the DFF model *)
+        | _ -> error line "unsupported BLIF construct %s" kw
+      end
+      | tokens -> begin
+        match !cover with
+        | Some (nline, inputs, output, rows_rev) when is_cover_row tokens ->
+          let pattern, value =
+            match tokens with
+            | [ v ] -> ("", v.[0])
+            | [ p; v ] -> (p, v.[0])
+            | _ -> assert false
+          in
+          if String.length pattern <> List.length inputs then
+            error line
+              "cover row has %d input columns but .names listed %d inputs"
+              (String.length pattern) (List.length inputs);
+          cover := Some (nline, inputs, output, (line, pattern, value) :: rows_rev)
+        | Some _ -> error line "malformed cover row"
+        | None ->
+          if !current = None then error line "expected .model"
+          else error line "unexpected line (cover rows must follow a .names)"
+      end)
+    lls;
+  flush_cover ();
+  (match !current with
+  | Some m -> models := m :: !models
+  | None -> ());
+  List.rev !models
+
+(* ------------------------------------------------------------------ *)
+(* The library cell table: the Yosys internal cells plus a few plain   *)
+(* aliases, each described by its formal ports.                       *)
+
+type cell =
+  | Prim of Gate.kind * string list * string (* input formals, output formal *)
+  | Andnot (* Y = A & ~B *)
+  | Ornot (* Y = A | ~B *)
+  | Mux (* Y = S ? B : A *)
+  | Dff_cell of { data : string; q : string; clock : string option }
+
+let cells =
+  [
+    ("$_BUF_", Prim (Gate.Buf, [ "A" ], "Y"));
+    ("$_NOT_", Prim (Gate.Not, [ "A" ], "Y"));
+    ("$_AND_", Prim (Gate.And, [ "A"; "B" ], "Y"));
+    ("$_NAND_", Prim (Gate.Nand, [ "A"; "B" ], "Y"));
+    ("$_OR_", Prim (Gate.Or, [ "A"; "B" ], "Y"));
+    ("$_NOR_", Prim (Gate.Nor, [ "A"; "B" ], "Y"));
+    ("$_XOR_", Prim (Gate.Xor, [ "A"; "B" ], "Y"));
+    ("$_XNOR_", Prim (Gate.Xnor, [ "A"; "B" ], "Y"));
+    ("$_ANDNOT_", Andnot);
+    ("$_ORNOT_", Ornot);
+    ("$_MUX_", Mux);
+    ("$_DFF_P_", Dff_cell { data = "D"; q = "Q"; clock = Some "C" });
+    ("$_FF_", Dff_cell { data = "D"; q = "Q"; clock = None });
+    ("BUF", Prim (Gate.Buf, [ "A" ], "Y"));
+    ("BUFF", Prim (Gate.Buf, [ "A" ], "Y"));
+    ("NOT", Prim (Gate.Not, [ "A" ], "Y"));
+    ("INV", Prim (Gate.Not, [ "A" ], "Y"));
+    ("AND2", Prim (Gate.And, [ "A"; "B" ], "Y"));
+    ("NAND2", Prim (Gate.Nand, [ "A"; "B" ], "Y"));
+    ("OR2", Prim (Gate.Or, [ "A"; "B" ], "Y"));
+    ("NOR2", Prim (Gate.Nor, [ "A"; "B" ], "Y"));
+    ("XOR2", Prim (Gate.Xor, [ "A"; "B" ], "Y"));
+    ("XNOR2", Prim (Gate.Xnor, [ "A"; "B" ], "Y"));
+    ("MUX2", Mux);
+    ("DFF", Dff_cell { data = "D"; q = "Q"; clock = Some "C" });
+  ]
+
+let find_cell name = List.assoc_opt name cells
+
+let cell_input_formals = function
+  | Prim (_, ins, _) -> ins
+  | Andnot | Ornot -> [ "A"; "B" ]
+  | Mux -> [ "A"; "B"; "S" ]
+  | Dff_cell { data; _ } -> [ data ]
+
+let cell_output_formal = function
+  | Prim (_, _, out) -> out
+  | Andnot | Ornot | Mux -> "Y"
+  | Dff_cell { q; _ } -> q
+
+let cell_ignored_formals = function
+  | Dff_cell { clock = Some c; _ } -> [ c ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration.  Two passes over the (flattened) instance tree with    *)
+(* identical traversal order: pass A claims every defined signal name, *)
+(* pass B emits gates — so fresh intermediate names (cover and cell    *)
+(* decompositions) can be checked against signals defined anywhere,    *)
+(* including later in the file or in a later instance.                 *)
+
+type st = {
+  builder : Builder.t;
+  models : (string, model) Hashtbl.t;
+  claimed : (string, int) Hashtbl.t; (* final signal name -> def line *)
+  mutable uses_rev : (string * int * string) list;
+  counters : (string, int ref) Hashtbl.t; (* per-model instance counter *)
+}
+
+let claim st line name =
+  (match Hashtbl.find_opt st.claimed name with
+  | Some first ->
+    error line "signal %S already defined at line %d" name first
+  | None -> ());
+  Hashtbl.add st.claimed name line
+
+let use st line context signal =
+  st.uses_rev <- (signal, line, context) :: st.uses_rev
+
+let fresh st line base =
+  let rec go k =
+    let candidate = Printf.sprintf "%s$t%d" base k in
+    if Hashtbl.mem st.claimed candidate then go (k + 1)
+    else begin
+      Hashtbl.add st.claimed candidate line;
+      candidate
+    end
+  in
+  go 0
+
+let add_gate st line ~output kind fanins =
+  (try Builder.add_gate st.builder ~output kind fanins
+   with Failure message -> error line "%s" message);
+  List.iter (use st line (Printf.sprintf "gate %S" output)) fanins
+
+let instance_index st model_name =
+  match Hashtbl.find_opt st.counters model_name with
+  | Some r ->
+    incr r;
+    !r - 1
+  | None ->
+    Hashtbl.add st.counters model_name (ref 1);
+    0
+
+let binding_map line kw callee ~input_formals ~output_formal ~ignored bindings =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (formal, actual) ->
+      if Hashtbl.mem seen formal then
+        error line "%s %s binds port %S twice" kw callee formal;
+      Hashtbl.add seen formal actual;
+      if
+        (not (List.mem formal input_formals))
+        && formal <> output_formal
+        && not (List.mem formal ignored)
+      then error line "%s %s has no port %S" kw callee formal)
+    bindings;
+  let input actual_of formal =
+    match Hashtbl.find_opt seen formal with
+    | Some actual -> actual_of actual
+    | None -> error line "%s %s: missing binding for input %S" kw callee formal
+  in
+  let output () =
+    match Hashtbl.find_opt seen output_formal with
+    | Some actual -> Some actual
+    | None -> None
+  in
+  (input, output)
+
+(* Cover classification.  The canonical forms (what Blif_writer emits,
+   and what Yosys emits for simple gates) map onto single primitives so
+   a round trip preserves structure; everything else falls back to a
+   sum-of-products decomposition with fresh intermediate nodes. *)
+
+let all_char c p = String.for_all (fun x -> x = c) p
+
+let one_hot_positions c rows =
+  (* Every row has exactly one [c], rest '-'; together they hit each
+     column exactly once.  Returns true iff the rows form that shape. *)
+  let n = String.length (List.hd rows) in
+  if List.length rows <> n then false
+  else begin
+    let hit = Array.make n false in
+    List.for_all
+      (fun p ->
+        let pos = ref None and ok = ref true in
+        String.iteri
+          (fun i x ->
+            if x = c then begin
+              if !pos <> None then ok := false;
+              pos := Some i
+            end
+            else if x <> '-' then ok := false)
+          p;
+        match (!ok, !pos) with
+        | true, Some i when not hit.(i) ->
+          hit.(i) <- true;
+          true
+        | _ -> false)
+      rows
+  end
+
+let parity_of p =
+  let ones = ref 0 in
+  String.iter (fun c -> if c = '1' then incr ones) p;
+  !ones land 1
+
+let is_parity rows =
+  (* All rows are full minterms, distinct, 2^(n-1) of them, constant
+     parity: the cover of an XOR (odd) or XNOR (even). *)
+  let n = String.length (List.hd rows) in
+  if n < 2 || n > 16 then None
+  else if List.exists (fun p -> String.contains p '-') rows then None
+  else if List.length rows <> 1 lsl (n - 1) then None
+  else begin
+    let tbl = Hashtbl.create 64 in
+    let distinct = List.for_all (fun p ->
+        if Hashtbl.mem tbl p then false
+        else begin Hashtbl.add tbl p (); true end) rows
+    in
+    if not distinct then None
+    else
+      match rows with
+      | [] -> None
+      | first :: rest ->
+        let par = parity_of first in
+        if List.for_all (fun p -> parity_of p = par) rest then Some par
+        else None
+  end
+
+type lit = { signal : string; positive : bool }
+
+let row_literals xs pattern =
+  let lits = ref [] in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' -> lits := { signal = List.nth xs i; positive = true } :: !lits
+      | '0' -> lits := { signal = List.nth xs i; positive = false } :: !lits
+      | _ -> ())
+    pattern;
+  List.rev !lits
+
+let emit_cover st ~line xs output rows =
+  let n = List.length xs in
+  (* Uniform output value: BLIF defines a cover as ON-set or OFF-set. *)
+  let value =
+    match rows with
+    | [] -> '1' (* irrelevant: empty cover is constant 0 *)
+    | (_, _, v) :: rest ->
+      List.iter
+        (fun (rline, _, v') ->
+          if v' <> v then
+            error rline "cover mixes output values 0 and 1")
+        rest;
+      v
+  in
+  let patterns = List.map (fun (_, p, _) -> p) rows in
+  let gate kind fanins = add_gate st line ~output kind fanins in
+  match (patterns, value) with
+  | [], _ -> gate Gate.Const0 []
+  | _ when n = 0 ->
+    (* Constant covers: any '1' row makes it 1; a '0' row covers the
+       whole (empty) input space with 0. *)
+    if value = '1' then gate Gate.Const1 [] else gate Gate.Const0 []
+  | _ when List.exists (all_char '-') patterns ->
+    (* A row of dashes covers everything: the cover is constant. *)
+    if value = '1' then gate Gate.Const1 [] else gate Gate.Const0 []
+  | [ p ], v when all_char '1' p ->
+    if n = 1 then gate (if v = '1' then Gate.Buf else Gate.Not) xs
+    else gate (if v = '1' then Gate.And else Gate.Nand) xs
+  | [ p ], v when all_char '0' p ->
+    if n = 1 then gate (if v = '1' then Gate.Not else Gate.Buf) xs
+    else gate (if v = '1' then Gate.Nor else Gate.Or) xs
+  | _, v when n >= 2 && one_hot_positions '1' patterns ->
+    gate (if v = '1' then Gate.Or else Gate.Nor) xs
+  | _, v when n >= 2 && one_hot_positions '0' patterns ->
+    gate (if v = '1' then Gate.Nand else Gate.And) xs
+  | _, v when is_parity patterns <> None -> begin
+    match (Option.get (is_parity patterns), v) with
+    | 1, '1' | 0, '0' -> gate Gate.Xor xs
+    | _ -> gate Gate.Xnor xs
+  end
+  | _, v ->
+    (* Sum-of-products fallback: NOT nodes for negative literals (shared
+       within the cover), an AND per multi-literal row, an OR across
+       rows; an OFF-set cover folds the final complement into the last
+       gate (NOR / NAND / NOT). *)
+    let not_cache = Hashtbl.create 8 in
+    let negated signal =
+      match Hashtbl.find_opt not_cache signal with
+      | Some g -> g
+      | None ->
+        let g = fresh st line output in
+        add_gate st line ~output:g Gate.Not [ signal ];
+        Hashtbl.add not_cache signal g;
+        g
+    in
+    let terms =
+      List.map
+        (fun (_, p, _) ->
+          let lits = row_literals xs p in
+          match lits with
+          | [] -> assert false (* all-dash handled above *)
+          | lits -> lits)
+        rows
+    in
+    let term_signal lits =
+      match lits with
+      | [ { signal; positive = true } ] -> signal
+      | [ { signal; positive = false } ] -> negated signal
+      | lits ->
+        let fanins =
+          List.map
+            (fun l -> if l.positive then l.signal else negated l.signal)
+            lits
+        in
+        let g = fresh st line output in
+        add_gate st line ~output:g Gate.And fanins;
+        g
+    in
+    (match (terms, v) with
+    | [ [ { signal; positive } ] ], '1' ->
+      gate (if positive then Gate.Buf else Gate.Not) [ signal ]
+    | [ [ { signal; positive } ] ], _ ->
+      gate (if positive then Gate.Not else Gate.Buf) [ signal ]
+    | [ lits ], '1' ->
+      gate Gate.And
+        (List.map
+           (fun l -> if l.positive then l.signal else negated l.signal)
+           lits)
+    | [ lits ], _ ->
+      gate Gate.Nand
+        (List.map
+           (fun l -> if l.positive then l.signal else negated l.signal)
+           lits)
+    | terms, '1' -> gate Gate.Or (List.map term_signal terms)
+    | terms, _ -> gate Gate.Nor (List.map term_signal terms))
+
+(* Pass A/B over one model instance.  [rename] maps the model's own
+   signal names to final netlist names; for the top model it is the
+   identity.  [stack] carries the model names being elaborated for
+   recursion detection. *)
+
+let rec walk st ~emit ~stack ~rename (m : model) =
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Names { line; inputs; output; rows } ->
+        if emit then
+          emit_cover st ~line (List.map (rename line) inputs)
+            (rename line output) rows
+        else claim st line (rename line output)
+      | Latch { line; input; output } ->
+        if emit then
+          add_gate st line ~output:(rename line output) Gate.Dff
+            [ rename line input ]
+        else claim st line (rename line output)
+      | Subckt { line; kw; callee; bindings } -> begin
+        match find_cell callee with
+        | Some cell ->
+          elaborate_cell st ~emit ~rename line kw callee cell bindings
+        | None ->
+          if kw = ".gate" then
+            error line "unknown library gate %S" callee
+          else begin
+            match Hashtbl.find_opt st.models callee with
+            | None -> error line "unknown cell or model %S" callee
+            | Some sub ->
+              if List.mem callee stack then
+                error line "recursive instantiation of model %S" callee;
+              elaborate_model_instance st ~emit ~stack ~rename line callee sub
+                bindings
+          end
+      end)
+    (List.rev m.stmts_rev)
+
+and elaborate_cell st ~emit ~rename line kw callee cell bindings =
+  let input_formals = cell_input_formals cell in
+  let output_formal = cell_output_formal cell in
+  let ignored = cell_ignored_formals cell in
+  let input, output =
+    binding_map line kw callee ~input_formals ~output_formal ~ignored bindings
+  in
+  let actual_of a = rename line a in
+  let out =
+    match output () with
+    | Some actual -> rename line actual
+    | None ->
+      error line "%s %s: missing binding for output %S" kw callee output_formal
+  in
+  if not emit then claim st line out
+  else begin
+    match cell with
+    | Prim (kind, formals, _) ->
+      add_gate st line ~output:out kind
+        (List.map (fun f -> input actual_of f) formals)
+    | Andnot ->
+      let a = input actual_of "A" and b = input actual_of "B" in
+      let nb = fresh st line out in
+      add_gate st line ~output:nb Gate.Not [ b ];
+      add_gate st line ~output:out Gate.And [ a; nb ]
+    | Ornot ->
+      let a = input actual_of "A" and b = input actual_of "B" in
+      let nb = fresh st line out in
+      add_gate st line ~output:nb Gate.Not [ b ];
+      add_gate st line ~output:out Gate.Or [ a; nb ]
+    | Mux ->
+      (* Y = (A & ~S) | (B & S) *)
+      let a = input actual_of "A"
+      and b = input actual_of "B"
+      and s = input actual_of "S" in
+      let ns = fresh st line out in
+      add_gate st line ~output:ns Gate.Not [ s ];
+      let t0 = fresh st line out in
+      add_gate st line ~output:t0 Gate.And [ a; ns ];
+      let t1 = fresh st line out in
+      add_gate st line ~output:t1 Gate.And [ b; s ];
+      add_gate st line ~output:out Gate.Or [ t0; t1 ]
+    | Dff_cell { data; _ } ->
+      add_gate st line ~output:out Gate.Dff [ input actual_of data ]
+  end
+
+and elaborate_model_instance st ~emit ~stack ~rename line callee sub bindings =
+  let sub_inputs = List.rev_map snd sub.inputs_rev in
+  let sub_outputs = List.rev_map snd sub.outputs_rev in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (formal, actual) ->
+      if Hashtbl.mem seen formal then
+        error line ".subckt %s binds port %S twice" callee formal;
+      Hashtbl.add seen formal actual;
+      if
+        (not (List.mem formal sub_inputs))
+        && not (List.mem formal sub_outputs)
+      then error line "model %S has no port %S" callee formal)
+    bindings;
+  List.iter
+    (fun formal ->
+      if not (Hashtbl.mem seen formal) then
+        error line ".subckt %s: missing binding for input %S" callee formal)
+    sub_inputs;
+  let k = instance_index st callee in
+  let prefix = Printf.sprintf "%s$%d." callee k in
+  let inner_rename iline signal =
+    if List.mem signal sub_inputs then begin
+      (* Input formal: stands for the outer actual. *)
+      rename iline (Hashtbl.find seen signal)
+    end
+    else
+      match Hashtbl.find_opt seen signal with
+      | Some actual when List.mem signal sub_outputs -> rename iline actual
+      | _ -> prefix ^ signal
+  in
+  walk st ~emit ~stack:(callee :: stack) ~rename:inner_rename sub;
+  (* A model output that is also a model input is a feed-through: the
+     binding must still be driven, so emit a BUF from the input's
+     actual. *)
+  List.iter
+    (fun formal ->
+      if List.mem formal sub_inputs then
+        match Hashtbl.find_opt seen formal with
+        | Some actual ->
+          let out = rename line actual in
+          if emit then
+            add_gate st line ~output:out Gate.Buf
+              [ rename line (Hashtbl.find seen formal) ]
+          else claim st line out
+        | None -> ())
+    sub_outputs
+
+let parse_string ~name text =
+  let models = group_models (logical_lines text) in
+  match models with
+  | [] -> error 0 "no .model in file"
+  | top :: _ ->
+    let models_tbl = Hashtbl.create 8 in
+    List.iter
+      (fun m ->
+        match m.mname with
+        | None -> ()
+        | Some n ->
+          (match Hashtbl.find_opt models_tbl n with
+          | Some (prev : model) ->
+            error m.mline "model %S already defined at line %d" n prev.mline
+          | None -> ());
+          Hashtbl.add models_tbl n m)
+      models;
+    let builder = Builder.create ~name in
+    let claimed = Hashtbl.create 256 in
+    let run emit =
+      let st =
+        { builder;
+          models = models_tbl;
+          claimed;
+          uses_rev = [];
+          counters = Hashtbl.create 8 }
+      in
+      let identity line s = ignore line; s in
+      (* Top-level primary inputs. *)
+      List.iter
+        (fun (line, s) ->
+          if emit then begin
+            (try Builder.add_input builder s
+             with Failure message -> error line "%s" message)
+          end
+          else claim st line s)
+        (List.rev top.inputs_rev);
+      let stack = match top.mname with Some n -> [ n ] | None -> [] in
+      walk st ~emit ~stack ~rename:identity top;
+      if emit then
+        List.iter
+          (fun (line, s) ->
+            use st line ".outputs" s;
+            Builder.add_output builder s)
+          (List.rev top.outputs_rev);
+      st
+    in
+    (* Pass A claims every defined name (also catching duplicate
+       drivers with both line numbers); pass B repeats the identical
+       traversal on the now-complete claim table and emits gates, so
+       fresh intermediate names are checked against signals defined
+       anywhere in the file — including later statements and later
+       instances. *)
+    let (_ : st) = run false in
+    let stB = run true in
+    List.iter
+      (fun (signal, lineno, context) ->
+        if not (Hashtbl.mem stB.claimed signal) then
+          error lineno "%s references undefined signal %S" context signal)
+      (List.rev stB.uses_rev);
+    (try Builder.finalize builder
+     with Failure message -> error 0 "%s" message)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text

@@ -1,0 +1,60 @@
+(** Parser for the Berkeley Logic Interchange Format (BLIF) — the
+    netlist format synthesis flows (Yosys, SIS, ABC) actually emit — onto
+    the same {!Netlist} every other frontend produces, so a synthesized
+    design drops into generation, lint and injection unmodified.
+
+    Accepted constructs:
+    {v
+    .model <name>            # one or more models; the first is the top
+    .inputs  a b c ...       # repeatable, appended
+    .outputs x y ...
+    .names a b ... f         # single-output cover; rows on the lines
+    11- 1                    #   below, [01-]* then the output value
+    .latch d q [<type> <ctl>] [<init>]
+    .subckt <model-or-cell> formal=actual ...
+    .gate <cell> formal=actual ...
+    .end
+    v}
+    Lines ending in [\\] continue on the next line; [#] starts a
+    comment; [.clock] is accepted and ignored.
+
+    - Every [.names] cover is decomposed onto the gate primitives.
+      Covers matching a primitive exactly (the forms {!Blif_writer}
+      emits: single all-1 / all-0 rows, one-hot rows, parity rows,
+      constant covers) map to that single AND / NAND / OR / NOR / NOT /
+      BUF / XOR / XNOR / CONST gate; anything else becomes a
+      sum-of-products tree of fresh AND / OR / NOT nodes named
+      [<output>$t<k>] (collision-checked against every signal in the
+      design).
+    - [.latch] maps to a DFF. Only rising-edge latches are supported:
+      an explicit type other than [re] is a typed error, as is an
+      initial value of [0] or [1] (the simulator starts from the all-X
+      state and cannot honour a defined reset value; [2] = don't-care,
+      [3] = unknown and an absent init are accepted). The control
+      (clock) operand is recorded syntactically but not required to be
+      a defined signal.
+    - [.subckt]/[.gate] instances resolve first against the library
+      cell table (the Yosys internal cells [$_BUF_], [$_NOT_],
+      [$_AND_], [$_NAND_], [$_OR_], [$_NOR_], [$_XOR_], [$_XNOR_],
+      [$_ANDNOT_], [$_ORNOT_], [$_AOI3_]-free [$_MUX_], the flip-flops
+      [$_DFF_P_] / [$_FF_], plus the plain aliases BUF, INV/NOT, AND2,
+      NAND2, OR2, NOR2, XOR2, XNOR2, MUX2, DFF), then against the other
+      [.model]s of the same file, which are flattened structurally with
+      instance-prefixed internal names ([<model>$<k>.<signal>]).
+      Recursive model instantiation is a typed error.
+
+    The top model's [.inputs]/[.outputs] become the primary ports; the
+    circuit label comes from the [name] argument (for {!parse_file},
+    the basename without extension), matching {!Bench_parser}. *)
+
+exception Parse_error of { line : int; message : string }
+(** Same discipline as {!Bench_parser.Parse_error}: malformed input
+    raises this and nothing else, with the offending line number, or
+    line 0 for whole-netlist rejections (a combinational loop, an empty
+    model). *)
+
+val parse_string : name:string -> string -> Netlist.t
+
+val parse_file : string -> Netlist.t
+(** Reads the file; the circuit name is the basename without
+    extension. *)

@@ -1,0 +1,174 @@
+let chunks k xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if n = k then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 xs
+
+(* Minterm patterns of a given popcount parity, in counting order: the
+   canonical cover Blif_parser recognizes as XOR (odd) / XNOR (even). *)
+let parity_rows buf n want_parity =
+  for m = 0 to (1 lsl n) - 1 do
+    let ones = ref 0 in
+    for i = 0 to n - 1 do
+      if m land (1 lsl i) <> 0 then incr ones
+    done;
+    if !ones land 1 = want_parity then begin
+      for i = 0 to n - 1 do
+        Buffer.add_char buf (if m land (1 lsl i) <> 0 then '1' else '0')
+      done;
+      Buffer.add_string buf " 1\n"
+    end
+  done
+
+let max_parity_arity = 16
+
+let to_string ?(strict = false) c =
+  if strict then Names.check_strict Names.Blif c;
+  let plan = Names.plan Names.Blif c in
+  let name = Names.out_name plan in
+  let taken = Hashtbl.create (2 * Netlist.size c) in
+  for n = 0 to Netlist.size c - 1 do
+    Hashtbl.replace taken (name n) ()
+  done;
+  let fresh base =
+    let rec go k =
+      let candidate = Printf.sprintf "%s$x%d" base k in
+      if Hashtbl.mem taken candidate then go (k + 1)
+      else begin
+        Hashtbl.replace taken candidate ();
+        candidate
+      end
+    in
+    go 0
+  in
+  let buf = Buffer.create 4096 in
+  let header_name s =
+    let s =
+      match String.index_opt s '\n' with
+      | Some i -> String.sub s 0 i
+      | None -> s
+    in
+    Names.comment_escape s
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "# %s\n" (header_name (Netlist.circuit_name c)));
+  Buffer.add_string buf
+    (Printf.sprintf "# %d inputs, %d outputs, %d flip-flops, %d gates\n"
+       (Netlist.num_inputs c) (Netlist.num_outputs c) (Netlist.num_dffs c)
+       (Netlist.num_gates c));
+  List.iter
+    (fun (_, emitted, original) ->
+      Buffer.add_string buf
+        (Printf.sprintf "# renamed: %s was \"%s\"\n" emitted
+           (Names.comment_escape original)))
+    (Names.renamed plan);
+  Buffer.add_string buf
+    (Printf.sprintf ".model %s\n"
+       (Names.sanitize_token Names.Blif (Netlist.circuit_name c)));
+  let port directive nodes =
+    List.iter
+      (fun group ->
+        Buffer.add_string buf directive;
+        List.iter
+          (fun n ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (name n))
+          group;
+        Buffer.add_char buf '\n')
+      (chunks 10 (Array.to_list nodes))
+  in
+  port ".inputs" (Netlist.inputs c);
+  port ".outputs" (Netlist.outputs c);
+  let names_header fanin_names out =
+    Buffer.add_string buf ".names";
+    List.iter
+      (fun f ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf f)
+      fanin_names;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf out;
+    Buffer.add_char buf '\n'
+  in
+  let row pattern value =
+    if pattern <> "" then begin
+      Buffer.add_string buf pattern;
+      Buffer.add_char buf ' '
+    end;
+    Buffer.add_char buf value;
+    Buffer.add_char buf '\n'
+  in
+  (* One canonical cover per gate kind — exactly the forms the parser
+     maps back to a single primitive. *)
+  let emit_simple kind fanin_names out =
+    let n = List.length fanin_names in
+    names_header fanin_names out;
+    match (kind : Gate.kind) with
+    | Gate.And -> row (String.make n '1') '1'
+    | Gate.Nand -> row (String.make n '1') '0'
+    | Gate.Or ->
+      List.iteri
+        (fun i _ ->
+          let p = Bytes.make n '-' in
+          Bytes.set p i '1';
+          row (Bytes.to_string p) '1')
+        fanin_names
+    | Gate.Nor ->
+      List.iteri
+        (fun i _ ->
+          let p = Bytes.make n '-' in
+          Bytes.set p i '1';
+          row (Bytes.to_string p) '0')
+        fanin_names
+    | Gate.Not -> row "0" '1'
+    | Gate.Buf -> row "1" '1'
+    | Gate.Xor -> parity_rows buf n 1
+    | Gate.Xnor -> parity_rows buf n 0
+    | Gate.Const0 -> ()
+    | Gate.Const1 -> row "" '1'
+    | Gate.Input | Gate.Dff -> assert false
+  in
+  let emit_parity_chain kind fanin_names out =
+    (* Arity beyond the parser's parity-recognition bound: a chain of
+       2-input gates through fresh nodes (re-parses as this chain). *)
+    match fanin_names with
+    | a :: b :: rest ->
+      let final_kind = (kind : Gate.kind) in
+      let rec go acc = function
+        | [] -> assert false
+        | [ last ] -> emit_simple final_kind [ acc; last ] out
+        | x :: rest ->
+          let t = fresh out in
+          emit_simple Gate.Xor [ acc; x ] t;
+          go t rest
+      in
+      let t0 = fresh out in
+      emit_simple Gate.Xor [ a; b ] t0;
+      go t0 rest
+    | _ -> assert false
+  in
+  for n = 0 to Netlist.size c - 1 do
+    let kind = Netlist.kind c n in
+    match kind with
+    | Gate.Input -> ()
+    | Gate.Dff ->
+      let d = name (Netlist.fanins c n).(0) in
+      Buffer.add_string buf (Printf.sprintf ".latch %s %s 2\n" d (name n))
+    | Gate.Xor | Gate.Xnor
+      when Array.length (Netlist.fanins c n) > max_parity_arity ->
+      emit_parity_chain kind
+        (Netlist.fanins c n |> Array.to_list |> List.map name)
+        (name n)
+    | kind ->
+      emit_simple kind
+        (Netlist.fanins c n |> Array.to_list |> List.map name)
+        (name n)
+  done;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let to_file ?strict c path =
+  Bist_resilience.Atomic_io.write_file ~path (to_string ?strict c)

@@ -1,0 +1,29 @@
+(** Serialization to BLIF, the inverse of {!Blif_parser}.
+
+    Every gate is emitted as the canonical cover {!Blif_parser}
+    recognizes back to the same primitive: AND / NAND as a single all-1
+    row, OR / NOR as one-hot rows, NOT / BUF as their one-input covers,
+    XOR / XNOR as the full parity cover (for arities up to 16 — wider
+    parity gates are decomposed into a chain of 2-input gates through
+    fresh [<output>$x<k>] nodes, which re-parses as that chain), CONST
+    covers as empty / bare-[1] [.names], and DFFs as [.latch d q 2]
+    (don't-care initial value: the netlist model starts from all-X).
+
+    Round-trip guarantee: for a circuit whose parity gates have arity
+    at most 16, [Blif_parser.parse_string ~name (to_string c)]
+    reproduces [c] up to the name sanitization below — same kinds,
+    fanins and port order — and serializations are stable across the
+    round trip.
+
+    Names outside the BLIF token grammar (whitespace, ['#'], leading
+    ['.'], trailing ['\\']) are renamed through {!Names.plan} exactly as
+    {!Bench_writer} does for [.bench], with each rename recorded in a
+    [# renamed:] header comment; [~strict:true] raises
+    {!Names.Invalid_name} instead. *)
+
+val to_string : ?strict:bool -> Netlist.t -> string
+(** [strict] defaults to [false] (sanitize). *)
+
+val to_file : ?strict:bool -> Netlist.t -> string -> unit
+(** Writes atomically via {!Bist_resilience.Atomic_io}, like
+    {!Bench_writer.to_file}. *)

@@ -1,0 +1,117 @@
+exception Invalid_name of { name : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_name { name; reason } ->
+      Some (Printf.sprintf "name %S cannot be serialized: %s" name reason)
+    | _ -> None)
+
+type format = Bench | Blif
+
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+
+(* Per-character legality; positional rules (BLIF's leading '.' and
+   trailing '\') are checked separately in [ok] and repaired separately
+   in [mangle]. *)
+let char_ok fmt c =
+  match fmt with
+  | Bench ->
+    (match c with
+     | '(' | ')' | ',' | '=' | '#' -> false
+     | c -> not (is_space c))
+  | Blif -> c <> '#' && not (is_space c)
+
+let all_chars_ok fmt s = not (String.exists (fun c -> not (char_ok fmt c)) s)
+
+let ok fmt s =
+  s <> ""
+  && all_chars_ok fmt s
+  &&
+  match fmt with
+  | Bench -> true
+  | Blif -> s.[0] <> '.' && s.[String.length s - 1] <> '\\'
+
+(* The reason strings double as user-facing diagnostics, so they name
+   the offending character rather than just "invalid". *)
+let reason fmt s =
+  if s = "" then "empty name"
+  else
+    match String.to_seq s |> Seq.find (fun c -> not (char_ok fmt c)) with
+    | Some c -> Printf.sprintf "contains %C" c
+    | None ->
+      if s.[0] = '.' then "starts with '.'" else "ends with '\\'"
+
+type plan = {
+  emitted : string array;
+  renamed : (Netlist.node * string * string) list;
+}
+
+let mangle fmt s =
+  if s = "" then "_"
+  else begin
+    let b = Bytes.of_string s in
+    for i = 0 to Bytes.length b - 1 do
+      if not (char_ok fmt (Bytes.get b i)) then Bytes.set b i '_'
+    done;
+    (match fmt with
+    | Bench -> ()
+    | Blif ->
+      if Bytes.get b 0 = '.' then Bytes.set b 0 '_';
+      if Bytes.get b (Bytes.length b - 1) = '\\' then
+        Bytes.set b (Bytes.length b - 1) '_');
+    Bytes.to_string b
+  end
+
+let plan fmt c =
+  let n = Netlist.size c in
+  let taken = Hashtbl.create (2 * n) in
+  for i = 0 to n - 1 do
+    let name = Netlist.name c i in
+    if ok fmt name then Hashtbl.replace taken name ()
+  done;
+  let emitted = Array.make n "" in
+  let renamed = ref [] in
+  for i = 0 to n - 1 do
+    let name = Netlist.name c i in
+    if ok fmt name then emitted.(i) <- name
+    else begin
+      let base = mangle fmt name in
+      let fresh =
+        if not (Hashtbl.mem taken base) then base
+        else begin
+          let k = ref 2 in
+          while Hashtbl.mem taken (Printf.sprintf "%s_%d" base !k) do
+            incr k
+          done;
+          Printf.sprintf "%s_%d" base !k
+        end
+      in
+      Hashtbl.replace taken fresh ();
+      emitted.(i) <- fresh;
+      renamed := (i, fresh, name) :: !renamed
+    end
+  done;
+  { emitted; renamed = List.rev !renamed }
+
+let out_name p n = p.emitted.(n)
+let renamed p = p.renamed
+
+let check_strict fmt c =
+  let n = Netlist.size c in
+  for i = 0 to n - 1 do
+    let name = Netlist.name c i in
+    if not (ok fmt name) then
+      raise (Invalid_name { name; reason = reason fmt name })
+  done
+
+let sanitize_token = mangle
+
+let comment_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if Char.code c < 0x20 || c = '\x7f' then
+        Buffer.add_string b (String.escaped (String.make 1 c))
+      else Buffer.add_char b c)
+    s;
+  Buffer.contents b

@@ -1,0 +1,56 @@
+(** Netlist-name hygiene shared by the serializers.
+
+    {!Netlist} accepts arbitrary strings as node names (the programmatic
+    {!Builder} never restricts them, and the BLIF frontend produces
+    whatever a synthesis tool emitted), but each on-disk format only
+    round-trips a subset: [.bench] names cannot contain whitespace,
+    parentheses, commas, ['='] or ['#']; BLIF tokens cannot contain
+    whitespace or ['#'] (comment start), end in ['\\'] (line
+    continuation) or start with ['.'] (directive prefix). A writer
+    facing a name outside its format either renames it (the default,
+    via {!plan}) or refuses with the typed {!Invalid_name} (the strict
+    path). *)
+
+exception Invalid_name of { name : string; reason : string }
+(** Raised by the strict writer paths for the first name the target
+    format cannot represent. *)
+
+type format = Bench | Blif
+
+val ok : format -> string -> bool
+(** Whether the format can round-trip this name verbatim. *)
+
+type plan
+(** A deterministic, collision-free renaming of the nodes whose names a
+    format cannot represent. Nodes with representable names keep them
+    verbatim. *)
+
+val plan : format -> Netlist.t -> plan
+(** Invalid names are mangled by replacing each offending character with
+    ['_'] (an empty name becomes ["_"]); a mangled name that collides
+    with a kept original or an earlier rename gets a ["_2"], ["_3"], ...
+    suffix. The result depends only on the circuit, never on ambient
+    state. *)
+
+val out_name : plan -> Netlist.node -> string
+(** The name to emit for this node. *)
+
+val renamed : plan -> (Netlist.node * string * string) list
+(** [(node, emitted, original)] for every renamed node, in node order —
+    what the writers record in header comments so the original names
+    survive in the artifact. *)
+
+val check_strict : format -> Netlist.t -> unit
+(** Raise {!Invalid_name} on the first (lowest-numbered) node whose name
+    the format cannot represent; return silently otherwise. *)
+
+val comment_escape : string -> string
+(** Make a string safe for a single-line [#] comment: control characters
+    (newlines included) are rendered as OCaml-style escapes. *)
+
+val sanitize_token : format -> string -> string
+(** The mangling step of {!plan} alone (no collision handling): replace
+    each character the format cannot represent with ['_'], repair BLIF's
+    positional rules, map the empty string to ["_"]. A valid name passes
+    through unchanged. Used for free-standing tokens such as the BLIF
+    [.model] name, which live outside the node namespace. *)

@@ -11,19 +11,15 @@ type outcome = Finished of string | Preempted
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad_job m)) fmt
 
-(* Jobs name circuits; the daemon resolves registry and teaching names
-   only — a job spec is data from the network, and letting it open
+(* Jobs name circuits; the daemon resolves known names only (registry,
+   teaching, workloads — Loader.find_named, which never touches the
+   filesystem). A job spec is data from the network, and letting it open
    arbitrary server-side file paths would be both a correctness hazard
    (client and server filesystems differ) and an information leak. *)
 let resolve_circuit spec =
-  match Bist_bench.Registry.find spec with
-  | Some entry -> entry.circuit ()
-  | None ->
-    (match spec with
-    | "counter3" -> Bist_bench.Teaching.counter3 ()
-    | "shift4" -> Bist_bench.Teaching.shift4 ()
-    | "parity_fsm" -> Bist_bench.Teaching.parity_fsm ()
-    | _ -> bad "unknown circuit %S (registry and teaching names only)" spec)
+  match Bist_bench.Loader.find_named spec with
+  | Some circuit -> circuit
+  | None -> bad "unknown circuit %S (registry, teaching and workload names only)" spec
 
 let fingerprint_of circuit =
   Bist_resilience.Crc32.string (Bist_circuit.Bench_writer.to_string circuit)

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# blif-smoke: end-to-end gate for the BLIF frontend (DESIGN.md
+# section 14).
+#
+# Four checks, all deterministic:
+#   1. Every checked-in examples/*.blif parses (`bistgen stats`), so the
+#      corpus — Yosys cell soup, multi-.model flattening, cover
+#      decomposition — stays live as the parser evolves.
+#   2. The Yosys-flavoured s27_yosys.blif runs the real pipeline
+#      unmodified: lint (within the global warning budget) and a short
+#      tgen with nonzero coverage.
+#   3. Format equivalence: one registry circuit is converted to both
+#      .bench and .blif, the same generated sequence is fault-simulated
+#      against each, and the per-time-unit detection tables must be
+#      byte-identical — the BLIF round trip may rename nothing and
+#      reorder nothing that the fault machinery can observe.
+#   4. Check 3's tables are reproduced bit-for-bit with BIST_JOBS=2
+#      (the sharded parallel path, DESIGN.md section 8).
+#
+# Run from the repo root (the Makefile does): ./scripts/blif_smoke.sh
+
+set -u
+
+BISTGEN=_build/default/bin/bistgen.exe
+LINT=_build/default/bin/lint.exe
+
+say()  { printf 'blif-smoke: %s\n' "$*"; }
+fail() { printf 'blif-smoke: FAIL: %s\n' "$*" >&2; exit 1; }
+
+dune build bin/bistgen.exe bin/lint.exe || fail "build failed"
+[ -x "$BISTGEN" ] || fail "missing $BISTGEN"
+[ -x "$LINT" ]    || fail "missing $LINT"
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+# --- 1. the whole corpus parses --------------------------------------
+
+n=0
+for f in examples/*.blif; do
+  out=$("$BISTGEN" stats "$f" 2>&1) || fail "stats $f exited nonzero: $out"
+  n=$((n + 1))
+done
+[ "$n" -ge 4 ] || fail "expected >= 4 corpus files, found $n"
+say "corpus: $n .blif files parse"
+
+# --- 2. a Yosys-style netlist runs lint + tgen unmodified ------------
+
+out=$("$LINT" examples/s27_yosys.blif --quiet --max-warnings 8 2>&1); st=$?
+[ $st -eq 0 ] || fail "lint s27_yosys.blif exited $st: $out"
+
+out=$("$BISTGEN" tgen examples/s27_yosys.blif --compact-trials 20 \
+        --directed 4 -o "$work/t0.seq" 2>&1); st=$?
+[ $st -eq 0 ] || fail "tgen s27_yosys.blif exited $st: $out"
+grep -Eq 'detects [1-9][0-9]* / ' <<<"$out" \
+  || fail "tgen reported zero coverage: $out"
+say "s27_yosys.blif: lint clean, tgen covers faults"
+
+# --- 3. .bench and .blif forms of one circuit are fault-equivalent ---
+
+"$BISTGEN" convert s27 -o "$work/s27.bench" || fail "convert to .bench failed"
+"$BISTGEN" convert s27 -o "$work/s27.blif"  || fail "convert to .blif failed"
+"$BISTGEN" tgen "$work/s27.bench" --compact-trials 20 -o "$work/s27.seq" \
+  >/dev/null 2>&1 || fail "tgen on converted .bench failed"
+
+table_of() { # $1 = circuit file, $2 = output table
+  "$BISTGEN" faultsim "$1" --seq "$work/s27.seq" --table >"$2" \
+    || fail "faultsim $1 failed"
+}
+
+table_of "$work/s27.bench" "$work/table.bench"
+table_of "$work/s27.blif"  "$work/table.blif"
+cmp -s "$work/table.bench" "$work/table.blif" \
+  || fail ".bench vs .blif fault tables differ (sequential)"
+say "fault tables identical across formats (sequential)"
+
+# --- 4. and bit-identical again under the parallel path --------------
+
+BIST_JOBS=2 table_of "$work/s27.bench" "$work/table.bench.p"
+BIST_JOBS=2 table_of "$work/s27.blif"  "$work/table.blif.p"
+cmp -s "$work/table.bench.p" "$work/table.blif.p" \
+  || fail ".bench vs .blif fault tables differ (BIST_JOBS=2)"
+cmp -s "$work/table.bench" "$work/table.bench.p" \
+  || fail "sequential vs parallel fault tables differ"
+say "fault tables identical across formats (BIST_JOBS=2)"
+
+say "PASS"

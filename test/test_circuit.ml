@@ -249,6 +249,142 @@ let test_builder_forward_refs () =
   let c = Bist_circuit.Builder.finalize b in
   Alcotest.(check int) "resolved" 2 (Netlist.num_inputs c)
 
+(* Writer name hygiene *)
+
+module Names = Bist_circuit.Names
+module Writer = Bist_circuit.Bench_writer
+
+(* A small fixed-shape circuit over arbitrary (possibly hostile) signal
+   names; the "|i" suffix guarantees distinctness without defusing the
+   hostility. *)
+let hostile_circuit names =
+  let nm = Array.mapi (fun i s -> Printf.sprintf "%s|%d" s i) names in
+  let b = Bist_circuit.Builder.create ~name:"hostile" in
+  Bist_circuit.Builder.add_input b nm.(0);
+  Bist_circuit.Builder.add_input b nm.(1);
+  Bist_circuit.Builder.add_gate b ~output:nm.(2) Gate.And [ nm.(0); nm.(1) ];
+  Bist_circuit.Builder.add_gate b ~output:nm.(3) Gate.Dff [ nm.(2) ];
+  Bist_circuit.Builder.add_output b nm.(3);
+  Bist_circuit.Builder.finalize b
+
+let contains_substring text sub =
+  let n = String.length sub in
+  let rec find i =
+    i + n <= String.length text
+    && (String.sub text i n = sub || find (i + 1))
+  in
+  find 0
+
+(* Comment lines don't survive a reparse (the rename records are
+   comments), so textual idempotence is: netlist content stable
+   immediately, full text a fixpoint from the first reparse on. *)
+let netlist_lines text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+let test_writer_sanitizes () =
+  let c = hostile_circuit [| "a b"; "c(d)"; "e,f=#"; "ok" |] in
+  let text = Writer.to_string c in
+  Alcotest.(check bool) "rename recorded" true
+    (contains_substring text "# renamed:");
+  let c2 = Parser.parse_string ~name:"hostile" text in
+  Alcotest.(check int) "same size" (Netlist.size c) (Netlist.size c2);
+  let text2 = Writer.to_string c2 in
+  Alcotest.(check (list string)) "content stable"
+    (netlist_lines text) (netlist_lines text2);
+  Alcotest.(check string) "fixpoint after one reparse" text2
+    (Writer.to_string (Parser.parse_string ~name:"hostile" text2));
+  (* Originals survive in header comments. *)
+  Alcotest.(check bool) "original name in comment" true
+    (contains_substring text "was \"a b|0\"")
+
+let test_writer_sanitize_collisions () =
+  (* "a b" and "a(b" both mangle to "a_b", which is also taken by a
+     valid node: deterministic _2/_3 suffixes, no collisions. *)
+  let b = Bist_circuit.Builder.create ~name:"col" in
+  Bist_circuit.Builder.add_input b "a b";
+  Bist_circuit.Builder.add_input b "a(b";
+  Bist_circuit.Builder.add_input b "a_b";
+  Bist_circuit.Builder.add_gate b ~output:"y" Gate.And [ "a b"; "a(b" ];
+  Bist_circuit.Builder.add_output b "y";
+  let c = Bist_circuit.Builder.finalize b in
+  let plan = Names.plan Names.Bench c in
+  let emitted =
+    List.sort_uniq compare
+      (List.init (Netlist.size c) (Names.out_name plan))
+  in
+  Alcotest.(check int) "all names distinct" (Netlist.size c)
+    (List.length emitted);
+  let renames = List.map (fun (_, e, _) -> e) (Names.renamed plan) in
+  Alcotest.(check (list string)) "deterministic suffixes"
+    [ "a_b_2"; "a_b_3" ] renames
+
+let test_writer_strict () =
+  let c = hostile_circuit [| "a b"; "x"; "y"; "z" |] in
+  (match Writer.to_string ~strict:true c with
+  | (_ : string) -> Alcotest.fail "expected Invalid_name"
+  | exception Names.Invalid_name { name; _ } ->
+    Alcotest.(check string) "offender" "a b|0" name);
+  let ok = hostile_circuit [| "a"; "x"; "y"; "z" |] in
+  Alcotest.(check bool) "valid names pass strict" true
+    (String.length (Writer.to_string ~strict:true ok) > 0)
+
+let test_writer_header_newline () =
+  let b = Bist_circuit.Builder.create ~name:"evil\nINPUT(zz)" in
+  Bist_circuit.Builder.add_input b "a";
+  Bist_circuit.Builder.add_gate b ~output:"y" Gate.Buf [ "a" ];
+  Bist_circuit.Builder.add_output b "y";
+  let c = Bist_circuit.Builder.finalize b in
+  let text = Writer.to_string c in
+  (* The name is cut at the newline: no line of the output smuggles in
+     an INPUT statement. *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "no injected INPUT(zz)" false
+        (String.equal line "INPUT(zz)"))
+    (String.split_on_char '\n' text);
+  let c2 = Parser.parse_string ~name:"evil" text in
+  Alcotest.(check int) "still one input" 1 (Netlist.num_inputs c2)
+
+let test_writer_atomic_to_file () =
+  let path = Filename.temp_file "bw" ".bench" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c = Bist_bench.S27.circuit () in
+      Writer.to_file c path;
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) "file matches to_string" (Writer.to_string c)
+        text)
+
+let hostile_name_gen =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl
+      [ ' '; '('; ')'; ','; '='; '#'; '\t'; '\n'; '$'; '.'; '\\'; '|';
+        'a'; 'Z'; '0'; '_'; '['; ']' ])
+      (int_range 0 6))
+
+let test_hostile_roundtrip =
+  Testutil.qcheck
+    (QCheck.Test.make
+       ~name:"sanitized writer output reparses to the same serialization"
+       ~count:200
+       (QCheck.make
+          QCheck.Gen.(array_size (return 4) hostile_name_gen))
+       (fun names ->
+         let c = hostile_circuit names in
+         let text = Writer.to_string c in
+         let c2 = Parser.parse_string ~name:"hostile" text in
+         let text2 = Writer.to_string c2 in
+         netlist_lines text = netlist_lines text2
+         && String.equal text2
+              (Writer.to_string (Parser.parse_string ~name:"hostile" text2))))
+
 let suite =
   [
     Alcotest.test_case "gate eval" `Quick test_gate_eval;
@@ -267,4 +403,14 @@ let suite =
     Alcotest.test_case "stats" `Quick test_stats;
     test_netlist_invariants;
     Alcotest.test_case "builder forward refs" `Quick test_builder_forward_refs;
+    Alcotest.test_case "writer sanitizes hostile names" `Quick
+      test_writer_sanitizes;
+    Alcotest.test_case "sanitize collisions deterministic" `Quick
+      test_writer_sanitize_collisions;
+    Alcotest.test_case "strict writer refuses" `Quick test_writer_strict;
+    Alcotest.test_case "header newline truncated" `Quick
+      test_writer_header_newline;
+    Alcotest.test_case "to_file atomic write" `Quick
+      test_writer_atomic_to_file;
+    test_hostile_roundtrip;
   ]

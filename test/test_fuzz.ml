@@ -133,8 +133,89 @@ let test_pristine_sources_parse () =
           (Printexc.to_string exn))
     (sources ())
 
+(* Same harness over the BLIF frontend: the checked-in corpus plus
+   writer output as seeds, Blif_parser.Parse_error the only permitted
+   rejection. *)
+
+module Blif_parser = Bist_circuit.Blif_parser
+module Blif_writer = Bist_circuit.Blif_writer
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let blif_corpus_files =
+  [ "counter3.blif"; "k12a.blif"; "pipeline_cells.blif"; "s27_yosys.blif" ]
+
+(* `dune runtest` runs from the test directory; `dune exec
+   test/test_main.exe` (make fuzz-smoke) from the repo root. *)
+let corpus_path f =
+  let candidates =
+    [ Filename.concat (Filename.concat ".." "examples") f;
+      Filename.concat "examples" f ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "BLIF corpus file %s not found" f
+
+let blif_sources () =
+  let corpus = List.map (fun f -> read_file (corpus_path f)) blif_corpus_files in
+  let written =
+    List.map
+      (fun circuit -> Blif_writer.to_string (circuit ()))
+      [
+        (fun () -> Bist_bench.Registry.s27.Bist_bench.Registry.circuit ());
+        Bist_bench.Teaching.gray3;
+      ]
+  in
+  corpus @ written
+
+let test_blif_pristine_sources_parse () =
+  List.iteri
+    (fun i src ->
+      match Blif_parser.parse_string ~name:(Printf.sprintf "src%d" i) src with
+      | (_ : Bist_circuit.Netlist.t) -> ()
+      | exception exn ->
+        Alcotest.failf "pristine BLIF source %d failed to parse: %s" i
+          (Printexc.to_string exn))
+    (blif_sources ())
+
+let test_blif_fuzz_parse () =
+  let sources = Array.of_list (blif_sources ()) in
+  let rng = Rng.create seed in
+  let total = ref 0 and parsed = ref 0 and rejected = ref 0 in
+  Array.iter
+    (fun src ->
+      for i = 1 to mutations_per_source do
+        incr total;
+        let text = mutant rng sources src in
+        match
+          Blif_parser.parse_string ~name:(Printf.sprintf "fuzz%d" i) text
+        with
+        | (_ : Bist_circuit.Netlist.t) -> incr parsed
+        | exception Blif_parser.Parse_error _ -> incr rejected
+        | exception exn ->
+          Alcotest.failf
+            "BLIF mutant #%d escaped the parser with %s (input %d bytes):\n%s"
+            !total (Printexc.to_string exn) (String.length text)
+            (if String.length text > 400 then String.sub text 0 400 ^ "..."
+             else text)
+      done)
+    sources;
+  Alcotest.(check bool)
+    (Printf.sprintf "ran %d mutants (>= 500)" !total)
+    true (!total >= 500);
+  Alcotest.(check bool) "some mutants were rejected" true (!rejected > 0);
+  Alcotest.(check bool) "some mutants still parsed" true (!parsed > 0)
+
 let suite =
   [
     Alcotest.test_case "pristine sources parse" `Quick test_pristine_sources_parse;
     Alcotest.test_case "mutants only raise Parse_error" `Quick test_fuzz_parse;
+    Alcotest.test_case "pristine BLIF sources parse" `Quick
+      test_blif_pristine_sources_parse;
+    Alcotest.test_case "BLIF mutants only raise Parse_error" `Quick
+      test_blif_fuzz_parse;
   ]

@@ -6,6 +6,7 @@ let () =
       ("ppsfp", Test_ppsfp.suite);
       ("logic", Test_logic.suite);
       ("circuit", Test_circuit.suite);
+      ("blif", Test_blif.suite);
       ("parser-errors", Test_parser_errors.suite);
       ("validate", Test_validate.suite);
       ("analyze", Test_analyze.suite);

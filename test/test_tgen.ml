@@ -83,7 +83,8 @@ let test_compaction_idempotent_coverage =
 let test_synth_matches_profile () =
   let p =
     { Bist_bench.Synth.name = "prof"; num_inputs = 5; num_outputs = 4;
-      num_ffs = 6; num_gates = 60; sync_fraction = 0.8; seed = 77 }
+      num_ffs = 6; num_gates = 60; sync_fraction = 0.8; seed = 77;
+      style = Bist_bench.Synth.Random }
   in
   let c = Bist_bench.Synth.generate p in
   Alcotest.(check int) "PIs exact" 5 (Bist_circuit.Netlist.num_inputs c);

@@ -55,6 +55,7 @@ let small_profile seed =
     num_gates = 20 + (seed mod 30);
     sync_fraction = 0.8;
     seed;
+    style = Bist_bench.Synth.Random;
   }
 
 let small_circuit seed = Bist_bench.Synth.generate (small_profile seed)
