@@ -1,13 +1,15 @@
 (* bistd: the crash-safe multi-tenant generation daemon and its client.
-   `serve` runs the daemon; `submit`, `ping`, `stats`, `shutdown` talk to
-   it; `chaos` is the fault-injection harness for the daemon itself —
-   truncated frames, garbage frames, pathologically slow clients — and
-   asserts the daemon keeps serving through all of them. *)
+   `serve` runs the daemon; `submit`, `ping`, `stats`, `shutdown` and
+   `quarantine` talk to it; `chaos` is the fault-injection harness for
+   the daemon itself — truncated frames, garbage frames, pathologically
+   slow clients, hostile netlist payloads — and asserts the daemon keeps
+   serving through all of them. *)
 
 open Cmdliner
 module Server = Bist_daemon.Server
 module Client = Bist_daemon.Client
 module Protocol = Bist_daemon.Protocol
+module Sandbox = Bist_daemon.Sandbox
 module Frame = Bist_daemon.Frame
 
 let err fmt = Printf.ksprintf (fun m -> Printf.eprintf "error: %s\n" m) fmt
@@ -15,7 +17,7 @@ let err fmt = Printf.ksprintf (fun m -> Printf.eprintf "error: %s\n" m) fmt
 (* ---------------------------------------------------------------- serve *)
 
 let serve host port workers queue per_tenant interval grace spool port_file
-    verbose =
+    worker_mem worker_cpu worker_nofile worker_fsize poison verbose =
   if workers < 1 then begin
     err "--workers must be >= 1 (got %d)" workers;
     exit 2
@@ -28,11 +30,24 @@ let serve host port workers queue per_tenant interval grace spool port_file
     err "--interval must be positive (got %g)" interval;
     exit 2
   end;
+  if poison < 1 then begin
+    err "--poison must be >= 1 (got %d)" poison;
+    exit 2
+  end;
+  (* 0 = leave that resource at the inherited limit. *)
+  let opt v = if v = 0 then None else if v > 0 then Some v else (
+    err "worker limits must be >= 0 (got %d)" v;
+    exit 2)
+  in
+  let sandbox =
+    { Sandbox.address_space_mb = opt worker_mem; cpu_seconds = opt worker_cpu;
+      open_files = opt worker_nofile; file_size_mb = opt worker_fsize }
+  in
   let cfg =
     { Server.default_config with
       host; port; max_workers = workers; queue_capacity = queue;
       per_tenant; checkpoint_interval = interval; term_grace = grace;
-      spool; verbose }
+      spool; sandbox; poison_threshold = poison; verbose }
   in
   let on_ready ~port =
     match port_file with
@@ -55,7 +70,40 @@ let with_client host port f =
     err "protocol: %s" msg;
     1
 
-let spec_of_args job circuit seed directed trials vectors_file count n =
+(* --payload FILE ships the netlist text itself instead of a server-side
+   name: the daemon carries the bytes opaquely and only the sandboxed
+   worker parses them. The format travels explicitly (picked here from
+   the file extension) because the server never inspects the text. *)
+let circuit_ref_of_args circuit payload =
+  match payload with
+  | None -> Protocol.Named circuit
+  | Some path ->
+    let format =
+      match String.lowercase_ascii (Filename.extension path) with
+      | ".bench" -> Protocol.Bench
+      | ".blif" -> Protocol.Blif
+      | ext ->
+        err "--payload %S has unsupported extension %S (supported: %s)" path
+          ext
+          (String.concat ", " Bist_bench.Loader.supported_extensions);
+        exit 2
+    in
+    let text =
+      match Bist_resilience.Atomic_io.read_file ~path with
+      | text -> text
+      | exception Sys_error msg ->
+        err "%s" msg;
+        exit 2
+    in
+    if String.length text > Protocol.max_netlist_bytes then begin
+      err "--payload %S is %d bytes; the daemon accepts at most %d" path
+        (String.length text) Protocol.max_netlist_bytes;
+      exit 2
+    end;
+    Protocol.Inline { name = Filename.basename path; format; text }
+
+let spec_of_args job circuit payload seed directed trials vectors_file count n =
+  let circuit = circuit_ref_of_args circuit payload in
   match job with
   | "tgen" -> Protocol.Tgen { circuit; seed; directed; trials }
   | "inject" -> Protocol.Inject { circuit; seed; count; n }
@@ -74,9 +122,11 @@ let spec_of_args job circuit seed directed trials vectors_file count n =
     err "unknown job kind %S (expected tgen, faultsim or inject)" other;
     exit 2
 
-let submit host port job circuit seed directed trials vectors_file count n
-    tenant deadline wait output =
-  let spec = spec_of_args job circuit seed directed trials vectors_file count n in
+let submit host port job circuit payload seed directed trials vectors_file
+    count n tenant deadline wait output =
+  let spec =
+    spec_of_args job circuit payload seed directed trials vectors_file count n
+  in
   (match deadline with
   | Some d when d <= 0.0 ->
     err "--deadline must be positive (got %g)" d;
@@ -98,6 +148,9 @@ let submit host port job circuit seed directed trials vectors_file count n
         | Result.Ok (id, Protocol.Failed { reason; _ }) ->
           err "job %d failed: %s" id reason;
           1
+        | Result.Ok (id, Protocol.Quarantined { reason; _ }) ->
+          err "job %d quarantined: %s" id reason;
+          1
         | Result.Ok (_, _) ->
           err "protocol: unexpected reply to Wait";
           1
@@ -115,13 +168,60 @@ let submit host port job circuit seed directed trials vectors_file count n
 
 let ping host port =
   with_client host port (fun c ->
-      match Client.request c Protocol.Ping with
-      | Protocol.Pong ->
-        print_endline "pong";
+      match Client.handshake c with
+      | Result.Ok version ->
+        Printf.printf "pong (protocol v%d)\n" version;
+        0
+      | Result.Error (server, client) ->
+        err "daemon speaks protocol v%d, this client speaks v%d" server client;
+        1)
+
+(* ----------------------------------------------------------- quarantine *)
+
+let quarantine_list host port =
+  with_client host port (fun c ->
+      match Client.request c Protocol.Quarantine_list with
+      | Protocol.Quarantine_report [] ->
+        print_endline "quarantine empty";
+        0
+      | Protocol.Quarantine_report entries ->
+        List.iter
+          (fun e ->
+            Printf.printf "job %d tenant=%s kind=%s circuit=%s crashes=%d: %s\n"
+              e.Protocol.id e.Protocol.tenant e.Protocol.job e.Protocol.circuit
+              e.Protocol.crashes e.Protocol.reason)
+          entries;
         0
       | _ ->
-        err "protocol: unexpected reply to Ping";
+        err "protocol: unexpected reply to Quarantine_list";
         1)
+
+let quarantine_release host port id =
+  with_client host port (fun c ->
+      match Client.request c (Protocol.Quarantine_release { id }) with
+      | Protocol.Accepted { id } ->
+        Printf.printf "released job %d\n" id;
+        0
+      | Protocol.Error { message } ->
+        err "%s" message;
+        1
+      | _ ->
+        err "protocol: unexpected reply to Quarantine_release";
+        1)
+
+let quarantine host port action id =
+  match (action, id) with
+  | "list", None -> quarantine_list host port
+  | "release", Some id -> quarantine_release host port id
+  | "release", None ->
+    err "quarantine release needs a job id";
+    exit 2
+  | "list", Some _ ->
+    err "quarantine list takes no job id";
+    exit 2
+  | other, _ ->
+    err "unknown quarantine action %S (expected list or release)" other;
+    exit 2
 
 let stats host port =
   with_client host port (fun c ->
@@ -165,7 +265,10 @@ let chaos_truncate host port =
   (* Half a frame, then a hard close: the decoder must flag the
      truncation and the daemon must drop only this client. *)
   let fd = raw_connect host port in
-  let frame = Frame.encode (Protocol.encode_request Protocol.Ping) in
+  let frame =
+    Frame.encode
+      (Protocol.encode_request (Protocol.Ping { version = Protocol.version }))
+  in
   write_all fd (String.sub frame 0 (String.length frame - 2));
   Unix.close fd
 
@@ -194,7 +297,10 @@ let chaos_slow host port =
   (* A valid Ping delivered one byte at a time with delays: the daemon
      must neither time us out incorrectly nor stall anyone else. *)
   let fd = raw_connect host port in
-  let frame = Frame.encode (Protocol.encode_request Protocol.Ping) in
+  let frame =
+    Frame.encode
+      (Protocol.encode_request (Protocol.Ping { version = Protocol.version }))
+  in
   String.iter
     (fun ch ->
       write_all fd (String.make 1 ch);
@@ -208,22 +314,76 @@ let chaos_slow host port =
   | None -> failwith "chaos: daemon closed on a slow but valid client");
   Unix.close fd
 
+let chaos_payload_bomb host port =
+  (* Three hostile payload shapes, each of which must yield a typed
+     rejection at the layer built to catch it — and touch no one else.
+
+     An over-cap payload dies in the protocol decoder (the declared
+     length prefix alone condemns it): typed Error, connection closed. *)
+  let submit_spec text format =
+    Protocol.Tgen
+      { circuit = Protocol.Inline { name = "bomb"; format; text };
+        seed = 1; directed = 0; trials = 1 }
+  in
+  let oversized = String.make (Protocol.max_netlist_bytes + 1) 'x' in
+  Client.with_connection ~host ~port (fun c ->
+      match
+        Client.request c
+          (Protocol.Submit
+             { tenant = "chaos"; deadline = None;
+               spec = submit_spec oversized Protocol.Bench })
+      with
+      | Protocol.Error _ -> ()
+      | _ -> failwith "chaos: oversized payload got a non-Error reply"
+      | exception Frame.Protocol_error _ ->
+        (* The daemon may close the hopeless client before the reply is
+           readable; survival is checked by the post-condition Ping. *)
+        ());
+  (* Garbage that fits the cap is admitted — the server does not parse
+     payloads — and must come back as the worker's typed Bad_job. *)
+  let expect_failed what text format =
+    Client.with_connection ~host ~port (fun c ->
+        match
+          Client.submit_and_wait c ~tenant:"chaos" (submit_spec text format)
+        with
+        | Result.Ok (_, Protocol.Failed _) -> ()
+        | Result.Ok (_, _) ->
+          failwith (Printf.sprintf "chaos: %s payload did not fail typedly" what)
+        | Result.Error _ ->
+          failwith
+            (Printf.sprintf "chaos: %s payload rejected at admission" what))
+  in
+  expect_failed "garbage" "THIS IS NOT(A, NETLIST" Protocol.Bench;
+  (* Mutually recursive .subckt models: elaboration must refuse the
+     cycle (typed parse error), not recurse forever in the worker. *)
+  expect_failed "recursive-subckt"
+    (String.concat "\n"
+       [ ".model a"; ".inputs x"; ".outputs y"; ".subckt b x=x y=y"; ".end";
+         ".model b"; ".inputs x"; ".outputs y"; ".subckt a x=x y=y"; ".end";
+         "" ])
+    Protocol.Blif
+
 let chaos host port mode =
   match
     (match mode with
     | "truncate" -> chaos_truncate host port
     | "garbage" -> chaos_garbage host port
     | "slow" -> chaos_slow host port
+    | "payload-bomb" -> chaos_payload_bomb host port
     | "all" ->
       chaos_truncate host port;
       chaos_garbage host port;
-      chaos_slow host port
+      chaos_slow host port;
+      chaos_payload_bomb host port
     | other ->
-      err "unknown chaos mode %S (expected truncate, garbage, slow, all)" other;
+      err
+        "unknown chaos mode %S (expected truncate, garbage, slow, \
+         payload-bomb, all)"
+        other;
       exit 2);
     (* The post-condition of every mode: the daemon still answers. *)
     Client.with_connection ~host ~port (fun c ->
-        Client.request c Protocol.Ping)
+        Client.request c (Protocol.Ping { version = Protocol.version }))
   with
   | Protocol.Pong ->
     Printf.printf "chaos %s: daemon survived\n" mode;
@@ -279,6 +439,26 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "port-file" ] ~docv:"FILE"
              ~doc:"Write the bound port here once listening (for scripts using --port 0).")
+  and worker_mem =
+    Arg.(value & opt int 2048
+         & info [ "worker-mem" ] ~docv:"MIB"
+             ~doc:"Worker RLIMIT_AS in MiB (0 = inherited limit).")
+  and worker_cpu =
+    Arg.(value & opt int 0
+         & info [ "worker-cpu" ] ~docv:"SECS"
+             ~doc:"Worker RLIMIT_CPU in seconds (0 = inherited limit).")
+  and worker_nofile =
+    Arg.(value & opt int 256
+         & info [ "worker-nofile" ] ~docv:"N"
+             ~doc:"Worker RLIMIT_NOFILE (0 = inherited limit).")
+  and worker_fsize =
+    Arg.(value & opt int 1024
+         & info [ "worker-fsize" ] ~docv:"MIB"
+             ~doc:"Worker RLIMIT_FSIZE in MiB (0 = inherited limit).")
+  and poison =
+    Arg.(value & opt int Server.default_config.Server.poison_threshold
+         & info [ "poison" ] ~docv:"N"
+             ~doc:"Crashes on distinct workers before a job is quarantined.")
   and verbose =
     Arg.(value & flag
          & info [ "v"; "verbose" ] ~doc:"Log supervision events to stderr.")
@@ -288,7 +468,8 @@ let serve_cmd =
        ~doc:"Run the daemon until SIGTERM/SIGINT or a shutdown request (second signal force-quits with exit 130)")
     Term.(
       const serve $ host_arg $ port_arg ~default:0 $ workers $ queue
-      $ per_tenant $ interval $ grace $ spool $ port_file $ verbose)
+      $ per_tenant $ interval $ grace $ spool $ port_file $ worker_mem
+      $ worker_cpu $ worker_nofile $ worker_fsize $ poison $ verbose)
 
 let submit_cmd =
   let job =
@@ -297,7 +478,12 @@ let submit_cmd =
   and circuit =
     Arg.(value & pos 1 string "s27"
          & info [] ~docv:"CIRCUIT"
-             ~doc:"Registry, teaching or workload circuit name.")
+             ~doc:"Registry, teaching or workload circuit name (ignored with $(b,--payload)).")
+  and payload =
+    Arg.(value & opt (some string) None
+         & info [ "payload" ] ~docv:"FILE"
+             ~doc:"Ship this .bench/.blif file's text as the job's circuit; \
+                   only the daemon's sandboxed worker parses it.")
   and seed =
     Arg.(value & opt int 1999 & info [ "seed" ] ~docv:"SEED" ~doc:"Job seed.")
   and directed =
@@ -334,9 +520,9 @@ let submit_cmd =
     (Cmd.info "submit"
        ~doc:"Submit a job; exits 1 with the typed reason if the daemon rejects it")
     Term.(
-      const submit $ host_arg $ port_arg ~default:7427 $ job $ circuit $ seed
-      $ directed $ trials $ vectors $ count $ n $ tenant $ deadline $ wait
-      $ output)
+      const submit $ host_arg $ port_arg ~default:7427 $ job $ circuit
+      $ payload $ seed $ directed $ trials $ vectors $ count $ n $ tenant
+      $ deadline $ wait $ output)
 
 let ping_cmd =
   Cmd.v (Cmd.info "ping" ~doc:"Round-trip liveness check")
@@ -352,11 +538,24 @@ let shutdown_cmd =
        ~doc:"Ask the daemon to drain: running jobs checkpoint and park")
     Term.(const shutdown $ host_arg $ port_arg ~default:7427)
 
+let quarantine_cmd =
+  let action =
+    Arg.(value & pos 0 string "list"
+         & info [] ~docv:"ACTION" ~doc:"list or release.")
+  and id =
+    Arg.(value & pos 1 (some int) None
+         & info [] ~docv:"ID" ~doc:"Job id (release only).")
+  in
+  Cmd.v
+    (Cmd.info "quarantine"
+       ~doc:"Inspect or release poison jobs the daemon has quarantined")
+    Term.(const quarantine $ host_arg $ port_arg ~default:7427 $ action $ id)
+
 let chaos_cmd =
   let mode =
     Arg.(value & pos 0 string "all"
          & info [] ~docv:"MODE"
-             ~doc:"Abuse to inflict: truncate, garbage, slow, or all.")
+             ~doc:"Abuse to inflict: truncate, garbage, slow, payload-bomb, or all.")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -370,7 +569,8 @@ let () =
   in
   let group =
     Cmd.group info
-      [ serve_cmd; submit_cmd; ping_cmd; stats_cmd; shutdown_cmd; chaos_cmd ]
+      [ serve_cmd; submit_cmd; ping_cmd; stats_cmd; shutdown_cmd;
+        quarantine_cmd; chaos_cmd ]
   in
   match Cmd.eval' ~catch:false ~term_err:2 group with
   | code -> exit code

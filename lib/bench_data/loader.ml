@@ -7,12 +7,25 @@ let () =
 
 let usage fmt = Printf.ksprintf (fun m -> raise (Usage_error m)) fmt
 
+let supported_extensions = [ ".bench"; ".blif" ]
+
+let supported () = String.concat ", " supported_extensions
+
 let load_file path =
   match String.lowercase_ascii (Filename.extension path) with
   | ".bench" -> Bist_circuit.Bench_parser.parse_file path
   | ".blif" -> Bist_circuit.Blif_parser.parse_file path
-  | "" -> usage "%S has no extension (expected .bench or .blif)" path
-  | ext -> usage "unsupported circuit format %S (expected .bench or .blif)" ext
+  | "" -> usage "%S has no extension (supported: %s)" path (supported ())
+  | ext ->
+    usage "%S has unsupported extension %S (supported: %s)" path ext
+      (supported ())
+
+type payload_format = Bench | Blif
+
+let parse_payload ~format ~name text =
+  match format with
+  | Bench -> Bist_circuit.Bench_parser.parse_string ~name text
+  | Blif -> Bist_circuit.Blif_parser.parse_string ~name text
 
 let teaching = function
   | "counter3" -> Some (Teaching.counter3 ())

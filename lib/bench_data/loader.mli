@@ -15,11 +15,24 @@ exception Usage_error of string
 (** The spec itself is wrong (not any parsed content): unsupported file
     extension, or a name that is neither a file nor a known circuit. *)
 
+val supported_extensions : string list
+(** The extensions {!load_file} dispatches on: [[".bench"; ".blif"]]. *)
+
 val load_file : string -> Bist_circuit.Netlist.t
 (** Parse a circuit file by extension ([.bench] / [.blif], case
-    insensitive). Raises {!Usage_error} for other extensions,
+    insensitive). Raises {!Usage_error} — naming the offending path and
+    the supported extensions — for other extensions, and
     [Bench_parser.Parse_error] / [Blif_parser.Parse_error] for
     malformed content. *)
+
+type payload_format = Bench | Blif
+
+val parse_payload :
+  format:payload_format -> name:string -> string -> Bist_circuit.Netlist.t
+(** Parse in-memory netlist text (a daemon payload job) without ever
+    touching the filesystem; [name] labels the circuit. Raises the
+    parser's own typed [Parse_error] on malformed content and nothing
+    else. *)
 
 val find_named : string -> Bist_circuit.Netlist.t option
 (** Known circuit names only — never touches the filesystem, which is

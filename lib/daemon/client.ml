@@ -20,6 +20,13 @@ let request t req =
   Frame.write_frame t.fd (Protocol.encode_request req);
   read_reply t
 
+let handshake t =
+  match request t (Protocol.Ping { version = Protocol.version }) with
+  | Protocol.Pong -> Result.Ok Protocol.version
+  | Protocol.Unsupported_version { server; client } ->
+    Result.Error (server, client)
+  | _ -> raise (Frame.Protocol_error "unexpected reply to Ping")
+
 let submit_and_wait t ~tenant ?deadline spec =
   match request t (Protocol.Submit { tenant; deadline; spec }) with
   | Protocol.Rejected { reason; message } -> Result.Error (reason, message)

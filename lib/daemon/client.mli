@@ -18,15 +18,20 @@ val request : t -> Protocol.request -> Protocol.response
 (** One round-trip. Raises {!Frame.Protocol_error} on a malformed or
     truncated reply. *)
 
+val handshake : t -> (int, int * int) result
+(** Ping with this build's {!Protocol.version}: [Ok version] if the
+    daemon speaks it, [Error (server, client)] from the daemon's typed
+    [Unsupported_version] refusal. *)
+
 val submit_and_wait :
   t ->
   tenant:string ->
   ?deadline:float ->
   Protocol.job_spec ->
   (int * Protocol.response, Protocol.reject_reason * string) result
-(** Submit, then wait for the terminal reply ([Result] or [Failed]) of
-    the accepted job; [Error] carries a typed admission rejection. The
-    returned [int] is the job id. *)
+(** Submit, then wait for the terminal reply ([Result], [Failed] or
+    [Quarantined]) of the accepted job; [Error] carries a typed
+    admission rejection. The returned [int] is the job id. *)
 
 val with_connection : host:string -> port:int -> (t -> 'a) -> 'a
 (** Connect, run, always close. *)

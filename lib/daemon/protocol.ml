@@ -1,26 +1,46 @@
 module Io = Bist_resilience.Checkpoint.Io
 
+let version = 2
+let max_netlist_bytes = 4 * 1024 * 1024
+let max_name_bytes = 4096
+
+type netlist_format = Bench | Blif
+
+let format_name = function Bench -> "bench" | Blif -> "blif"
+
+type circuit_ref =
+  | Named of string
+  | Inline of { name : string; format : netlist_format; text : string }
+
+let ref_name = function Named s -> s | Inline { name; _ } -> name
+let ref_is_payload = function Named _ -> false | Inline _ -> true
+
 type job_spec =
-  | Tgen of { circuit : string; seed : int; directed : int; trials : int }
-  | Faultsim of { circuit : string; vectors : string }
-  | Inject of { circuit : string; seed : int; count : int; n : int }
+  | Tgen of { circuit : circuit_ref; seed : int; directed : int; trials : int }
+  | Faultsim of { circuit : circuit_ref; vectors : string }
+  | Inject of { circuit : circuit_ref; seed : int; count : int; n : int }
 
 let spec_name = function
   | Tgen _ -> "tgen"
   | Faultsim _ -> "faultsim"
   | Inject _ -> "inject"
 
-let spec_circuit = function
+let spec_circuit_ref = function
   | Tgen { circuit; _ } | Faultsim { circuit; _ } | Inject { circuit; _ } ->
     circuit
 
+let spec_circuit spec = ref_name (spec_circuit_ref spec)
+let spec_is_payload spec = ref_is_payload (spec_circuit_ref spec)
+
 type request =
-  | Ping
+  | Ping of { version : int }
   | Submit of { tenant : string; deadline : float option; spec : job_spec }
   | Status of { id : int }
   | Wait of { id : int }
   | Stats
   | Shutdown
+  | Quarantine_list
+  | Quarantine_release of { id : int }
 
 type reject_reason = Queue_full | Tenant_quota | Draining
 
@@ -29,13 +49,25 @@ let reject_reason_name = function
   | Tenant_quota -> "tenant_quota"
   | Draining -> "draining"
 
+type quarantine_entry = {
+  id : int;
+  tenant : string;
+  job : string;
+  circuit : string;
+  crashes : int;
+  reason : string;
+}
+
 type response =
   | Pong
+  | Unsupported_version of { server : int; client : int }
   | Accepted of { id : int }
   | Rejected of { reason : reject_reason; message : string }
   | Job_status of { id : int; state : string; attempts : int }
   | Result of { id : int; output : string }
   | Failed of { id : int; reason : string }
+  | Quarantined of { id : int; reason : string }
+  | Quarantine_report of quarantine_entry list
   | Stats_report of string
   | Shutting_down
   | Error of { message : string }
@@ -58,22 +90,65 @@ let decoding f payload =
 let w_float w f = Io.i64 w (Int64.bits_of_float f)
 let r_float r = Int64.float_of_bits (Io.r_i64 r)
 
+(* A string read whose declared length is checked against a cap before
+   a byte of it is consumed (or allocated): an inline netlist payload
+   above the size cap is rejected by its length prefix alone, whatever
+   the enclosing frame managed to smuggle in. *)
+let r_capped_string ~cap ~what r =
+  let n = Io.r_u32 r in
+  if n > cap then bad "%s of %d bytes exceeds the %d-byte cap" what n cap;
+  Io.need r n;
+  let s = String.sub r.Io.data r.Io.pos n in
+  r.Io.pos <- r.Io.pos + n;
+  s
+
+(* circuit references *)
+
+let format_tag = function Bench -> 0 | Blif -> 1
+
+let format_of_tag = function
+  | 0 -> Bench
+  | 1 -> Blif
+  | t -> bad "unknown netlist format tag %d" t
+
+let encode_ref w = function
+  | Named name ->
+    Io.u8 w 0;
+    Io.string w name
+  | Inline { name; format; text } ->
+    Io.u8 w 1;
+    Io.string w name;
+    Io.u8 w (format_tag format);
+    Io.string w text
+
+let decode_ref r =
+  match Io.r_u8 r with
+  | 0 -> Named (r_capped_string ~cap:max_name_bytes ~what:"circuit name" r)
+  | 1 ->
+    let name = r_capped_string ~cap:max_name_bytes ~what:"circuit name" r in
+    let format = format_of_tag (Io.r_u8 r) in
+    let text =
+      r_capped_string ~cap:max_netlist_bytes ~what:"inline netlist payload" r
+    in
+    Inline { name; format; text }
+  | t -> bad "unknown circuit reference tag %d" t
+
 (* job_spec *)
 
 let encode_spec w = function
   | Tgen { circuit; seed; directed; trials } ->
     Io.u8 w 0;
-    Io.string w circuit;
+    encode_ref w circuit;
     Io.u32 w seed;
     Io.u32 w directed;
     Io.u32 w trials
   | Faultsim { circuit; vectors } ->
     Io.u8 w 1;
-    Io.string w circuit;
+    encode_ref w circuit;
     Io.string w vectors
   | Inject { circuit; seed; count; n } ->
     Io.u8 w 2;
-    Io.string w circuit;
+    encode_ref w circuit;
     Io.u32 w seed;
     Io.u32 w count;
     Io.u32 w n
@@ -81,17 +156,17 @@ let encode_spec w = function
 let decode_spec r =
   match Io.r_u8 r with
   | 0 ->
-    let circuit = Io.r_string r in
+    let circuit = decode_ref r in
     let seed = Io.r_u32 r in
     let directed = Io.r_u32 r in
     let trials = Io.r_u32 r in
     Tgen { circuit; seed; directed; trials }
   | 1 ->
-    let circuit = Io.r_string r in
+    let circuit = decode_ref r in
     let vectors = Io.r_string r in
     Faultsim { circuit; vectors }
   | 2 ->
-    let circuit = Io.r_string r in
+    let circuit = decode_ref r in
     let seed = Io.r_u32 r in
     let count = Io.r_u32 r in
     let n = Io.r_u32 r in
@@ -103,7 +178,9 @@ let decode_spec r =
 let encode_request req =
   let w = Io.writer () in
   (match req with
-  | Ping -> Io.u8 w 0
+  | Ping { version } ->
+    Io.u8 w 0;
+    Io.u32 w version
   | Submit { tenant; deadline; spec } ->
     Io.u8 w 1;
     Io.string w tenant;
@@ -116,15 +193,25 @@ let encode_request req =
     Io.u8 w 3;
     Io.u32 w id
   | Stats -> Io.u8 w 4
-  | Shutdown -> Io.u8 w 5);
+  | Shutdown -> Io.u8 w 5
+  | Quarantine_list -> Io.u8 w 6
+  | Quarantine_release { id } ->
+    Io.u8 w 7;
+    Io.u32 w id);
   Io.contents w
 
 let decode_request =
   decoding (fun kind r ->
       match kind with
-      | 0 -> Ping
+      | 0 ->
+        (* A v1 Ping has no body; its absence *is* the version claim.
+           This is the one legacy form still decoded, so an old client
+           reaches the typed Unsupported_version reply instead of a
+           protocol error. *)
+        let version = if Io.at_end r then 1 else Io.r_u32 r in
+        Ping { version }
       | 1 ->
-        let tenant = Io.r_string r in
+        let tenant = r_capped_string ~cap:max_name_bytes ~what:"tenant name" r in
         let deadline = Io.r_option r r_float in
         let spec = decode_spec r in
         (match deadline with
@@ -136,6 +223,8 @@ let decode_request =
       | 3 -> Wait { id = Io.r_u32 r }
       | 4 -> Stats
       | 5 -> Shutdown
+      | 6 -> Quarantine_list
+      | 7 -> Quarantine_release { id = Io.r_u32 r }
       | k -> bad "unknown request kind %d" k)
 
 (* responses *)
@@ -147,6 +236,23 @@ let reason_of_tag = function
   | 1 -> Tenant_quota
   | 2 -> Draining
   | t -> bad "unknown reject reason tag %d" t
+
+let encode_entry w { id; tenant; job; circuit; crashes; reason } =
+  Io.u32 w id;
+  Io.string w tenant;
+  Io.string w job;
+  Io.string w circuit;
+  Io.u32 w crashes;
+  Io.string w reason
+
+let decode_entry r =
+  let id = Io.r_u32 r in
+  let tenant = Io.r_string r in
+  let job = Io.r_string r in
+  let circuit = Io.r_string r in
+  let crashes = Io.r_u32 r in
+  let reason = Io.r_string r in
+  { id; tenant; job; circuit; crashes; reason }
 
 let encode_response resp =
   let w = Io.writer () in
@@ -178,7 +284,18 @@ let encode_response resp =
   | Shutting_down -> Io.u8 w 7
   | Error { message } ->
     Io.u8 w 8;
-    Io.string w message);
+    Io.string w message
+  | Unsupported_version { server; client } ->
+    Io.u8 w 9;
+    Io.u32 w server;
+    Io.u32 w client
+  | Quarantined { id; reason } ->
+    Io.u8 w 10;
+    Io.u32 w id;
+    Io.string w reason
+  | Quarantine_report entries ->
+    Io.u8 w 11;
+    Io.list w encode_entry entries);
   Io.contents w
 
 let decode_response =
@@ -206,4 +323,13 @@ let decode_response =
       | 6 -> Stats_report (Io.r_string r)
       | 7 -> Shutting_down
       | 8 -> Error { message = Io.r_string r }
+      | 9 ->
+        let server = Io.r_u32 r in
+        let client = Io.r_u32 r in
+        Unsupported_version { server; client }
+      | 10 ->
+        let id = Io.r_u32 r in
+        let reason = Io.r_string r in
+        Quarantined { id; reason }
+      | 11 -> Quarantine_report (Io.r_list r decode_entry)
       | k -> bad "unknown response kind %d" k)

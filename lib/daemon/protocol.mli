@@ -3,41 +3,94 @@
     Messages travel one per {!Frame}; the first payload byte is the
     message kind, the rest is a {!Bist_resilience.Checkpoint.Io} body.
     Decoding is bounds-checked end to end: any malformed payload — a
-    garbage kind byte, a truncated body, trailing junk — raises
+    garbage kind byte, a truncated body, trailing junk, an inline
+    netlist whose length prefix exceeds {!max_netlist_bytes} — raises
     {!Frame.Protocol_error}, never anything else. That single-exception
     contract is what the seeded-mutation fuzz suite enforces and what
     lets the daemon answer garbage with a typed [Error] reply instead of
     crashing.
+
+    {b Versioning.} This is protocol {!version} 2. The version is
+    negotiated on [Ping]: a client states the version it speaks, and a
+    server that does not speak it answers with the typed
+    [Unsupported_version] instead of [Pong]. A v1 [Ping] (the PR 6 wire
+    form, which carried no body) decodes as [Ping {version = 1}], so
+    old clients reach the typed reply rather than a protocol error.
+    Version 2 added the version field itself, inline netlist payloads
+    ({!circuit_ref}), and the quarantine requests/responses.
 
     The protocol is strict request/response over a connection: a client
     sends one request frame and reads reply frames. Every request gets
     exactly one reply, except [Wait], whose reply is deferred until the
     awaited job completes. *)
 
+val version : int
+(** The protocol generation this build speaks (2). *)
+
+val max_netlist_bytes : int
+(** Byte cap on an inline netlist payload (4 MiB — far above any real
+    netlist this system targets, far below the 16 MiB frame cap). The
+    cap is enforced on the {e declared length prefix} during decoding,
+    before the payload bytes are copied anywhere. *)
+
+val max_name_bytes : int
+(** Byte cap on names arriving from the network (circuit and tenant
+    names feed logs, metrics keys and spool state). *)
+
+type netlist_format = Bench | Blif
+
+val format_name : netlist_format -> string
+(** ["bench"] / ["blif"]. *)
+
+(** How a job names the circuit it runs on. The daemon {e never} parses
+    an inline payload: the bytes are carried opaquely through the queue
+    and the spool manifest, and only the forked worker — inside its
+    {!Sandbox} rlimits — hands them to a parser. *)
+type circuit_ref =
+  | Named of string
+      (** A registry / teaching / workload circuit name, resolved
+          server-side without touching the filesystem (the PR 6
+          names-only posture). *)
+  | Inline of { name : string; format : netlist_format; text : string }
+      (** Untrusted netlist text shipped in the job spec. [name] labels
+          the circuit in reports and checkpoints (for a file payload,
+          its basename). *)
+
+val ref_name : circuit_ref -> string
+val ref_is_payload : circuit_ref -> bool
+
 type job_spec =
-  | Tgen of { circuit : string; seed : int; directed : int; trials : int }
+  | Tgen of { circuit : circuit_ref; seed : int; directed : int; trials : int }
       (** Generate + compact [T0]; the result payload is the sequence
           text, byte-identical to [bistgen tgen -o FILE]. *)
-  | Faultsim of { circuit : string; vectors : string }
+  | Faultsim of { circuit : circuit_ref; vectors : string }
       (** Fault-simulate the sequence (text form, one vector per line);
           the result payload is the coverage summary line. *)
-  | Inject of { circuit : string; seed : int; count : int; n : int }
+  | Inject of { circuit : circuit_ref; seed : int; count : int; n : int }
       (** Run a hardened fault-injection campaign; the result payload is
           the campaign summary table. *)
 
 val spec_name : job_spec -> string
 (** ["tgen"] / ["faultsim"] / ["inject"]. *)
 
+val spec_circuit_ref : job_spec -> circuit_ref
 val spec_circuit : job_spec -> string
+val spec_is_payload : job_spec -> bool
 
 type request =
-  | Ping
+  | Ping of { version : int }
+      (** Liveness + version negotiation: [Pong] iff the server speaks
+          [version], typed [Unsupported_version] otherwise. *)
   | Submit of { tenant : string; deadline : float option; spec : job_spec }
       (** [deadline] is a per-job wall-clock budget in seconds. *)
   | Status of { id : int }
   | Wait of { id : int }
   | Stats  (** Per-tenant metrics summary. *)
   | Shutdown  (** Graceful drain: running jobs checkpoint and park. *)
+  | Quarantine_list  (** Enumerate quarantined jobs. *)
+  | Quarantine_release of { id : int }
+      (** Operator action: re-admit a quarantined job at the front of
+          the queue with a fresh crash budget. *)
 
 type reject_reason =
   | Queue_full  (** The bounded admission queue is at capacity. *)
@@ -46,8 +99,20 @@ type reject_reason =
 
 val reject_reason_name : reject_reason -> string
 
+type quarantine_entry = {
+  id : int;
+  tenant : string;
+  job : string;  (** Job kind name: ["tgen"], ... *)
+  circuit : string;
+  crashes : int;  (** Distinct-worker crashes that tripped the gate. *)
+  reason : string;
+}
+
 type response =
   | Pong
+  | Unsupported_version of { server : int; client : int }
+      (** The version handshake failed; the connection stays usable but
+          the client should not proceed. *)
   | Accepted of { id : int }
   | Rejected of { reason : reject_reason; message : string }
       (** Typed backpressure: the job was {e not} admitted, and the
@@ -56,6 +121,11 @@ type response =
   | Job_status of { id : int; state : string; attempts : int }
   | Result of { id : int; output : string }
   | Failed of { id : int; reason : string }
+  | Quarantined of { id : int; reason : string }
+      (** The job crashed workers deterministically and was moved to the
+          spool-persisted quarantine; it will not run again until an
+          operator releases it. *)
+  | Quarantine_report of quarantine_entry list
   | Stats_report of string
   | Shutting_down
   | Error of { message : string }
@@ -71,5 +141,6 @@ val encode_spec : Bist_resilience.Checkpoint.Io.writer -> job_spec -> unit
 val decode_spec : Bist_resilience.Checkpoint.Io.reader -> job_spec
 (** The bare job-spec codec, reused by the daemon's crash-safe job
     manifest. [decode_spec] raises {!Frame.Protocol_error} on a garbage
-    kind and {!Bist_resilience.Checkpoint.Corrupt} on truncation (the
-    manifest reader converts both into "start with an empty queue"). *)
+    kind or an over-cap payload and
+    {!Bist_resilience.Checkpoint.Corrupt} on truncation (the manifest
+    reader converts both into "start with an empty queue"). *)

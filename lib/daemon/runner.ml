@@ -11,18 +11,50 @@ type outcome = Finished of string | Preempted
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad_job m)) fmt
 
-(* Jobs name circuits; the daemon resolves known names only (registry,
-   teaching, workloads — Loader.find_named, which never touches the
-   filesystem). A job spec is data from the network, and letting it open
-   arbitrary server-side file paths would be both a correctness hazard
-   (client and server filesystems differ) and an information leak. *)
-let resolve_circuit spec =
-  match Bist_bench.Loader.find_named spec with
-  | Some circuit -> circuit
-  | None -> bad "unknown circuit %S (registry, teaching and workload names only)" spec
+(* A named job resolves known names only (registry, teaching,
+   workloads — Loader.find_named, which never touches the filesystem). A
+   job spec is data from the network, and letting it open arbitrary
+   server-side file paths would be both a correctness hazard (client and
+   server filesystems differ) and an information leak. A payload job
+   parses the submitted bytes — and this function runs only in the
+   forked worker, inside its Sandbox rlimits, never in the server
+   process. *)
+let resolve_circuit = function
+  | Protocol.Named spec -> (
+    match Bist_bench.Loader.find_named spec with
+    | Some circuit -> circuit
+    | None ->
+      bad "unknown circuit %S (registry, teaching and workload names only)" spec)
+  | Protocol.Inline { name; format; text } -> (
+    if String.length text > Protocol.max_netlist_bytes then
+      (* The protocol decoder already enforces this cap; keeping it here
+         too means a worker handed bytes by any other path (a manifest
+         edited on disk) still refuses deterministically. *)
+      bad "netlist payload of %d bytes exceeds the %d-byte cap"
+        (String.length text) Protocol.max_netlist_bytes;
+    let fmt =
+      match format with
+      | Protocol.Bench -> Bist_bench.Loader.Bench
+      | Protocol.Blif -> Bist_bench.Loader.Blif
+    in
+    match Bist_bench.Loader.parse_payload ~format:fmt ~name text with
+    | circuit -> circuit
+    | exception Bist_circuit.Bench_parser.Parse_error { line; message } ->
+      bad "payload netlist %S line %d: %s" name line message
+    | exception Bist_circuit.Blif_parser.Parse_error { line; message } ->
+      bad "payload netlist %S line %d: %s" name line message)
 
-let fingerprint_of circuit =
-  Bist_resilience.Crc32.string (Bist_circuit.Bench_writer.to_string circuit)
+(* A named job is fingerprinted by its canonical bench text, so daemon
+   checkpoints stay interchangeable with CLI --checkpoint files. A
+   payload job is fingerprinted by the raw payload bytes: the identity
+   that migrates with the job is exactly the text the tenant submitted,
+   and a migrated worker re-parsing the same bytes resumes
+   bit-identically. *)
+let fingerprint_of cref circuit =
+  match cref with
+  | Protocol.Named _ ->
+    Bist_resilience.Crc32.string (Bist_circuit.Bench_writer.to_string circuit)
+  | Protocol.Inline { text; _ } -> Bist_resilience.Crc32.string text
 
 let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
 
@@ -67,7 +99,7 @@ let run_tgen ~obs ~checkpoint ~interval ~cancel ~circuit:spec ~seed ~directed
     ~trials =
   let circuit = resolve_circuit spec in
   let name = Bist_circuit.Netlist.circuit_name circuit in
-  let fingerprint = fingerprint_of circuit in
+  let fingerprint = fingerprint_of spec circuit in
   let universe = Bist_fault.Universe.collapsed circuit in
   (* Daemon jobs keep the SAT tail off: the job protocol predates it
      and the defaults must stay bit-identical. *)
@@ -126,7 +158,7 @@ let run_inject ~obs ~checkpoint ~interval ~cancel ~circuit:spec ~seed ~count ~n 
   if n < 1 then bad "inject n %d must be >= 1" n;
   let circuit = resolve_circuit spec in
   let name = Bist_circuit.Netlist.circuit_name circuit in
-  let fingerprint = fingerprint_of circuit in
+  let fingerprint = fingerprint_of spec circuit in
   let config = { Campaign.default_config with seed; count; n } in
   let resume0 =
     load_checkpoint ~kind:"inject" ~circuit:name ~fingerprint ~path:checkpoint

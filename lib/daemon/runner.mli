@@ -17,8 +17,19 @@
 
 exception Bad_job of string
 (** The spec can never run: unknown circuit, malformed vectors, invalid
-    parameters. Deterministic — retrying is pointless, so the daemon
-    fails the job permanently instead of burning its retry budget. *)
+    parameters, an inline payload that does not parse. Deterministic —
+    retrying is pointless, so the daemon fails the job permanently
+    instead of burning its retry budget.
+
+    Circuit resolution follows the {!Protocol.circuit_ref}: [Named]
+    resolves registry / teaching / workload names without touching the
+    filesystem; [Inline] parses the submitted netlist text. Payload
+    parsing happens {e only} here — in the forked worker, inside its
+    {!Sandbox} rlimits — never in the server process. A payload job's
+    checkpoint fingerprint is the CRC of the raw submitted bytes (a
+    named job keeps the canonical-bench CRC, staying interchangeable
+    with CLI [--checkpoint] files), so a migrated payload job resumes
+    bit-identically from whichever worker picks it up. *)
 
 type outcome =
   | Finished of string  (** The job's canonical output text. *)

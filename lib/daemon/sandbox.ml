@@ -1,0 +1,75 @@
+type resource = Address_space | Cpu_time | Open_files | File_size
+
+let tag = function
+  | Address_space -> 0
+  | Cpu_time -> 1
+  | Open_files -> 2
+  | File_size -> 3
+
+external getrlimit_stub : int -> int64 * int64 = "bistd_getrlimit"
+external setrlimit_stub : int -> int64 -> int64 -> unit = "bistd_setrlimit"
+
+let get r = getrlimit_stub (tag r)
+
+let set r value =
+  if value < 0L then ()
+  else begin
+    let _soft, hard = get r in
+    (* Clamp to the inherited hard limit: lowering is always permitted,
+       and asking for more than the jail already allows must not turn
+       into an EPERM crash of the worker before its job even starts. *)
+    let v = if hard < 0L then value else Int64.min value hard in
+    setrlimit_stub (tag r) v v
+  end
+
+type limits = {
+  address_space_mb : int option;
+  cpu_seconds : int option;
+  open_files : int option;
+  file_size_mb : int option;
+}
+
+let none =
+  { address_space_mb = None; cpu_seconds = None; open_files = None;
+    file_size_mb = None }
+
+let default =
+  { address_space_mb = Some 2048; cpu_seconds = None; open_files = Some 256;
+    file_size_mb = Some 1024 }
+
+let validate l =
+  let bad what v =
+    Result.Error (Printf.sprintf "sandbox %s limit %d must be >= 1" what v)
+  in
+  match l with
+  | { address_space_mb = Some v; _ } when v < 1 -> bad "address-space" v
+  | { cpu_seconds = Some v; _ } when v < 1 -> bad "cpu" v
+  | { open_files = Some v; _ } when v < 1 -> bad "open-files" v
+  | { file_size_mb = Some v; _ } when v < 1 -> bad "file-size" v
+  | l -> Result.Ok l
+
+let mib = 1024 * 1024
+
+let apply l =
+  (match validate l with
+  | Result.Ok _ -> ()
+  | Result.Error msg -> invalid_arg ("Sandbox.apply: " ^ msg));
+  let lim r = function
+    | None -> ()
+    | Some v -> set r (Int64.of_int v)
+  in
+  lim Address_space (Option.map (fun v -> v * mib) l.address_space_mb);
+  lim Cpu_time l.cpu_seconds;
+  lim Open_files l.open_files;
+  lim File_size (Option.map (fun v -> v * mib) l.file_size_mb)
+
+let describe l =
+  let opt unit = function
+    | None -> "unlimited"
+    | Some v -> Printf.sprintf "%d%s" v unit
+  in
+  Printf.sprintf "as=%s cpu=%s nofile=%s fsize=%s"
+    (opt "MiB" l.address_space_mb)
+    (opt "s" l.cpu_seconds)
+    (opt "" l.open_files)
+    (opt "MiB" l.file_size_mb)

@@ -1,0 +1,72 @@
+(** Worker-side resource jail for untrusted job payloads.
+
+    A payload job ships attacker-controlled netlist bytes, and the
+    daemon's defense in depth ends in the forked worker: the event loop
+    never parses a payload, the worker does — after calling {!apply} so
+    that a pathological SOP cover, a flattening blowup, or a plain
+    parser bug exhausts {e its own} rlimits and dies, taking nothing but
+    its job's current attempt with it. The supervisor sees an ordinary
+    worker death (an [Out_of_memory] exit, a SIGXCPU kill) and the
+    retry/quarantine machinery takes over.
+
+    The four limits used (all [setrlimit], soft = hard, clamped to the
+    inherited hard limit so {!apply} cannot fail with [EPERM]):
+
+    - [RLIMIT_AS] — address space; new heap mappings beyond the cap
+      fail, which OCaml surfaces as [Out_of_memory] (the minor-heap
+      reservation made before the fork is unaffected).
+    - [RLIMIT_CPU] — CPU seconds; exceeding it delivers SIGXCPU, whose
+      default action kills the worker.
+    - [RLIMIT_NOFILE] — new file descriptors beyond the cap fail.
+    - [RLIMIT_FSIZE] — a runaway result/checkpoint write gets SIGXFSZ.
+
+    Limits are applied {e after} [fork], in the child only: the daemon
+    process itself is never constrained. *)
+
+type resource =
+  | Address_space  (** [RLIMIT_AS], bytes. *)
+  | Cpu_time  (** [RLIMIT_CPU], seconds. *)
+  | Open_files  (** [RLIMIT_NOFILE], descriptors. *)
+  | File_size  (** [RLIMIT_FSIZE], bytes. *)
+
+val get : resource -> int64 * int64
+(** Current (soft, hard) limit; [-1L] means unlimited. Raises [Failure]
+    only on an OS-level error. *)
+
+val set : resource -> int64 -> unit
+(** Set soft = hard = [min value hard] (so lowering always succeeds;
+    raising past the inherited hard limit silently clamps instead of
+    failing with [EPERM]). [-1L] means "leave unlimited". Raises
+    [Failure] on an OS-level error. Irreversible for the calling
+    process — only ever call this in a forked worker child (or a test
+    child). *)
+
+(** The per-worker policy, in operator-friendly units. [None] leaves
+    that resource at the inherited limit. *)
+type limits = {
+  address_space_mb : int option;  (** [RLIMIT_AS], MiB. *)
+  cpu_seconds : int option;  (** [RLIMIT_CPU], seconds. *)
+  open_files : int option;  (** [RLIMIT_NOFILE], descriptors. *)
+  file_size_mb : int option;  (** [RLIMIT_FSIZE], MiB. *)
+}
+
+val none : limits
+(** No constraint on anything — the pre-sandbox worker behaviour. *)
+
+val default : limits
+(** The shipped worker policy: 2048 MiB address space (the OCaml 5
+    runtime reserves ~300 MiB of address space up front; legitimate
+    jobs on every registry circuit fit far below the cap), no CPU bound
+    (legitimate generation budgets vary too much for a universal
+    default), 256 descriptors, 1024 MiB file size. *)
+
+val validate : limits -> (limits, string) result
+(** Every present bound must be >= 1. *)
+
+val apply : limits -> unit
+(** Apply each present bound via {!set}. Raises [Failure] on an
+    OS-level error and [Invalid_argument] on a bound < 1. Call only in
+    a freshly forked worker child. *)
+
+val describe : limits -> string
+(** One line for logs: ["as=2048MiB cpu=unlimited nofile=256 fsize=1024MiB"]. *)

@@ -1,0 +1,67 @@
+/* setrlimit/getrlimit bindings for the bistd worker sandbox.
+ *
+ * The OCaml Unix library exposes neither call, and the daemon needs
+ * them in the forked worker child: a job parsing attacker-controlled
+ * netlist text must be able to blow up only itself.  Resources are
+ * identified by a small tag matching Sandbox.resource; limits travel
+ * as int64 with -1 encoding RLIM_INFINITY. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+
+#include <sys/resource.h>
+#include <errno.h>
+#include <string.h>
+
+static int resource_of_tag(int tag)
+{
+  switch (tag) {
+  case 0: return RLIMIT_AS;
+  case 1: return RLIMIT_CPU;
+  case 2: return RLIMIT_NOFILE;
+  case 3: return RLIMIT_FSIZE;
+  default: return -1;
+  }
+}
+
+static value limit_to_int64(rlim_t v)
+{
+  if (v == RLIM_INFINITY) return caml_copy_int64(-1);
+  return caml_copy_int64((int64_t) v);
+}
+
+static rlim_t limit_of_int64(int64_t v)
+{
+  if (v < 0) return RLIM_INFINITY;
+  return (rlim_t) v;
+}
+
+CAMLprim value bistd_getrlimit(value v_tag)
+{
+  CAMLparam1(v_tag);
+  CAMLlocal3(pair, soft, hard);
+  struct rlimit rl;
+  int res = resource_of_tag(Int_val(v_tag));
+  if (res < 0) caml_invalid_argument("Sandbox.get: unknown resource tag");
+  if (getrlimit(res, &rl) != 0) caml_failwith(strerror(errno));
+  soft = limit_to_int64(rl.rlim_cur);
+  hard = limit_to_int64(rl.rlim_max);
+  pair = caml_alloc_tuple(2);
+  Store_field(pair, 0, soft);
+  Store_field(pair, 1, hard);
+  CAMLreturn(pair);
+}
+
+CAMLprim value bistd_setrlimit(value v_tag, value v_soft, value v_hard)
+{
+  CAMLparam3(v_tag, v_soft, v_hard);
+  struct rlimit rl;
+  int res = resource_of_tag(Int_val(v_tag));
+  if (res < 0) caml_invalid_argument("Sandbox.set: unknown resource tag");
+  rl.rlim_cur = limit_of_int64(Int64_val(v_soft));
+  rl.rlim_max = limit_of_int64(Int64_val(v_hard));
+  if (setrlimit(res, &rl) != 0) caml_failwith(strerror(errno));
+  CAMLreturn(Val_unit);
+}

@@ -13,6 +13,8 @@ type config = {
   term_grace : float;
   backoff : Backoff.policy;
   spool : string;
+  sandbox : Sandbox.limits;
+  poison_threshold : int;
   verbose : bool;
 }
 
@@ -27,6 +29,12 @@ let default_config =
     term_grace = 5.0;
     backoff = Backoff.default;
     spool = "_build/bistd-spool";
+    sandbox = Sandbox.default;
+    (* Three crashes on three distinct workers: one below the default
+       retry budget, so a poison job is caught by the quarantine gate —
+       with its typed reply and operator release path — rather than
+       bleeding into a generic budget-exhausted failure. *)
+    poison_threshold = 3;
     verbose = false;
   }
 
@@ -39,6 +47,7 @@ type job_state =
   | Waiting_retry of { ready_at : float }
   | Done of { output : string }
   | Failed of { reason : string }
+  | Quarantined of { reason : string }
 
 type job = {
   id : int;
@@ -47,8 +56,10 @@ type job = {
   submitted : float;
   deadline_at : float option;  (** Absolute epoch seconds. *)
   mutable state : job_state;
-  mutable attempts : int;  (** Worker crashes so far. *)
+  mutable attempts : int;  (** Dispatches that did not finish. *)
   mutable migrations : int;  (** Re-dispatches that resumed a checkpoint. *)
+  mutable crashes : int;  (** Crashes on distinct workers (poison gate). *)
+  mutable crashed_pids : int list;  (** The distinct workers in question. *)
   mutable deadline_fired : bool;
   mutable waiters : Unix.file_descr list;
 }
@@ -59,6 +70,7 @@ let state_name = function
   | Waiting_retry _ -> "waiting_retry"
   | Done _ -> "done"
   | Failed _ -> "failed"
+  | Quarantined _ -> "quarantined"
 
 type client = {
   fd : Unix.file_descr;
@@ -112,13 +124,20 @@ let read_file_opt path =
 (*                                                                     *)
 (* Every admission-state change rewrites spool/manifest atomically: the *)
 (* set of unfinished jobs (queued, running, waiting for retry) in       *)
-(* submission order, plus the id counter. A daemon that dies — even     *)
-(* SIGKILL — re-admits exactly these jobs on restart, and their         *)
-(* checkpoints let them resume rather than restart.                     *)
+(* submission order, the quarantined jobs, and the id counter. A daemon *)
+(* that dies — even SIGKILL — re-admits exactly the unfinished jobs on  *)
+(* restart (their checkpoints let them resume rather than restart), and *)
+(* quarantined jobs come back quarantined: a poison payload must not    *)
+(* escape its cell by crashing the daemon around it.                    *)
+(*                                                                      *)
+(* Container version 2 (the fingerprint below): v1 manifests predate    *)
+(* payload circuit refs and quarantine state, so a v2 daemon refuses    *)
+(* them via the checkpoint Mismatch — logged as a version mismatch —    *)
+(* and starts with an empty queue instead of misreading old bytes.      *)
 
 let manifest_kind = "bistd"
 let manifest_circuit = "queue"
-let manifest_fingerprint = Bist_resilience.Crc32.string "bistd-manifest/1"
+let manifest_fingerprint = Bist_resilience.Crc32.string "bistd-manifest/2"
 let manifest_path t = Filename.concat t.cfg.spool "manifest"
 
 let pending_jobs t =
@@ -126,9 +145,16 @@ let pending_jobs t =
     (fun _ j acc ->
       match j.state with
       | Queued | Running _ | Waiting_retry _ -> j :: acc
-      | Done _ | Failed _ -> acc)
+      | Done _ | Failed _ | Quarantined _ -> acc)
     t.jobs []
   |> List.sort (fun a b -> compare a.id b.id)
+
+let quarantined_jobs t =
+  Hashtbl.fold
+    (fun _ j acc ->
+      match j.state with Quarantined { reason } -> (j, reason) :: acc | _ -> acc)
+    t.jobs []
+  |> List.sort (fun (a, _) (b, _) -> compare a.id b.id)
 
 let write_manifest t =
   let w = Io.writer () in
@@ -140,8 +166,18 @@ let write_manifest t =
       Protocol.encode_spec w j.spec;
       Io.u32 w j.attempts;
       Io.u32 w j.migrations;
+      Io.u32 w j.crashes;
       Io.option w (fun w f -> Io.i64 w (Int64.bits_of_float f)) j.deadline_at)
     (pending_jobs t);
+  Io.list w
+    (fun w (j, reason) ->
+      Io.u32 w j.id;
+      Io.string w j.tenant;
+      Protocol.encode_spec w j.spec;
+      Io.u32 w j.attempts;
+      Io.u32 w j.crashes;
+      Io.string w reason)
+    (quarantined_jobs t);
   Checkpoint.save ~path:(manifest_path t)
     { Checkpoint.kind = manifest_kind; circuit = manifest_circuit;
       fingerprint = manifest_fingerprint; payload = Io.contents w };
@@ -163,33 +199,60 @@ let load_manifest t =
             let spec = Protocol.decode_spec r in
             let attempts = Io.r_u32 r in
             let migrations = Io.r_u32 r in
+            let crashes = Io.r_u32 r in
             let deadline_at =
               Io.r_option r (fun r -> Int64.float_of_bits (Io.r_i64 r))
             in
-            (id, tenant, spec, attempts, migrations, deadline_at))
+            (id, tenant, spec, attempts, migrations, crashes, deadline_at))
+      in
+      let quarantined =
+        Io.r_list r (fun r ->
+            let id = Io.r_u32 r in
+            let tenant = Io.r_string r in
+            let spec = Protocol.decode_spec r in
+            let attempts = Io.r_u32 r in
+            let crashes = Io.r_u32 r in
+            let reason = Io.r_string r in
+            (id, tenant, spec, attempts, crashes, reason))
       in
       Io.expect_end r;
-      (next_id, entries)
+      (next_id, entries, quarantined)
     with
-    | next_id, entries ->
+    | next_id, entries, quarantined ->
       t.next_id <- max t.next_id next_id;
       (* readmit pushes to the front; walk backwards so the queue ends up
          in submission order. *)
       List.iter
-        (fun (id, tenant, spec, attempts, migrations, deadline_at) ->
+        (fun (id, tenant, spec, attempts, migrations, crashes, deadline_at) ->
           let job =
             { id; tenant; spec; submitted = Unix.gettimeofday ();
-              deadline_at; state = Queued; attempts; migrations;
-              deadline_fired = false; waiters = [] }
+              deadline_at; state = Queued; attempts; migrations; crashes;
+              crashed_pids = []; deadline_fired = false; waiters = [] }
           in
           Hashtbl.replace t.jobs id job;
           Admission.readmit t.queue ~tenant id;
           log t "recovered job %d (%s/%s, %d attempt(s))" id tenant
             (Protocol.spec_name spec) attempts)
-        (List.rev entries)
-    | exception
-        ( Checkpoint.Corrupt _ | Checkpoint.Mismatch _
-        | Frame.Protocol_error _ ) ->
+        (List.rev entries);
+      List.iter
+        (fun (id, tenant, spec, attempts, crashes, reason) ->
+          let job =
+            { id; tenant; spec; submitted = Unix.gettimeofday ();
+              deadline_at = None; state = Quarantined { reason };
+              attempts; migrations = 0; crashes; crashed_pids = [];
+              deadline_fired = false; waiters = [] }
+          in
+          Hashtbl.replace t.jobs id job;
+          log t "recovered quarantined job %d (%s/%s): %s" id tenant
+            (Protocol.spec_name spec) reason)
+        quarantined
+    | exception Checkpoint.Mismatch _ ->
+      (* An older daemon's spool: refuse it loudly but distinctly — this
+         is a version boundary, not damage. *)
+      log t "manifest %s is from an incompatible daemon version; starting \
+             with an empty queue" path;
+      remove_quietly path
+    | exception (Checkpoint.Corrupt _ | Frame.Protocol_error _) ->
       (* A damaged manifest means a fresh queue, not a dead daemon. *)
       log t "manifest %s is damaged; starting with an empty queue" path;
       remove_quietly path
@@ -286,21 +349,41 @@ let spawn_worker t job =
     Sys.set_signal Sys.sigterm
       (Sys.Signal_handle (fun _ -> Cancel.request cancel));
     Sys.set_signal Sys.sigint Sys.Signal_ignore;
+    (* Exit codes are the one channel the parent trusts, so nothing may
+       escape with an accidental code (an uncaught OCaml exception exits
+       2, which would masquerade as Bad_job). write_err is best-effort:
+       losing the detail must not lose the verdict. *)
+    let write_err msg =
+      try Bist_resilience.Atomic_io.write_file ~path:(err_path t job.id) msg
+      with _ -> ()
+    in
     let code =
-      match
-        Runner.run_job ~checkpoint:(ckpt_path t job.id)
-          ~interval:t.cfg.checkpoint_interval ~cancel job.spec
-      with
-      | Runner.Finished output ->
-        Bist_resilience.Atomic_io.write_file ~path:(out_path t job.id) output;
-        0
-      | Runner.Preempted -> 3
-      | exception Runner.Bad_job msg ->
-        Bist_resilience.Atomic_io.write_file ~path:(err_path t job.id) msg;
-        2
-      | exception e ->
-        Bist_resilience.Atomic_io.write_file ~path:(err_path t job.id)
-          (Printexc.to_string e);
+      try
+        (* The rlimit cage goes up before a byte of the (possibly
+           hostile) payload is parsed. The daemon process itself never
+           runs under these limits — only this child. *)
+        Sandbox.apply t.cfg.sandbox;
+        match
+          Runner.run_job ~checkpoint:(ckpt_path t job.id)
+            ~interval:t.cfg.checkpoint_interval ~cancel job.spec
+        with
+        | Runner.Finished output -> (
+          try
+            Bist_resilience.Atomic_io.write_file ~path:(out_path t job.id)
+              output;
+            0
+          with e ->
+            write_err (Printexc.to_string e);
+            1)
+        | Runner.Preempted -> 3
+        | exception Runner.Bad_job msg ->
+          write_err msg;
+          2
+        | exception e ->
+          write_err (Printexc.to_string e);
+          1
+      with e ->
+        write_err (Printexc.to_string e);
         1
     in
     Unix._exit code
@@ -352,6 +435,34 @@ let retry_or_fail t job ~why =
       (Printf.sprintf "worker failed %d time(s), retry budget exhausted (last: %s)"
          job.attempts why)
 
+let quarantine_job t job ~why =
+  let reason =
+    Printf.sprintf "crashed %d distinct worker(s) (last: %s)" job.crashes why
+  in
+  job.state <- Quarantined { reason };
+  job_metric t "quarantined" job;
+  notify_waiters t job (Protocol.Quarantined { id = job.id; reason });
+  (* The checkpoint stays: if an operator releases the job (a daemon bug
+     was fixed, the limit was raised), it resumes rather than restarts.
+     Only the quarantine verdict is permanent-until-released. *)
+  t.manifest_dirty <- true;
+  log t "job %d quarantined: %s" job.id reason
+
+(* A worker crash — as opposed to a typed Bad_job or a drain park — may
+   be the payload's doing or the machine's. The poison gate tells them
+   apart by demanding the same job take down [poison_threshold] distinct
+   workers: a flaky host or an unlucky OOM kills assorted pids across
+   assorted jobs, while a poison payload deterministically kills every
+   worker that touches it. *)
+let crash t job ~pid ~why =
+  if not (List.mem pid job.crashed_pids) then begin
+    job.crashed_pids <- pid :: job.crashed_pids;
+    job.crashes <- job.crashes + 1
+  end;
+  job_metric t "crashes" job;
+  if job.crashes >= t.cfg.poison_threshold then quarantine_job t job ~why
+  else retry_or_fail t job ~why
+
 let reap_worker t w status =
   Hashtbl.remove t.workers w.pid;
   (try Unix.close w.pipe_r with Unix.Unix_error _ -> ());
@@ -363,7 +474,7 @@ let reap_worker t w status =
     | Unix.WEXITED 0 -> (
       match read_file_opt (out_path t job.id) with
       | Some output -> finish_job t job output
-      | None -> retry_or_fail t job ~why:"exit 0 but no result file")
+      | None -> crash t job ~pid:w.pid ~why:"exit 0 but no result file")
     | Unix.WEXITED 2 ->
       let detail =
         Option.value (read_file_opt (err_path t job.id)) ~default:"bad job"
@@ -382,17 +493,19 @@ let reap_worker t w status =
         fail_job t job "deadline exceeded"
       else retry_or_fail t job ~why:"preempted outside drain"
     | Unix.WEXITED code ->
-      retry_or_fail t job ~why:(Printf.sprintf "exit %d" code)
+      crash t job ~pid:w.pid ~why:(Printf.sprintf "exit %d" code)
     | Unix.WSIGNALED sg ->
       let name =
         if sg = Sys.sigkill then "SIGKILL"
         else if sg = Sys.sigterm then "SIGTERM"
         else if sg = Sys.sigsegv then "SIGSEGV"
+        else if sg = Sys.sigxcpu then "SIGXCPU (cpu rlimit)"
+        else if sg = Sys.sigxfsz then "SIGXFSZ (file-size rlimit)"
         else Printf.sprintf "signal %d" sg
       in
       if job.deadline_fired && sg = Sys.sigkill then
         fail_job t job "deadline exceeded"
-      else retry_or_fail t job ~why:("killed by " ^ name)
+      else crash t job ~pid:w.pid ~why:("killed by " ^ name)
     | Unix.WSTOPPED _ -> () (* not requested; never delivered by waitpid *))
 
 (* ------------------------------------------------------------------ *)
@@ -427,20 +540,30 @@ let submit t c ~tenant ~deadline spec =
       let job =
         { id; tenant; spec; submitted = now;
           deadline_at = Option.map (fun d -> now +. d) deadline;
-          state = Queued; attempts = 0; migrations = 0;
-          deadline_fired = false; waiters = [] }
+          state = Queued; attempts = 0; migrations = 0; crashes = 0;
+          crashed_pids = []; deadline_fired = false; waiters = [] }
       in
       Hashtbl.replace t.jobs id job;
       Obs.count t.obs ("admitted." ^ tenant);
       t.manifest_dirty <- true;
-      log t "admitted job %d (%s/%s on %s)" id tenant
+      log t "admitted job %d (%s/%s on %s%s)" id tenant
         (Protocol.spec_name spec)
-        (Protocol.spec_circuit spec);
+        (Protocol.spec_circuit spec)
+        (if Protocol.spec_is_payload spec then " [payload]" else "");
       send t c (Protocol.Accepted { id })
 
 let handle_request t c req =
   match req with
-  | Protocol.Ping -> send t c Protocol.Pong
+  | Protocol.Ping { version } ->
+    if version = Protocol.version then send t c Protocol.Pong
+    else begin
+      Obs.count t.obs ("version_mismatch." ^ client_metrics_tenant);
+      log t "ping from protocol v%d client (this daemon speaks v%d)" version
+        Protocol.version;
+      send t c
+        (Protocol.Unsupported_version
+           { server = Protocol.version; client = version })
+    end
   | Protocol.Stats -> send t c (Protocol.Stats_report (Obs.summary t.obs))
   | Protocol.Submit { tenant; deadline; spec } -> submit t c ~tenant ~deadline spec
   | Protocol.Status { id } -> (
@@ -459,8 +582,42 @@ let handle_request t c req =
       match job.state with
       | Done { output } -> send t c (Protocol.Result { id; output })
       | Failed { reason } -> send t c (Protocol.Failed { id; reason })
+      | Quarantined { reason } -> send t c (Protocol.Quarantined { id; reason })
       | Queued | Running _ | Waiting_retry _ ->
         job.waiters <- c.fd :: job.waiters))
+  | Protocol.Quarantine_list ->
+    let entries =
+      List.map
+        (fun (j, reason) ->
+          { Protocol.id = j.id; tenant = j.tenant;
+            job = Protocol.spec_name j.spec;
+            circuit = Protocol.spec_circuit j.spec; crashes = j.crashes;
+            reason })
+        (quarantined_jobs t)
+    in
+    send t c (Protocol.Quarantine_report entries)
+  | Protocol.Quarantine_release { id } -> (
+    match Hashtbl.find_opt t.jobs id with
+    | Some ({ state = Quarantined _; _ } as job) ->
+      (* Fresh crash budget, front of the queue (readmit bypasses the
+         admission bounds — the job already paid for its slot once). *)
+      job.crashes <- 0;
+      job.crashed_pids <- [];
+      job.attempts <- 0;
+      job.state <- Queued;
+      Admission.readmit t.queue ~tenant:job.tenant job.id;
+      t.manifest_dirty <- true;
+      job_metric t "released" job;
+      log t "job %d released from quarantine" id;
+      send t c (Protocol.Accepted { id })
+    | Some job ->
+      send t c
+        (Protocol.Error
+           { message =
+               Printf.sprintf "job %d is %s, not quarantined" id
+                 (state_name job.state) })
+    | None ->
+      send t c (Protocol.Error { message = Printf.sprintf "unknown job id %d" id }))
   | Protocol.Shutdown ->
     send t c Protocol.Shutting_down;
     Cancel.request t.drain
@@ -559,7 +716,7 @@ let next_timer_delay t =
     match job.state with
     | Waiting_retry { ready_at } -> Some ready_at
     | Running _ | Queued -> job.deadline_at
-    | Done _ | Failed _ -> None
+    | Done _ | Failed _ | Quarantined _ -> None
   in
   let soonest =
     Hashtbl.fold
@@ -610,6 +767,12 @@ let validate cfg =
          cfg.checkpoint_interval);
   if not (Float.is_finite cfg.term_grace && cfg.term_grace > 0.0) then
     invalid_arg (Printf.sprintf "bistd: term_grace %g must be positive" cfg.term_grace);
+  if cfg.poison_threshold < 1 then
+    invalid_arg
+      (Printf.sprintf "bistd: poison_threshold %d < 1" cfg.poison_threshold);
+  (match Sandbox.validate cfg.sandbox with
+  | Result.Ok _ -> ()
+  | Result.Error msg -> invalid_arg ("bistd: " ^ msg));
   match Backoff.validate cfg.backoff with
   | Result.Ok _ -> ()
   | Result.Error msg -> invalid_arg ("bistd: " ^ msg)
@@ -663,6 +826,8 @@ let run ?on_ready cfg =
   in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  log t "worker sandbox: %s; poison threshold %d"
+    (Sandbox.describe cfg.sandbox) cfg.poison_threshold;
   Printf.printf "bistd: listening on %s:%d\n%!" cfg.host port;
   Option.iter (fun f -> f ~port) on_ready;
   let finished = ref false in

@@ -22,7 +22,22 @@
       blocks itself — all socket IO is non-blocking and buffered;
     - SIGTERM drains gracefully: workers checkpoint and park their jobs,
       the manifest is written, and a restarted daemon picks the queue
-      back up. A second signal force-quits (exit 130). *)
+      back up. A second signal force-quits (exit 130).
+
+    Untrusted-payload contracts (protocol v2):
+    - the event loop {e never} parses an inline netlist payload; only a
+      forked worker does, after jailing itself with {!Sandbox.apply}
+      ([sandbox] below), so a hostile or merely enormous payload
+      exhausts the worker's rlimits, not the daemon's;
+    - a job that crashes [poison_threshold] {e distinct} workers is
+      quarantined: typed [Quarantined] to every waiter, excluded from
+      dispatch, persisted in the manifest (it survives daemon restarts),
+      released only by an explicit [Quarantine_release] — which
+      re-admits it at the front with a fresh crash budget, resuming from
+      its kept checkpoint;
+    - the manifest container is versioned: a spool written by an
+      older daemon is refused with a distinct log line and an empty
+      queue, never misread. *)
 
 type config = {
   host : string;  (** Bind address (default loopback). *)
@@ -37,6 +52,14 @@ type config = {
   spool : string;
       (** Directory for job checkpoints, results and the manifest;
           created if missing. *)
+  sandbox : Sandbox.limits;
+      (** Rlimits every forked worker applies to itself before touching
+          its job (default {!Sandbox.default}). *)
+  poison_threshold : int;
+      (** Crashes on distinct workers before a job is quarantined
+          (default 3 — one below the default retry budget's last
+          attempt, so the typed quarantine verdict wins over a generic
+          budget-exhausted failure). *)
   verbose : bool;  (** Log supervision events to stderr. *)
 }
 

@@ -12,18 +12,31 @@
 #  4. Daemon crash-safety: a SIGTERMed daemon parks its jobs (checkpoint
 #     + manifest) and exits 0; a restart on the same spool recovers and
 #     finishes them, still bit-identical.
+#  5. Untrusted payload jobs (protocol v2): a .blif payload job — the
+#     daemon never parses it, only the sandboxed worker does — whose
+#     worker is SIGKILLed mid-run resumes and produces output
+#     byte-identical to a local bistgen run on the same file.
+#  6. Payload bombs: oversized, garbage and recursive-.subckt payloads
+#     all get typed rejections and the daemon keeps serving.
+#  7. Poison-job quarantine: a job that crashes 3 distinct workers
+#     (RLIMIT_CPU kills) is quarantined with a typed reply while a
+#     co-tenant job completes untouched; the quarantine survives a
+#     daemon restart, and an operator release lets the job resume from
+#     its kept checkpoint to a bit-identical result.
 #
 # Run from the repo root (the Makefile does): ./scripts/daemon_smoke.sh
 
 set -u
 
 BISTD=_build/default/bin/bistd.exe
+BISTGEN=_build/default/bin/bistgen.exe
 
 say()  { printf 'daemon-smoke: %s\n' "$*"; }
 fail() { printf 'daemon-smoke: FAIL: %s\n' "$*" >&2; exit 1; }
 
-dune build bin/bistd.exe || fail "build failed"
+dune build bin/bistd.exe bin/bistgen.exe || fail "build failed"
 [ -x "$BISTD" ] || fail "missing $BISTD"
+[ -x "$BISTGEN" ] || fail "missing $BISTGEN"
 
 work=$(mktemp -d)
 daemon_pid=""
@@ -101,8 +114,12 @@ say "full queue: typed queue-full rejection"
 
 # --- 3. chaos: the daemon survives hostile clients -------------------
 
-"$BISTD" chaos all --port "$port" >/dev/null \
-  || fail "daemon did not survive chaos (truncate/garbage/slow)"
+# The payload-bomb mode needs queue headroom, so it gets its own leg (6)
+# on an idle daemon; here the queue is deliberately saturated.
+for mode in truncate garbage slow; do
+  "$BISTD" chaos "$mode" --port "$port" >/dev/null \
+    || fail "daemon did not survive chaos $mode"
+done
 "$BISTD" stats --port "$port" | grep -q "protocol_errors" \
   || fail "protocol errors were not counted"
 say "chaos truncate/garbage/slow: daemon survived, errors typed + counted"
@@ -130,5 +147,89 @@ cmp -s "$work/ref.seq" "$work/spool/job-2.out" \
 "$BISTD" shutdown --port "$port" >/dev/null
 wait "$daemon_pid"; daemon_pid=""
 say "SIGTERMed daemon: jobs parked, recovered on restart, bit-identical"
+
+# --- 5. payload job (protocol v2): migration stays bit-identical -----
+
+# The daemon never parses the payload; only the sandboxed worker does.
+# Reference comes from a local bistgen run on the very same file, with
+# the daemon's tgen parameters spelled out (submit defaults directed=30).
+rm -rf "$work/spool"
+"$BISTGEN" convert x1488 -o "$work/x1488.blif" >/dev/null \
+  || fail "could not synthesize the .blif payload"
+"$BISTGEN" tgen "$work/x1488.blif" --seed 7 --compact-trials 2000 \
+  --directed 30 -o "$work/pref.seq" >/dev/null \
+  || fail "local reference run on the payload failed"
+start_daemon --workers 1
+"$BISTD" ping --port "$port" | grep -q "protocol v2" \
+  || fail "handshake did not negotiate protocol v2"
+"$BISTD" submit tgen --payload "$work/x1488.blif" --seed 7 --trials 2000 \
+  --port "$port" --wait -o "$work/pmig.seq" > "$work/pmig.client" 2>&1 &
+client=$!
+pidfile="$work/spool/job-1.pid"
+for _ in $(seq 1 50); do
+  [ -s "$pidfile" ] && break
+  sleep 0.1
+done
+[ -s "$pidfile" ] || fail "payload worker pid file never appeared"
+sleep 0.5
+kill -9 "$(cat "$pidfile")" 2>/dev/null || fail "could not SIGKILL the payload worker"
+wait "$client" || fail "migrated payload job failed: $(cat "$work/pmig.client")"
+cmp -s "$work/pref.seq" "$work/pmig.seq" \
+  || fail "migrated payload result differs from the local bistgen run"
+say "payload .blif job: SIGKILLed worker migrated, bit-identical to local run"
+
+# --- 6. payload bombs: typed rejections, daemon keeps serving --------
+
+# Oversized, garbage and recursive-.subckt payloads; the mode's own
+# postcondition is a successful Ping on the same daemon.
+"$BISTD" chaos payload-bomb --port "$port" >/dev/null \
+  || fail "daemon did not survive the payload bombs"
+"$BISTD" shutdown --port "$port" >/dev/null
+wait "$daemon_pid"; daemon_pid=""
+say "payload bombs: typed rejections, daemon kept serving"
+
+# --- 7. poison job: quarantine, restart, release, finish -------------
+
+# Under a 1s CPU rlimit a directed-300 run (~6s CPU) dies with SIGXCPU
+# on every attempt; after 3 distinct crashed workers the job must be
+# quarantined (typed reply, co-tenant unharmed), survive a restart, and
+# on release resume from its kept checkpoint to a bit-identical result.
+rm -rf "$work/spool"
+"$BISTGEN" tgen "$work/x1488.blif" --seed 7 --compact-trials 2000 \
+  --directed 300 -o "$work/pref3.seq" >/dev/null \
+  || fail "local reference run for the poison job failed"
+start_daemon --workers 2 --worker-cpu 1
+"$BISTD" submit tgen --payload "$work/x1488.blif" --seed 7 --trials 2000 \
+  --directed 300 --port "$port" --wait > "$work/poison.client" 2>&1 &
+poison=$!
+"$BISTD" submit tgen s27 --seed 7 --trials 50 --port "$port" --wait \
+  > "$work/cotenant.seq" 2> "$work/cotenant.err" \
+  || fail "co-tenant job failed alongside the poison job: $(cat "$work/cotenant.err")"
+[ -s "$work/cotenant.seq" ] || fail "co-tenant job produced no output"
+if wait "$poison"; then fail "poison job unexpectedly succeeded"; fi
+grep -q "quarantined" "$work/poison.client" \
+  || fail "poison client got no typed quarantine reply: $(cat "$work/poison.client")"
+"$BISTD" quarantine list --port "$port" > "$work/quar.out" \
+  || fail "quarantine list failed"
+grep -q "^job 1 .*crashes=3" "$work/quar.out" \
+  || fail "quarantine list does not show job 1: $(cat "$work/quar.out")"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || fail "daemon with a quarantined job did not drain cleanly"
+daemon_pid=""
+start_daemon --workers 1   # no CPU limit: the released job must finish
+"$BISTD" quarantine list --port "$port" | grep -q "^job 1 " \
+  || fail "quarantine did not survive the restart"
+"$BISTD" quarantine release 1 --port "$port" | grep -q "released job 1" \
+  || fail "quarantine release refused"
+for _ in $(seq 1 200); do
+  [ -f "$work/spool/job-1.out" ] && break
+  sleep 0.1
+done
+[ -f "$work/spool/job-1.out" ] || fail "released job never finished"
+cmp -s "$work/pref3.seq" "$work/spool/job-1.out" \
+  || fail "released job's result differs from the local bistgen run"
+"$BISTD" shutdown --port "$port" >/dev/null
+wait "$daemon_pid"; daemon_pid=""
+say "poison job: quarantined after 3 crashes, survived restart, released, bit-identical"
 
 say "PASS"

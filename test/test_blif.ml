@@ -256,9 +256,34 @@ let test_workloads_deterministic () =
 let test_loader_dispatch () =
   (match Bist_bench.Loader.load_file (corpus_path "counter3.blif") with
   | c -> Alcotest.(check int) "blif via loader" 3 (Netlist.num_dffs c));
+  (* The unknown-extension refusal must name both the offending path and
+     every supported extension — an operator reading the error should
+     not need the docs. *)
+  let contains text needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i =
+      i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+    in
+    go 0
+  in
   (match Bist_bench.Loader.load_file "nosuch.v" with
   | (_ : Netlist.t) -> Alcotest.fail "expected Usage_error"
-  | exception Bist_bench.Loader.Usage_error _ -> ());
+  | exception Bist_bench.Loader.Usage_error msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %s" needle)
+          true (contains msg needle))
+      ("nosuch.v" :: ".v" :: Bist_bench.Loader.supported_extensions));
+  (match Bist_bench.Loader.load_file "noextension" with
+  | (_ : Netlist.t) -> Alcotest.fail "expected Usage_error"
+  | exception Bist_bench.Loader.Usage_error msg ->
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "no-extension error mentions %s" needle)
+          true (contains msg needle))
+      ("noextension" :: Bist_bench.Loader.supported_extensions));
   Alcotest.(check bool) "find_named workload" true
     (Bist_bench.Loader.find_named "pipe16" <> None);
   Alcotest.(check bool) "find_named teaching" true

@@ -16,6 +16,7 @@ module Protocol = Bist_daemon.Protocol
 module Backoff = Bist_daemon.Backoff
 module Admission = Bist_daemon.Admission
 module Runner = Bist_daemon.Runner
+module Sandbox = Bist_daemon.Sandbox
 
 (* ------------------------------------------------------------- frames *)
 
@@ -78,27 +79,63 @@ let test_frame_truncation_detected () =
 
 (* ----------------------------------------------------------- protocol *)
 
+(* A small genuine payload for the Submit corpus: inline netlists must
+   survive the codec and feed the fuzz mutants like every other shape. *)
+let s27_bench_text =
+  match Bist_bench.Loader.find_named "s27" with
+  | Some c -> Bist_circuit.Bench_writer.to_string c
+  | None -> assert false
+
 let sample_requests =
   [
-    Protocol.Ping;
+    Protocol.Ping { version = Protocol.version };
+    Protocol.Ping { version = 1 };
     Protocol.Submit
       { tenant = "alice"; deadline = None;
-        spec = Protocol.Tgen { circuit = "s27"; seed = 7; directed = 30; trials = 150 } };
+        spec =
+          Protocol.Tgen
+            { circuit = Protocol.Named "s27"; seed = 7; directed = 30;
+              trials = 150 } };
     Protocol.Submit
       { tenant = "bob"; deadline = Some 2.5;
-        spec = Protocol.Faultsim { circuit = "x298"; vectors = "1010\n0111\n" } };
+        spec =
+          Protocol.Faultsim
+            { circuit = Protocol.Named "x298"; vectors = "1010\n0111\n" } };
     Protocol.Submit
       { tenant = ""; deadline = Some 0.125;
-        spec = Protocol.Inject { circuit = "s27"; seed = 5; count = 120; n = 2 } };
+        spec =
+          Protocol.Inject
+            { circuit = Protocol.Named "s27"; seed = 5; count = 120; n = 2 } };
+    Protocol.Submit
+      { tenant = "carol"; deadline = None;
+        spec =
+          Protocol.Tgen
+            { circuit =
+                Protocol.Inline
+                  { name = "s27.bench"; format = Protocol.Bench;
+                    text = s27_bench_text };
+              seed = 7; directed = 30; trials = 150 } };
+    Protocol.Submit
+      { tenant = "carol"; deadline = Some 9.0;
+        spec =
+          Protocol.Faultsim
+            { circuit =
+                Protocol.Inline
+                  { name = "tiny.blif"; format = Protocol.Blif;
+                    text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n" };
+              vectors = "1\n0\n" } };
     Protocol.Status { id = 3 };
     Protocol.Wait { id = 99 };
     Protocol.Stats;
     Protocol.Shutdown;
+    Protocol.Quarantine_list;
+    Protocol.Quarantine_release { id = 7 };
   ]
 
 let sample_responses =
   [
     Protocol.Pong;
+    Protocol.Unsupported_version { server = 2; client = 1 };
     Protocol.Accepted { id = 12 };
     Protocol.Rejected
       { reason = Protocol.Queue_full; message = "queue is full" };
@@ -107,6 +144,16 @@ let sample_responses =
     Protocol.Job_status { id = 4; state = "running"; attempts = 1 };
     Protocol.Result { id = 4; output = "0101\n1110\n" };
     Protocol.Failed { id = 4; reason = "deadline exceeded" };
+    Protocol.Quarantined
+      { id = 9; reason = "crashed 3 distinct worker(s) (last: SIGSEGV)" };
+    Protocol.Quarantine_report [];
+    Protocol.Quarantine_report
+      [
+        { Protocol.id = 9; tenant = "mallory"; job = "tgen";
+          circuit = "bomb.bench"; crashes = 3; reason = "killed by SIGXCPU" };
+        { Protocol.id = 11; tenant = "alice"; job = "inject"; circuit = "s27";
+          crashes = 4; reason = "exit 1" };
+      ];
     Protocol.Stats_report "counter value\n";
     Protocol.Shutting_down;
     Protocol.Error { message = "unknown request kind 42" };
@@ -123,6 +170,84 @@ let test_protocol_roundtrip () =
       let got = Protocol.decode_response (Protocol.encode_response resp) in
       Alcotest.(check bool) "response roundtrips" true (got = resp))
     sample_responses
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let test_legacy_ping_decodes () =
+  (* The PR 6 wire form of Ping was the bare kind byte. It must still
+     decode — as a version-1 claim — so an old client gets the typed
+     Unsupported_version reply, not a protocol error. *)
+  Alcotest.(check bool) "empty-body ping is v1" true
+    (Protocol.decode_request "\x00" = Protocol.Ping { version = 1 });
+  let v2 = Protocol.encode_request (Protocol.Ping { version = 2 }) in
+  Alcotest.(check bool) "v2 ping carries its version" true
+    (Protocol.decode_request v2 = Protocol.Ping { version = 2 })
+
+let test_oversized_netlist_rejected () =
+  (* The length prefix alone must condemn an over-cap payload: we build
+     the encoded form by hand so the test never allocates the "real"
+     oversized submit through the public encoder twice. *)
+  let text = String.make (Protocol.max_netlist_bytes + 1) 'x' in
+  let req =
+    Protocol.Submit
+      { tenant = "evil"; deadline = None;
+        spec =
+          Protocol.Tgen
+            { circuit =
+                Protocol.Inline
+                  { name = "bomb"; format = Protocol.Bench; text };
+              seed = 1; directed = 0; trials = 1 } }
+  in
+  (match Protocol.decode_request (Protocol.encode_request req) with
+  | (_ : Protocol.request) -> Alcotest.fail "over-cap netlist decoded"
+  | exception Frame.Protocol_error msg ->
+    Alcotest.(check bool) "error names the cap" true (contains msg "cap"));
+  (* One byte under the cap decodes fine: the bound is exact. *)
+  let text = String.make Protocol.max_netlist_bytes 'x' in
+  let req =
+    Protocol.Submit
+      { tenant = "big"; deadline = None;
+        spec =
+          Protocol.Tgen
+            { circuit =
+                Protocol.Inline
+                  { name = "big"; format = Protocol.Bench; text };
+              seed = 1; directed = 0; trials = 1 } }
+  in
+  Alcotest.(check bool) "at-cap netlist decodes" true
+    (Protocol.decode_request (Protocol.encode_request req) = req)
+
+let test_frame_cap_boundary () =
+  (* Exactly at the 16 MiB frame cap: encode/decode round-trips. One
+     byte over: typed rejection on encode, and the decoder rejects the
+     bare length prefix before buffering anything. *)
+  let at_cap = String.make Frame.max_payload 'y' in
+  let dec = Frame.Decoder.create () in
+  Frame.Decoder.feed dec (Frame.encode at_cap);
+  (match Frame.Decoder.next dec with
+  | Some p ->
+    Alcotest.(check int) "cap-sized payload survives" Frame.max_payload
+      (String.length p)
+  | None -> Alcotest.fail "cap-sized frame did not decode");
+  Frame.Decoder.finish dec;
+  let under_cap = String.make (Frame.max_payload - 1) 'y' in
+  let dec = Frame.Decoder.create () in
+  Frame.Decoder.feed dec (Frame.encode under_cap);
+  Alcotest.(check bool) "cap-1 payload survives" true
+    (Frame.Decoder.next dec = Some under_cap);
+  Frame.Decoder.finish dec;
+  (match Frame.encode (String.make (Frame.max_payload + 1) 'y') with
+  | (_ : string) -> Alcotest.fail "cap+1 payload encoded"
+  | exception Frame.Protocol_error _ -> ());
+  let prefix = Bytes.create 4 in
+  Bytes.set_int32_le prefix 0 (Int32.of_int (Frame.max_payload + 1));
+  let dec = Frame.Decoder.create () in
+  match Frame.Decoder.feed dec (Bytes.to_string prefix) with
+  | () -> Alcotest.fail "cap+1 length prefix accepted"
+  | exception Frame.Protocol_error _ -> ()
 
 (* The seeded-mutation fuzz gate. Mutants of valid frames — flipped
    bytes, truncations, corrupted length prefixes, scrambled kind bytes,
@@ -293,7 +418,9 @@ let with_tmp f =
     ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
     (fun () -> f path)
 
-let spec_tgen = Protocol.Tgen { circuit = "s27"; seed = 7; directed = 30; trials = 150 }
+let spec_tgen =
+  Protocol.Tgen
+    { circuit = Protocol.Named "s27"; seed = 7; directed = 30; trials = 150 }
 
 let test_runner_matches_oracle () =
   (* A checkpointing run whose cancel token never fires must equal the
@@ -333,17 +460,109 @@ let test_runner_bad_jobs () =
     | (_ : string) -> Alcotest.fail "bad job ran"
     | exception Runner.Bad_job _ -> ()
   in
-  bad (Protocol.Tgen { circuit = "../../etc/passwd"; seed = 1; directed = 1; trials = 1 });
-  bad (Protocol.Faultsim { circuit = "s27"; vectors = "not a vector\n" });
-  bad (Protocol.Inject { circuit = "s27"; seed = 1; count = 0; n = 2 })
+  bad
+    (Protocol.Tgen
+       { circuit = Protocol.Named "../../etc/passwd"; seed = 1; directed = 1;
+         trials = 1 });
+  bad
+    (Protocol.Faultsim
+       { circuit = Protocol.Named "s27"; vectors = "not a vector\n" });
+  bad
+    (Protocol.Inject
+       { circuit = Protocol.Named "s27"; seed = 1; count = 0; n = 2 });
+  (* Payload netlists that do not parse are Bad_job too — the typed,
+     permanent verdict, not a crash to be retried. *)
+  bad
+    (Protocol.Tgen
+       { circuit =
+           Protocol.Inline
+             { name = "junk.bench"; format = Protocol.Bench;
+               text = "THIS IS NOT(A, NETLIST" };
+         seed = 1; directed = 0; trials = 1 });
+  bad
+    (Protocol.Tgen
+       { circuit =
+           Protocol.Inline
+             { name = "junk.blif"; format = Protocol.Blif;
+               text = ".model a\n.inputs x\n.outputs y\n.subckt b x=x y=y\n.end\n" };
+         seed = 1; directed = 0; trials = 1 })
+
+let test_runner_inline_equals_named () =
+  (* A payload job carrying s27's own canonical text must produce
+     byte-identical output to the Named job: the transport of the
+     circuit is not allowed to perturb the result. *)
+  let named = Runner.run_once spec_tgen in
+  let inline =
+    Runner.run_once
+      (Protocol.Tgen
+         { circuit =
+             Protocol.Inline
+               { name = "s27"; format = Protocol.Bench;
+                 text = s27_bench_text };
+           seed = 7; directed = 30; trials = 150 })
+  in
+  Alcotest.(check string) "inline equals named" named inline
 
 let test_runner_faultsim () =
   let seq = Runner.run_once spec_tgen in
-  let out = Runner.run_once (Protocol.Faultsim { circuit = "s27"; vectors = seq }) in
+  let out =
+    Runner.run_once
+      (Protocol.Faultsim { circuit = Protocol.Named "s27"; vectors = seq })
+  in
   Alcotest.(check bool) "coverage line" true
     (String.length out > 0
     && String.sub out 0 8 = "detected"
     && String.contains out '%')
+
+(* ------------------------------------------------------------ sandbox *)
+
+let test_sandbox_get_and_validate () =
+  let soft, hard = Sandbox.get Sandbox.Open_files in
+  Alcotest.(check bool) "soft <= hard (or unlimited)" true
+    (soft = -1L || hard = -1L || Int64.compare soft hard <= 0);
+  Alcotest.(check bool) "default validates" true
+    (Sandbox.validate Sandbox.default = Ok Sandbox.default);
+  Alcotest.(check bool) "zero bound rejected" true
+    (Result.is_error
+       (Sandbox.validate { Sandbox.none with address_space_mb = Some 0 }));
+  Alcotest.(check string) "describe"
+    "as=2048MiB cpu=unlimited nofile=256 fsize=1024MiB"
+    (Sandbox.describe Sandbox.default)
+
+(* The probe body run by the re-exec'd test binary (see test_main.ml):
+   jail this process the way a worker does, then allocate far past the
+   cap. Exit 42 = the allocation failed as Out_of_memory, which is the
+   behaviour the daemon's supervisor counts on. The cap rides on top of
+   the runtime's existing reservation, so it is generous but still far
+   below the 2 GiB ask. *)
+let sandbox_probe () =
+  let code =
+    try
+      Sandbox.apply { Sandbox.none with address_space_mb = Some 1024 };
+      let huge = Bytes.create (2 * 1024 * 1024 * 1024) in
+      ignore (Bytes.get huge 0);
+      41 (* the allocation was supposed to fail *)
+    with Out_of_memory -> 42 | _ -> 43
+  in
+  exit code
+
+let test_sandbox_address_space_enforced () =
+  (* Re-exec this binary in probe mode: rlimits are irreversible and
+     OCaml 5 forbids fork() once other test suites have spawned domains,
+     so the jail goes up in a fresh process. *)
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      (Array.append (Unix.environment ()) [| "BIST_SANDBOX_PROBE=1" |])
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 42 -> ()
+  | _, Unix.WEXITED 41 ->
+    Alcotest.fail "2 GiB allocation fit under a 1 GiB rlimit"
+  | _, Unix.WEXITED code -> Alcotest.failf "sandbox probe exited %d" code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+    Alcotest.fail "sandbox probe died to a signal"
 
 let suite =
   [
@@ -351,6 +570,9 @@ let suite =
     Alcotest.test_case "oversized frame rejected" `Quick test_frame_oversized;
     Alcotest.test_case "truncated frame detected" `Quick test_frame_truncation_detected;
     Alcotest.test_case "protocol roundtrip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "legacy v1 ping decodes" `Quick test_legacy_ping_decodes;
+    Alcotest.test_case "over-cap netlist payload rejected" `Quick test_oversized_netlist_rejected;
+    Alcotest.test_case "frame cap boundary (cap-1, cap, cap+1)" `Quick test_frame_cap_boundary;
     Alcotest.test_case "frame mutants only raise Protocol_error" `Quick test_fuzz_frames;
     Alcotest.test_case "backoff growth, cap, budget" `Quick test_backoff_growth;
     Alcotest.test_case "backoff validation" `Quick test_backoff_validate;
@@ -359,5 +581,8 @@ let suite =
     Alcotest.test_case "runner legs equal oracle" `Quick test_runner_matches_oracle;
     Alcotest.test_case "runner resumes after preemption" `Quick test_runner_resumes_after_preemption;
     Alcotest.test_case "runner rejects bad jobs" `Quick test_runner_bad_jobs;
+    Alcotest.test_case "runner inline payload equals named" `Quick test_runner_inline_equals_named;
     Alcotest.test_case "runner faultsim summary" `Quick test_runner_faultsim;
+    Alcotest.test_case "sandbox get/validate/describe" `Quick test_sandbox_get_and_validate;
+    Alcotest.test_case "sandbox address-space rlimit enforced" `Quick test_sandbox_address_space_enforced;
   ]

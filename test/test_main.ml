@@ -1,3 +1,12 @@
+(* The sandbox rlimit test needs a throwaway process to jail (rlimits
+   are irreversible), and OCaml 5 forbids fork once any domain exists —
+   which earlier parallel suites guarantee. So the test re-execs this
+   very binary, and the probe branch below hijacks startup before
+   Alcotest (or any domain) comes to life. *)
+let () =
+  if Sys.getenv_opt "BIST_SANDBOX_PROBE" = Some "1" then
+    Test_daemon.sandbox_probe ()
+
 let () =
   Alcotest.run "subseq_bist"
     [
